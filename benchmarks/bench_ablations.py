@@ -1,0 +1,188 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Look-behind window size N** (§3.1, default 16): sweep N against
+   interleaved sequential stream counts and report where the
+   multi-stream analysis breaks down.
+2. **Online histograms vs trace collection** (§3): time and space for
+   the same command stream.
+3. **Irregular bins vs power-of-two compression** (§4): what the
+   post-processing keeps and what collection-time coarsening would
+   have lost.
+"""
+
+import io
+
+import pytest
+
+from conftest import print_series
+from repro.analysis.offline import histogram_space_bytes, trace_space_bytes
+from repro.analysis.rebin import power_of_two_scheme, rebin
+from repro.core.bins import IO_LENGTH_BINS
+from repro.core.collector import VscsiStatsCollector
+from repro.core.histogram import Histogram
+from repro.core.tracing import TraceBuffer, write_binary
+from repro.analysis.characterize import sequential_fraction
+
+
+def _interleaved_stream(num_streams, commands=2_000, stride=10_000_000):
+    """(lba, nblocks) arrivals of N interleaved sequential streams."""
+    cursors = [index * stride for index in range(num_streams)]
+    for index in range(commands):
+        stream = index % num_streams
+        yield cursors[stream], 16
+        cursors[stream] += 16
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_window_size_vs_stream_count(benchmark):
+    """§3.1: N=16 recovers sequentiality 'as long as the window size
+    of N is sufficiently big' — and breaks when streams exceed it."""
+
+    def sweep():
+        table = {}
+        for window in (1, 4, 8, 16, 32):
+            for streams in (1, 2, 8, 16, 24, 48):
+                collector = VscsiStatsCollector(window_size=window)
+                time_ns = 0
+                for lba, nblocks in _interleaved_stream(streams):
+                    collector.on_issue(time_ns, True, lba, nblocks, 0)
+                    time_ns += 1_000_000
+                table[(window, streams)] = sequential_fraction(
+                    collector.seek_distance_windowed.all
+                )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n--- windowed sequential fraction: window N x streams ---")
+    streams_axis = (1, 2, 8, 16, 24, 48)
+    header = "  N\\streams " + " ".join(f"{s:>6}" for s in streams_axis)
+    print(header)
+    for window in (1, 4, 8, 16, 32):
+        row = " ".join(
+            f"{table[(window, s)]:>6.2f}" for s in streams_axis
+        )
+        print(f"  N={window:<8} {row}")
+
+    # The paper's default N=16 keeps up to 16 streams looking
+    # sequential; a window of 1 (the plain histogram) already fails at
+    # 2 streams; any window fails once streams exceed it.
+    assert table[(16, 16)] > 0.9
+    assert table[(1, 2)] < 0.1
+    assert table[(16, 48)] < 0.5
+    assert table[(32, 24)] > 0.9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_online_histograms_vs_trace_cost(benchmark):
+    """§3's complexity argument, measured: O(m) space vs O(n), with
+    comparable per-command time."""
+    commands = 50_000
+
+    def collect_both():
+        collector = VscsiStatsCollector()
+        trace = TraceBuffer()
+        time_ns = 0
+        lba = 0
+        for index in range(commands):
+            collector.on_issue(time_ns, True, lba, 16, 0)
+            collector.on_complete(time_ns + 500_000, True, 500_000)
+            trace.append(time_ns, time_ns + 500_000, lba, 16, True)
+            time_ns += 1_000_000
+            lba = (lba + 16) % (1 << 24)
+        blob = io.BytesIO()
+        write_binary(trace, blob)
+        return collector, len(blob.getvalue())
+
+    collector, trace_bytes = benchmark.pedantic(
+        collect_both, rounds=1, iterations=1
+    )
+    hist_bytes = histogram_space_bytes(collector)
+    print_series("online vs trace space", [
+        (f"trace of {commands} commands", f"{trace_bytes:,} bytes (O(n))"),
+        ("full histogram set", f"{hist_bytes:,} bytes (O(m))"),
+        ("ratio", f"{trace_bytes / hist_bytes:.0f}x"),
+    ])
+    assert trace_bytes == trace_space_bytes(commands)
+    assert hist_bytes < trace_bytes / 100
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_irregular_bins_vs_power_of_two(benchmark):
+    """§4: collecting on power-of-two bins from the start would merge
+    4095-byte and 4096-byte I/Os forever; the irregular scheme keeps
+    them apart and compresses losslessly afterwards."""
+
+    def build():
+        irregular = Histogram(IO_LENGTH_BINS)
+        for _ in range(1000):
+            irregular.insert(4096)      # the special size
+        for _ in range(50):
+            irregular.insert(4000)      # odd-sized neighbours
+        return irregular
+
+    irregular = benchmark.pedantic(build, rounds=1, iterations=1)
+    pow2 = rebin(irregular, power_of_two_scheme(IO_LENGTH_BINS))
+
+    label_4096 = irregular.scheme.labels().index("4096")
+    label_4095 = irregular.scheme.labels().index("4095")
+    merged_index = pow2.scheme.index_for(4096)
+    print_series("irregular bins vs power-of-two", [
+        ("irregular: exactly 4096 B", irregular.counts[label_4096]),
+        ("irregular: (2048, 4095] B", irregular.counts[label_4095]),
+        ("pow2: (2048, 4096] B", pow2.counts[merged_index]),
+    ])
+    # The irregular scheme distinguishes them; compression merges them
+    # (and is exact in total counts).
+    assert irregular.counts[label_4096] == 1000
+    assert irregular.counts[label_4095] == 50
+    assert pow2.counts[merged_index] == 1050
+    assert pow2.count == irregular.count
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_disk_scheduling_fifo_vs_sstf(benchmark):
+    """Queueing-discipline ablation: SSTF (tagged command queueing)
+    raises random-read throughput over FIFO but widens the latency
+    distribution — the trade the evaluation's FIFO default makes."""
+    from repro.sim.engine import Engine, seconds
+    from repro.hypervisor.esx import EsxServer
+    from repro.storage.array import StorageArray
+    from repro.storage.raid import Raid0
+    from repro.workloads.iometer import IometerWorkload, SPEC_8K_RANDOM_READ
+
+    def run_policy(policy):
+        engine = Engine()
+        esx = EsxServer(engine)
+        array = esx.add_array(
+            StorageArray(engine, layout=Raid0(ndisks=12),
+                         disk_scheduling=policy, name="a")
+        )
+        vm = esx.create_vm("vm")
+        device = esx.create_vdisk(vm, "d", array, 6 * 1024**3)
+        esx.stats.enable()
+        IometerWorkload(engine, device, SPEC_8K_RANDOM_READ,
+                        rng=esx.random.stream("w")).start()
+        engine.run(until=seconds(5))
+        collector = esx.collector_for("vm", "d")
+        return collector.iops(), collector.latency_us.all
+
+    def sweep():
+        return {policy: run_policy(policy) for policy in ("fifo", "sstf")}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fifo_iops, fifo_latency = results["fifo"]
+    sstf_iops, sstf_latency = results["sstf"]
+    print_series("disk scheduling ablation (8K random, 32 OIO)", [
+        ("FIFO IOps", f"{fifo_iops:.0f}"),
+        ("SSTF IOps", f"{sstf_iops:.0f}"),
+        ("FIFO p50 latency bin (us)",
+         f"{fifo_latency.percentile_upper_bound(0.5):.0f}"),
+        ("SSTF p50 latency bin (us)",
+         f"{sstf_latency.percentile_upper_bound(0.5):.0f}"),
+        ("FIFO tail >30ms", f"{1 - fifo_latency.fraction_in(float('-inf'), 30000):.1%}"),
+        ("SSTF tail >30ms", f"{1 - sstf_latency.fraction_in(float('-inf'), 30000):.1%}"),
+    ])
+    assert sstf_iops > fifo_iops                       # throughput win
+    tail_fifo = 1 - fifo_latency.fraction_in(float("-inf"), 50000)
+    tail_sstf = 1 - sstf_latency.fraction_in(float("-inf"), 50000)
+    assert tail_sstf >= tail_fifo                      # fairness cost

@@ -1,0 +1,49 @@
+"""Figure 2 — Filebench OLTP on Solaris/UFS.
+
+Regenerates the four panels: I/O length, seek distance (all, writes,
+reads).  Paper shape: 4 KB and 8 KB I/Os; randomness everywhere.
+"""
+
+import pytest
+
+from conftest import print_panel, print_series
+from repro.experiments.figure2 import run_figure2
+
+GIB = 1024**3
+MIB = 1024**2
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure2_filebench_oltp_ufs(benchmark):
+    result = benchmark.pedantic(
+        run_figure2,
+        kwargs={
+            "duration_s": 20.0,
+            "filesize": 2 * GIB,
+            "logfilesize": 256 * MIB,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_panel("Figure 2(a) I/O Length Histogram", result.io_length)
+    print_panel("Figure 2(b) Seek Distance Histogram", result.seek_distance)
+    print_panel("Figure 2(c) Seek Distance (Writes)",
+                result.seek_distance_writes)
+    print_panel("Figure 2(d) Seek Distance (Reads)",
+                result.seek_distance_reads)
+    print_series("Figure 2 summary", [
+        ("vSCSI commands/s", f"{result.ops_per_second:.0f}"),
+        ("Filebench ops/s", f"{result.app_ops_per_second:.0f}"),
+        ("dominant I/O size", result.dominant_size_label),
+        ("I/Os <= 8 KB", f"{result.small_io_fraction:.0%}"),
+        ("random (edge seeks)", f"{result.random:.0%}"),
+    ])
+
+    # Paper shape assertions.
+    assert result.small_io_fraction > 0.95          # 4 KB and 8 KB only
+    assert dict(result.io_length.nonzero_items()).get("4096", 0) > 0
+    assert dict(result.io_length.nonzero_items()).get("8192", 0) > 0
+    assert result.random > 0.5                      # spikes at the edges
+    assert result.random_reads > 0.5
+    assert result.random_writes > 0.5
+    assert result.sequential_writes < 0.2           # nothing special

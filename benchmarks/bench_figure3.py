@@ -1,0 +1,65 @@
+"""Figure 3 — Filebench OLTP on Solaris/ZFS.
+
+Same workload as Figure 2 through the ZFS model.  Paper shape: 80-128
+KB I/Os; writes sequentialized by copy-on-write; reads still random;
+OLTP performance significantly higher than on UFS.
+"""
+
+import pytest
+
+from conftest import print_panel, print_series
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+
+GIB = 1024**3
+MIB = 1024**2
+
+_KWARGS = {
+    "duration_s": 20.0,
+    "filesize": 2 * GIB,
+    "logfilesize": 256 * MIB,
+}
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure3_filebench_oltp_zfs(benchmark):
+    result = benchmark.pedantic(
+        run_figure3, kwargs=_KWARGS, rounds=1, iterations=1
+    )
+    print_panel("Figure 3(a) I/O Length Histogram", result.io_length)
+    print_panel("Figure 3(b) Seek Distance Histogram", result.seek_distance)
+    print_panel("Figure 3(c) Seek Distance (Writes)",
+                result.seek_distance_writes)
+    print_panel("Figure 3(d) Seek Distance (Reads)",
+                result.seek_distance_reads)
+    print_series("Figure 3 summary", [
+        ("Filebench ops/s", f"{result.app_ops_per_second:.0f}"),
+        ("dominant I/O size", result.dominant_size_label),
+        ("I/Os in (64 KB, 128 KB]", f"{result.large_io_fraction:.0%}"),
+        ("sequential writes (windowed)", f"{result.sequential_writes:.0%}"),
+        ("random reads", f"{result.random_reads:.0%}"),
+    ])
+
+    # Paper shape assertions.
+    assert result.dominant_size_label == "131072"   # 80-128 KB I/Os
+    assert result.large_io_fraction > 0.5
+    assert result.sequential_writes > 0.7           # COW signature
+    assert result.random_reads > 0.5                # reads stay random
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure3_vs_figure2_zfs_wins(benchmark):
+    """'the performance of OLTP on ZFS is significantly higher than on
+    UFS' — regenerate both and compare the application op rates."""
+
+    def both():
+        return run_figure2(**_KWARGS), run_figure3(**_KWARGS)
+
+    ufs, zfs = benchmark.pedantic(both, rounds=1, iterations=1)
+    ratio = zfs.app_ops_per_second / ufs.app_ops_per_second
+    print_series("ZFS vs UFS (application ops/s)", [
+        ("UFS", f"{ufs.app_ops_per_second:.0f}"),
+        ("ZFS", f"{zfs.app_ops_per_second:.0f}"),
+        ("ZFS/UFS", f"{ratio:.2f}x"),
+    ])
+    assert ratio > 1.1

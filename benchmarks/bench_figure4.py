@@ -1,0 +1,47 @@
+"""Figure 4 — DBT-2 (TPC-C) on PostgreSQL / Linux ext3.
+
+Paper shape: almost exclusively 8 KB I/O; write seeks mostly random
+with bursts of locality (20% within 500 sectors, 33% within 5000);
+writes pinned near 32 outstanding; I/O rate varying over minutes.
+"""
+
+import pytest
+
+from conftest import print_panel, print_series
+from repro.experiments.figure4 import run_figure4
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure4_dbt2_postgresql_ext3(benchmark):
+    result = benchmark.pedantic(
+        run_figure4,
+        kwargs={"duration_s": 120.0, "warehouses": 50, "connections": 30},
+        rounds=1,
+        iterations=1,
+    )
+    print_panel("Figure 4(a) Seek Distance (Writes)",
+                result.seek_distance_writes)
+    print_panel("Figure 4(b) I/O Length Histogram", result.io_length)
+    print_panel("Figure 4(c) Outstanding I/Os (Reads)",
+                result.outstanding_reads)
+    print_panel("Figure 4(c) Outstanding I/Os (Writes)",
+                result.outstanding_writes)
+    print("\n--- Figure 4(d) Outstanding I/Os over time (slot counts) ---")
+    print("  " + " ".join(
+        str(count) for count in result.outstanding_over_time.slot_counts()
+    ))
+    print_series("Figure 4 summary", [
+        ("transactions/minute", f"{result.transactions_per_minute:.0f}"),
+        ("8 KB fraction", f"{result.eight_k_fraction:.1%}"),
+        ("writes within 500 sectors", f"{result.writes_within_500:.0%}"),
+        ("writes within 5000 sectors", f"{result.writes_within_5000:.0%}"),
+        ("modal write outstanding", result.modal_write_outstanding),
+        ("I/O rate variation", f"{result.rate_variation:.0%}"),
+    ])
+
+    # Paper shape assertions.
+    assert result.eight_k_fraction > 0.9
+    assert 0.05 < result.writes_within_500 < 0.6        # paper: 20%
+    assert result.writes_within_5000 > result.writes_within_500  # 33%
+    assert result.modal_write_outstanding in ("28", "32", "64")
+    assert result.rate_variation > 0.02                 # paper: ~15%

@@ -1,0 +1,51 @@
+"""Figure 5 — large file copy: Windows XP (64 KB) vs Vista (1 MB).
+
+Paper shape: Vista's I/Os are 16x larger, fewer, very sequential, and
+individually slower.
+"""
+
+import pytest
+
+from conftest import print_panel, print_series
+from repro.experiments.figure5 import run_figure5
+
+GIB = 1024**3
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure5_file_copy_xp_vs_vista(benchmark):
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs={"duration_s": 10.0, "file_bytes": 4 * GIB},
+        rounds=1,
+        iterations=1,
+    )
+    print_panel("Figure 5(a) Latency (XP Pro)", result.xp.latency)
+    print_panel("Figure 5(a) Latency (Vista Enterprise)",
+                result.vista.latency)
+    print_panel("Figure 5(b) I/O Length (XP Pro)", result.xp.io_length)
+    print_panel("Figure 5(b) I/O Length (Vista Enterprise)",
+                result.vista.io_length)
+    print_panel("Figure 5(c) Seek Distance (XP Pro)",
+                result.xp.seek_distance)
+    print_panel("Figure 5(c) Seek Distance (Vista Enterprise)",
+                result.vista.seek_distance)
+    print_series("Figure 5 summary", [
+        ("XP commands (10 s)", result.xp.commands),
+        ("Vista commands (10 s)", result.vista.commands),
+        ("XP dominant size", result.xp.dominant_size_label),
+        ("Vista dominant size", result.vista.dominant_size_label),
+        ("Vista/XP mean size", f"{result.vista_to_xp_size_ratio:.1f}x"),
+        ("XP median latency bin (us)", result.xp.median_latency_bin_us),
+        ("Vista median latency bin (us)",
+         result.vista.median_latency_bin_us),
+    ])
+
+    # Paper shape assertions.
+    assert result.xp.dominant_size_label == "65536"       # 64 KB
+    assert result.vista.dominant_size_label == ">524288"  # 1 MB
+    assert 10 < result.vista_to_xp_size_ratio < 20        # ~16x
+    assert result.vista_fewer_commands
+    assert result.vista_higher_latency
+    assert result.xp.sequential > 0.8
+    assert result.vista.sequential > 0.8

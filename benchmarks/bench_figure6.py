@@ -1,0 +1,92 @@
+"""Figure 6 — multi-VM interference on the CLARiiON CX3, cache off.
+
+Paper shape: the sequential reader suffers ~40x latency / −90% IOps
+from the interference; the random reader ~1.6x / −38%; the same pair
+on the Symmetrix shows no large change (§5.3).
+"""
+
+import pytest
+
+from conftest import print_panel, print_series
+from repro.experiments.figure6 import (
+    run_figure6,
+    run_sequential_over_time,
+    run_symmetrix_control,
+)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure6_interference_cx3_no_cache(benchmark):
+    result = benchmark.pedantic(
+        run_figure6, kwargs={"duration_s": 8.0}, rounds=1, iterations=1
+    )
+    print_panel("Figure 6(a) 8K Random Reader latency (solo)",
+                result.random_solo.latency)
+    print_panel("Figure 6(a) 8K Random Reader latency (dual)",
+                result.random_dual.latency)
+    print_panel("Figure 6(b) 8K Sequential Reader latency (solo)",
+                result.sequential_solo.latency)
+    print_panel("Figure 6(b) 8K Sequential Reader latency (dual)",
+                result.sequential_dual.latency)
+    print_series("Figure 6 summary", [
+        ("sequential latency increase",
+         f"{result.sequential_latency_factor:.0f}x (paper: 40x)"),
+        ("sequential IOps drop",
+         f"{result.sequential_iops_drop:.0%} (paper: 90%)"),
+        ("random latency increase",
+         f"{result.random_latency_factor:.1f}x (paper: 1.6x)"),
+        ("random IOps drop",
+         f"{result.random_iops_drop:.0%} (paper: 38%)"),
+        ("solo seq in (100us,500us]",
+         f"{result.sequential_solo.latency.fraction_in(100, 500):.0%} "
+         "(paper: 94%)"),
+        ("solo random in (5ms,15ms]",
+         f"{result.random_solo.latency.fraction_in(5000, 15000):.0%} "
+         "(paper: 82%)"),
+    ])
+
+    assert result.sequential_latency_factor > 10
+    assert result.sequential_iops_drop > 0.7
+    assert 1.0 < result.random_latency_factor < 3.0
+    assert result.random_iops_drop < result.sequential_iops_drop
+    assert result.sequential_solo.latency.fraction_in(100, 500) > 0.6
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure6c_latency_over_time(benchmark):
+    series = benchmark.pedantic(
+        run_sequential_over_time,
+        kwargs={"total_s": 60.0, "disturb_start_s": 18.0,
+                "disturb_end_s": 42.0},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n--- Figure 6(c) sequential reader latency over time ---")
+    labels = series.scheme.labels()
+    for index, hist in enumerate(series.slots()):
+        modal = labels[hist.mode_bin()] if hist.count else "-"
+        print(f"  S{index + 1:<3d} commands={hist.count:<8d} "
+              f"modal latency bin={modal} us")
+
+    quiet = series.slot(1)
+    disturbed = series.slot(5)  # inside the interference phase
+    assert quiet.count > 5 * disturbed.count       # throughput collapse
+    assert disturbed.percentile_upper_bound(0.5) > quiet.percentile_upper_bound(0.5)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure6_symmetrix_control(benchmark):
+    """§5.3: on the Symmetrix 'we didn't notice any large change in
+    latency for either workload'."""
+    result = benchmark.pedantic(
+        run_symmetrix_control, kwargs={"duration_s": 8.0},
+        rounds=1, iterations=1,
+    )
+    print_series("Symmetrix control", [
+        ("sequential latency increase",
+         f"{result.sequential_latency_factor:.2f}x"),
+        ("random latency increase",
+         f"{result.random_latency_factor:.2f}x"),
+    ])
+    assert result.sequential_latency_factor < 3.0
+    assert result.random_latency_factor < 3.0

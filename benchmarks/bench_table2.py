@@ -1,0 +1,85 @@
+"""Table 2 — overhead of the online histogram service.
+
+Two measurements, matching the paper's two claims:
+
+* The simulated micro-benchmark (Iometer 4 KB sequential read) run
+  with the service disabled and enabled: simulated IOps/MBps/latency
+  are identical (observation does not perturb the simulation), and the
+  real host-CPU cost per command is reported for both states.
+* The raw per-command cost of the hot path, measured directly by
+  pytest-benchmark: the disabled hook, the enabled full insertion, and
+  the plain histogram insert.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.core.collector import VscsiStatsCollector
+from repro.core.histogram import Histogram
+from repro.core.bins import IO_LENGTH_BINS
+from repro.core.service import HistogramService
+from repro.experiments.table2 import render_table2, run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_microbenchmark(benchmark):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"duration_s": 4.0, "repetitions": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table2(result))
+    # The service must not perturb the simulated workload at all, and
+    # the real per-command CPU cost it adds must stay small in
+    # absolute terms (the paper's: 0.0424 vs 0.0417 used-sec/IOps).
+    assert result.iops_change == pytest.approx(0.0)
+    assert result.cpu_overhead_us_per_command < 50.0
+
+
+@pytest.mark.benchmark(group="table2-hotpath")
+def test_hook_cost_service_disabled(benchmark):
+    """§5.2: the disabled path is one predicate — effectively free."""
+    service = HistogramService()  # disabled
+
+    def hook():
+        service.record_issue("vm", "d", 0, True, 0, 8, 0)
+
+    benchmark(hook)
+
+
+@pytest.mark.benchmark(group="table2-hotpath")
+def test_hook_cost_service_enabled(benchmark):
+    """The full §3 metric set per command arrival."""
+    service = HistogramService()
+    service.enable()
+    state = {"time": 0, "lba": 0}
+
+    def hook():
+        service.record_issue(
+            "vm", "d", state["time"], True, state["lba"], 16, 3
+        )
+        state["time"] += 1_000_000
+        state["lba"] = (state["lba"] + 16) % (1 << 24)
+
+    benchmark(hook)
+
+
+@pytest.mark.benchmark(group="table2-hotpath")
+def test_collector_on_issue_cost(benchmark):
+    collector = VscsiStatsCollector()
+    state = {"time": 0, "lba": 0}
+
+    def issue():
+        collector.on_issue(state["time"], True, state["lba"], 16, 3)
+        state["time"] += 1_000_000
+        state["lba"] = (state["lba"] + 16) % (1 << 24)
+
+    benchmark(issue)
+
+
+@pytest.mark.benchmark(group="table2-hotpath")
+def test_single_histogram_insert_cost(benchmark):
+    hist = Histogram(IO_LENGTH_BINS)
+    benchmark(hist.insert, 8192)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Automatic categorization and recommendations — the paper's §7
+future work, running.
+
+Three differently-shaped workloads run against the same host; for each
+one the recommendation engine classifies it and emits the findings an
+administrator would act on: reverse-scan warnings, stream-splitting
+advice, stripe sizing, write-cache health, queue-depth tuning.
+
+Run:  python examples/auto_recommendations.py
+"""
+
+from repro.analysis import categorize, recommend
+from repro.experiments.setups import reference_testbed
+from repro.scsi.request import ScsiRequest
+from repro.sim.engine import seconds, us
+from repro.workloads import AccessSpec, IometerWorkload
+
+GIB = 1024**3
+
+
+def run_iometer(spec, duration_s=5.0, array_kind="cx3"):
+    bed = reference_testbed(array_kind, seed=9)
+    vm = bed.esx.create_vm("vm")
+    device = bed.esx.create_vdisk(vm, "d", bed.array, 4 * GIB)
+    bed.esx.stats.enable()
+    IometerWorkload(bed.engine, device, spec,
+                    rng=bed.esx.random.stream("w")).start()
+    bed.engine.run(until=seconds(duration_s))
+    return bed.esx.collector_for("vm", "d")
+
+
+def run_interleaved_streams(nstreams=4, commands=3000):
+    """Several sequential streams multiplexed onto one virtual disk."""
+    bed = reference_testbed("cx3", seed=9)
+    vm = bed.esx.create_vm("vm")
+    device = bed.esx.create_vdisk(vm, "d", bed.array, 4 * GIB)
+    bed.esx.stats.enable()
+    cursors = [index * (GIB // 512) for index in range(nstreams)]
+    state = {"issued": 0}
+
+    def issue_next(_request=None):
+        if state["issued"] >= commands:
+            return
+        stream = state["issued"] % nstreams
+        request = ScsiRequest(True, cursors[stream], 128)
+        cursors[stream] += 128
+        state["issued"] += 1
+        request.on_complete(issue_next)
+        device.issue(request)
+
+    for _ in range(4):
+        issue_next()
+    bed.engine.run(until=seconds(30))
+    return bed.esx.collector_for("vm", "d")
+
+
+def run_reverse_scan(commands=2000):
+    bed = reference_testbed("cx3", seed=9)
+    vm = bed.esx.create_vm("vm")
+    device = bed.esx.create_vdisk(vm, "d", bed.array, 4 * GIB)
+    bed.esx.stats.enable()
+    position = {"lba": 4 * GIB // 512 - 128}
+    state = {"issued": 0}
+
+    def issue_next(_request=None):
+        if state["issued"] >= commands or position["lba"] < 128:
+            return
+        request = ScsiRequest(True, position["lba"], 64)
+        position["lba"] -= 64
+        state["issued"] += 1
+        request.on_complete(issue_next)
+        device.issue(request)
+
+    issue_next()
+    bed.engine.run(until=seconds(60))
+    return bed.esx.collector_for("vm", "d")
+
+
+def report(title, collector) -> None:
+    print(f"\n=== {title} ===")
+    print(f"class: {categorize(collector).value}")
+    findings = recommend(collector)
+    if not findings:
+        print("no findings — nothing to tune")
+    for finding in findings:
+        print(f"  [{finding.severity:<4}] {finding.rule}: {finding.message}")
+
+
+def main() -> None:
+    oltp_spec = AccessSpec("oltp-ish", io_bytes=8192, read_fraction=0.7,
+                           random_fraction=1.0, outstanding=48)
+    report("Random 8 KB, 70% reads, 48 outstanding",
+           run_iometer(oltp_spec, array_kind="cx3_nocache"))
+    report("Four interleaved sequential streams",
+           run_interleaved_streams())
+    report("Reverse full-disk scan", run_reverse_scan())
+
+
+if __name__ == "__main__":
+    main()

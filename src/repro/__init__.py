@@ -1,0 +1,75 @@
+"""repro — a full reproduction of *"Easy and Efficient Disk I/O
+Workload Characterization in VMware ESX Server"* (Ahmad, IISWC 2007).
+
+The paper's contribution — online per-virtual-disk histograms at the
+vSCSI layer plus a command tracing framework (the system that shipped
+as ``vscsiStats``) — lives in :mod:`repro.core`.  Everything the
+evaluation needs is built as simulated substrates:
+
+* :mod:`repro.sim` — deterministic discrete-event engine,
+* :mod:`repro.scsi` — the SCSI block-command protocol,
+* :mod:`repro.hypervisor` — the ESX-like host and vSCSI emulation,
+* :mod:`repro.storage` — spindles, RAID, caches, testbed arrays,
+* :mod:`repro.guest` — guest OS block layer and UFS/ZFS/ext3/NTFS,
+* :mod:`repro.workloads` — Iometer, mini-Filebench, PostgreSQL/DBT-2,
+  file copy,
+* :mod:`repro.analysis` — characterization, baselines, trace
+  post-processing,
+* :mod:`repro.experiments` — one runner per paper figure/table.
+
+Quickstart::
+
+    from repro import Engine, EsxServer, clariion_cx3, ScsiRequest
+
+    engine = Engine()
+    esx = EsxServer(engine)
+    array = esx.add_array(clariion_cx3(engine))
+    vm = esx.create_vm("vm1")
+    disk = esx.create_vdisk(vm, "scsi0:0", array, 6 * 1024**3)
+    esx.stats.enable()
+    # ... issue I/O, run the engine, read esx.collector_for(...)
+"""
+
+from .analysis import characterize, describe, fingerprint
+from .core import (
+    Histogram,
+    HistogramService,
+    TimeSeriesHistogram,
+    TraceRecord,
+    VscsiStatsCollector,
+    render_collector,
+    render_histogram,
+)
+from .hypervisor import EsxServer, VirtualDisk, VirtualMachine, VScsiDevice
+from .scsi import ScsiRequest
+from .sim import Engine, RandomSource, ms, seconds, us
+from .storage import StorageArray, clariion_cx3, symmetrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "characterize",
+    "describe",
+    "fingerprint",
+    "Histogram",
+    "HistogramService",
+    "TimeSeriesHistogram",
+    "TraceRecord",
+    "VscsiStatsCollector",
+    "render_collector",
+    "render_histogram",
+    "EsxServer",
+    "VirtualDisk",
+    "VirtualMachine",
+    "VScsiDevice",
+    "ScsiRequest",
+    "Engine",
+    "RandomSource",
+    "ms",
+    "seconds",
+    "us",
+    "StorageArray",
+    "clariion_cx3",
+    "symmetrix",
+    "__version__",
+]

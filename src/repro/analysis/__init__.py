@@ -1,0 +1,65 @@
+"""Post-processing, characterization, and the paper's baselines."""
+
+from .characterize import (
+    WorkloadProfile,
+    characterize,
+    describe,
+    interleaved_stream_signal,
+    random_fraction,
+    reverse_fraction,
+    sequential_fraction,
+)
+from .compare import (
+    MetricComparison,
+    compare_collectors,
+    mode_shift,
+    render_comparison,
+    total_variation_distance,
+)
+from .fingerprint import Fingerprint, fingerprint
+from .offline import (
+    exact_percentile,
+    histogram_space_bytes,
+    latency_percentiles,
+    reuse_distances,
+    seek_latency_correlation,
+    trace_space_bytes,
+)
+from .rebin import power_of_two_scheme, rebin
+from .recommend import (
+    Recommendation,
+    WorkloadClass,
+    categorize,
+    recommend,
+)
+from .summary import workload_report
+
+__all__ = [
+    "WorkloadProfile",
+    "characterize",
+    "describe",
+    "interleaved_stream_signal",
+    "random_fraction",
+    "reverse_fraction",
+    "sequential_fraction",
+    "MetricComparison",
+    "compare_collectors",
+    "mode_shift",
+    "render_comparison",
+    "total_variation_distance",
+    "Fingerprint",
+    "fingerprint",
+    "exact_percentile",
+    "histogram_space_bytes",
+    "latency_percentiles",
+    "reuse_distances",
+    "seek_latency_correlation",
+    "trace_space_bytes",
+    "power_of_two_scheme",
+    "rebin",
+    "Recommendation",
+    "WorkloadClass",
+    "categorize",
+    "recommend",
+    "workload_report",
+]

@@ -1,0 +1,192 @@
+"""Derive workload properties from a collector — what an administrator
+reads off the histograms.
+
+§4 walks through exactly these judgements: "the OLTP workload is quite
+random (spikes at the right and left edges of graph)", "a large
+proportion of the writes are sequential", "the workload is almost
+exclusively 8K", "PostgreSQL is always issuing around 32 writes
+simultaneously".  This module turns those readings into functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.collector import VscsiStatsCollector
+from ..core.histogram import Histogram
+
+__all__ = [
+    "sequential_fraction",
+    "random_fraction",
+    "reverse_fraction",
+    "interleaved_stream_signal",
+    "WorkloadProfile",
+    "characterize",
+    "describe",
+]
+
+#: Seek distances in (0, 2] sectors — the bin that holds distance 1,
+#: i.e. back-to-back contiguous commands (§3.1: "sequential I/Os will
+#: result in a histogram whose peak is centered around 1").
+_SEQUENTIAL_LOW, _SEQUENTIAL_HIGH = 0, 2
+#: |distance| > 50 000 sectors — the spikes at the edges of the
+#: paper's seek graphs that mark a random workload.
+_RANDOM_THRESHOLD = 50_000
+
+
+def sequential_fraction(seek: Histogram) -> float:
+    """Fraction of commands that continued the previous command."""
+    return seek.fraction_in(_SEQUENTIAL_LOW, _SEQUENTIAL_HIGH)
+
+
+def random_fraction(seek: Histogram) -> float:
+    """Fraction of commands that seeked beyond +/-50k sectors."""
+    if not seek.count:
+        return 0.0
+    edge = 0
+    for index, count in enumerate(seek.counts):
+        if not count:
+            continue
+        low, high = seek.scheme.bounds(index)
+        if high <= -_RANDOM_THRESHOLD or low >= _RANDOM_THRESHOLD:
+            edge += count
+    return edge / seek.count
+
+
+def reverse_fraction(seek: Histogram) -> float:
+    """Fraction of strictly negative seeks — reverse-scan detection,
+    which §3.1 calls "really important" since reverse scans are slow."""
+    if not seek.count:
+        return 0.0
+    negative = 0
+    for index, count in enumerate(seek.counts):
+        if not count:
+            continue
+        _low, high = seek.scheme.bounds(index)
+        if high <= 0:
+            negative += count
+    return negative / seek.count
+
+
+def interleaved_stream_signal(collector: VscsiStatsCollector) -> float:
+    """How much sequentiality the look-behind window recovers (§3.1).
+
+    Returns ``windowed_sequential - plain_sequential``: near zero for
+    a single stream or pure randomness; strongly positive when
+    multiple sequential streams are interleaved (the plain histogram
+    sees inter-stream jumps, the min-of-last-N histogram sees each
+    stream's continuity).
+    """
+    plain = sequential_fraction(collector.seek_distance.all)
+    windowed = sequential_fraction(collector.seek_distance_windowed.all)
+    return windowed - plain
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Scalar summary of a characterized workload."""
+
+    commands: int
+    read_fraction: float
+    dominant_io_size: str
+    dominant_io_size_reads: Optional[str]
+    dominant_io_size_writes: Optional[str]
+    sequential: float
+    sequential_reads: float
+    sequential_writes: float
+    random: float
+    reverse: float
+    interleaved_signal: float
+    typical_outstanding: str
+    typical_outstanding_writes: Optional[str]
+    typical_latency_us: str
+    typical_interarrival_us: str
+    burstiness: float  # fraction of interarrivals <= 100 us
+
+
+def characterize(collector: VscsiStatsCollector) -> WorkloadProfile:
+    """Summarize a collector into a :class:`WorkloadProfile`."""
+    if not collector.commands:
+        raise ValueError("collector has observed no commands")
+    io = collector.io_length
+    seek = collector.seek_distance
+    return WorkloadProfile(
+        commands=collector.commands,
+        read_fraction=collector.read_fraction,
+        dominant_io_size=io.all.mode_label(),
+        dominant_io_size_reads=(
+            io.reads.mode_label() if io.reads.count else None
+        ),
+        dominant_io_size_writes=(
+            io.writes.mode_label() if io.writes.count else None
+        ),
+        sequential=sequential_fraction(seek.all),
+        sequential_reads=sequential_fraction(seek.reads),
+        sequential_writes=sequential_fraction(seek.writes),
+        random=random_fraction(seek.all),
+        reverse=reverse_fraction(seek.all),
+        interleaved_signal=interleaved_stream_signal(collector),
+        typical_outstanding=collector.outstanding.all.mode_label(),
+        typical_outstanding_writes=(
+            collector.outstanding.writes.mode_label()
+            if collector.outstanding.writes.count
+            else None
+        ),
+        typical_latency_us=(
+            collector.latency_us.all.mode_label()
+            if collector.latency_us.all.count
+            else "n/a"
+        ),
+        typical_interarrival_us=(
+            collector.interarrival_us.all.mode_label()
+            if collector.interarrival_us.all.count
+            else "n/a"
+        ),
+        burstiness=collector.interarrival_us.all.fraction_in(
+            float("-inf"), 100
+        ),
+    )
+
+
+def describe(profile: WorkloadProfile) -> str:
+    """Render a profile the way an administrator would state it."""
+    lines = [
+        f"{profile.commands} commands, "
+        f"{profile.read_fraction:.0%} reads / "
+        f"{1 - profile.read_fraction:.0%} writes",
+        f"dominant I/O size: {profile.dominant_io_size} bytes"
+        + (
+            f" (reads: {profile.dominant_io_size_reads}, "
+            f"writes: {profile.dominant_io_size_writes})"
+            if profile.dominant_io_size_reads
+            and profile.dominant_io_size_writes
+            else ""
+        ),
+        f"sequential: {profile.sequential:.0%} overall "
+        f"(reads {profile.sequential_reads:.0%}, "
+        f"writes {profile.sequential_writes:.0%}); "
+        f"random (edge seeks): {profile.random:.0%}; "
+        f"reverse: {profile.reverse:.0%}",
+        f"typical outstanding I/Os: {profile.typical_outstanding}"
+        + (
+            f" (writes: {profile.typical_outstanding_writes})"
+            if profile.typical_outstanding_writes
+            else ""
+        ),
+        f"typical latency bin: {profile.typical_latency_us} us",
+        f"typical interarrival bin: {profile.typical_interarrival_us} us"
+        + (
+            f" ({profile.burstiness:.0%} of arrivals within 100 us: "
+            "bursty issue pattern)"
+            if profile.burstiness > 0.5
+            else ""
+        ),
+    ]
+    if profile.interleaved_signal > 0.2:
+        lines.append(
+            "look-behind window recovers "
+            f"{profile.interleaved_signal:.0%} sequentiality: "
+            "multiple interleaved sequential streams are likely"
+        )
+    return "\n".join(lines)

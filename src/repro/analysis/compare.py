@@ -1,0 +1,106 @@
+"""Histogram and collector comparison — the UFS-vs-ZFS style analysis.
+
+§4.1 is a *comparison* study: the same workload through two
+filesystems, read off as differences between histogram pairs.  The
+functions here quantify those differences (total-variation distance,
+mode shifts) and render a side-by-side report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.collector import VscsiStatsCollector
+from ..core.histogram import Histogram
+
+__all__ = [
+    "total_variation_distance",
+    "mode_shift",
+    "MetricComparison",
+    "compare_collectors",
+    "render_comparison",
+]
+
+
+def total_variation_distance(a: Histogram, b: Histogram) -> float:
+    """Total-variation distance between two normalized histograms.
+
+    0.0 = identical shapes, 1.0 = disjoint support.  Requires matching
+    bin schemes.
+    """
+    if a.scheme != b.scheme:
+        raise ValueError(
+            f"schemes differ: {a.scheme.name!r} vs {b.scheme.name!r}"
+        )
+    if not a.count or not b.count:
+        raise ValueError("cannot compare an empty histogram")
+    return 0.5 * sum(
+        abs(ca / a.count - cb / b.count)
+        for ca, cb in zip(a.counts, b.counts)
+    )
+
+
+def mode_shift(a: Histogram, b: Histogram) -> Tuple[str, str]:
+    """The two most-populated bin labels — where each peak sits."""
+    return a.mode_label(), b.mode_label()
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's difference between two systems."""
+
+    metric: str
+    distance: float
+    mode_a: str
+    mode_b: str
+
+    @property
+    def changed(self) -> bool:
+        """Heuristic: the workload looks different through this metric."""
+        return self.distance > 0.25 or self.mode_a != self.mode_b
+
+
+def compare_collectors(a: VscsiStatsCollector, b: VscsiStatsCollector,
+                       split: str = "all") -> Dict[str, MetricComparison]:
+    """Compare every shared metric family of two collectors.
+
+    ``split`` selects ``"all"``, ``"reads"`` or ``"writes"`` — §4.1
+    drills into the write-only seek histograms to spot ZFS's
+    sequentialization.
+    """
+    if split not in ("all", "reads", "writes"):
+        raise ValueError(f"split must be all/reads/writes, got {split!r}")
+    results: Dict[str, MetricComparison] = {}
+    for metric, family_a in a.families().items():
+        family_b = b.families()[metric]
+        hist_a: Histogram = getattr(family_a, split)
+        hist_b: Histogram = getattr(family_b, split)
+        if not hist_a.count or not hist_b.count:
+            continue
+        results[metric] = MetricComparison(
+            metric=metric,
+            distance=total_variation_distance(hist_a, hist_b),
+            mode_a=hist_a.mode_label(),
+            mode_b=hist_b.mode_label(),
+        )
+    return results
+
+
+def render_comparison(comparisons: Dict[str, MetricComparison],
+                      label_a: str = "A", label_b: str = "B") -> str:
+    """Text table of a comparison, biggest differences first."""
+    lines: List[str] = []
+    lines.append(
+        f"{'metric':<24} {'TV-dist':>8}  {label_a + ' mode':>14}  "
+        f"{label_b + ' mode':>14}"
+    )
+    for comparison in sorted(
+        comparisons.values(), key=lambda c: c.distance, reverse=True
+    ):
+        marker = " *" if comparison.changed else ""
+        lines.append(
+            f"{comparison.metric:<24} {comparison.distance:>8.3f}  "
+            f"{comparison.mode_a:>14}  {comparison.mode_b:>14}{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Scalar workload fingerprint — the Moilanen [13] baseline.
+
+§6 contrasts the paper against Moilanen's genetic-library work, which
+"tracks read/write ratios, average size and infers an average seek
+distance" as single numbers.  The fingerprint is implemented here both
+as a usable summary *and* as the baseline the histograms beat: the
+test suite constructs bimodal workloads whose fingerprints are
+identical while their histograms differ — the paper's §3 argument
+that "multimodal behaviors are easily identified by plotting histogram
+data but are obfuscated by a mean".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.collector import VscsiStatsCollector
+
+__all__ = ["Fingerprint", "fingerprint"]
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Moilanen-style scalar summary of a workload."""
+
+    read_write_ratio: float      # reads / writes (inf-safe: writes==0 -> ratio of reads)
+    mean_io_bytes: float
+    mean_seek_distance: float    # signed mean, sectors
+    mean_outstanding: float
+
+    def close_to(self, other: "Fingerprint", rtol: float = 0.05) -> bool:
+        """Whether two fingerprints are indistinguishable at ``rtol``.
+
+        Used to demonstrate fingerprint collisions: workloads that a
+        scalar summary cannot tell apart.
+        """
+        def close(x: float, y: float) -> bool:
+            scale = max(abs(x), abs(y), 1e-9)
+            return abs(x - y) / scale <= rtol
+
+        return (
+            close(self.read_write_ratio, other.read_write_ratio)
+            and close(self.mean_io_bytes, other.mean_io_bytes)
+            and close(self.mean_seek_distance, other.mean_seek_distance)
+            and close(self.mean_outstanding, other.mean_outstanding)
+        )
+
+
+def fingerprint(collector: VscsiStatsCollector) -> Fingerprint:
+    """Compute the scalar fingerprint of an observed workload."""
+    if not collector.commands:
+        raise ValueError("collector has observed no commands")
+    writes = collector.write_commands
+    ratio = (
+        collector.read_commands / writes
+        if writes
+        else float(collector.read_commands)
+    )
+    return Fingerprint(
+        read_write_ratio=ratio,
+        mean_io_bytes=collector.io_length.all.mean,
+        mean_seek_distance=collector.seek_distance.all.mean,
+        mean_outstanding=collector.outstanding.all.mean,
+    )

@@ -1,0 +1,164 @@
+"""Offline trace analysis — the O(n) baseline and the analyses the
+online service cannot do.
+
+§3 frames the design as a trade: a trace costs O(n) space but allows
+arbitrary post-processing; online histograms cost O(m) but answer only
+the precomputed questions.  §3.6 names the questions that need traces:
+metric correlations (e.g. seek distance vs. latency) and temporal
+locality (reuse distance).  All of those are implemented here over
+:class:`~repro.core.tracing.TraceRecord` streams, alongside the space
+accounting that makes the O(n)-vs-O(m) comparison concrete.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.collector import VscsiStatsCollector
+from ..core.tracing import TraceRecord
+
+__all__ = [
+    "exact_percentile",
+    "latency_percentiles",
+    "seek_latency_correlation",
+    "seek_latency_histogram2d",
+    "reuse_distances",
+    "trace_space_bytes",
+    "histogram_space_bytes",
+]
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """Exact ``q``-quantile (nearest-rank) of a value list."""
+    if not values:
+        raise ValueError("no values")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_percentiles(records: Iterable[TraceRecord],
+                        quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+                        ) -> Dict[float, float]:
+    """Exact latency percentiles in microseconds — something the
+    binned online histogram can only bound, not pinpoint."""
+    latencies = [r.latency_ns / 1_000 for r in records]
+    return {q: exact_percentile(latencies, q) for q in quantiles}
+
+
+def seek_latency_correlation(records: Iterable[TraceRecord]) -> float:
+    """Pearson correlation of |seek distance| with latency (§3.6's
+    example of an analysis "possible ... using SCSI traces").
+
+    Records are taken in issue order; the first command (no previous
+    position) is skipped.  Returns 0.0 when there is no variance.
+    """
+    ordered = sorted(records, key=lambda r: (r.issue_ns, r.serial))
+    seeks: List[float] = []
+    latencies: List[float] = []
+    previous_end: Optional[int] = None
+    for record in ordered:
+        if previous_end is not None:
+            seeks.append(abs(record.lba - previous_end))
+            latencies.append(record.latency_ns)
+        previous_end = record.last_block
+    if len(seeks) < 2:
+        return 0.0
+    n = len(seeks)
+    mean_s = sum(seeks) / n
+    mean_l = sum(latencies) / n
+    cov = sum((s - mean_s) * (l - mean_l) for s, l in zip(seeks, latencies))
+    var_s = sum((s - mean_s) ** 2 for s in seeks)
+    var_l = sum((l - mean_l) ** 2 for l in latencies)
+    if var_s == 0 or var_l == 0:
+        return 0.0
+    return cov / math.sqrt(var_s * var_l)
+
+
+def seek_latency_histogram2d(records: Iterable[TraceRecord]):
+    """Joint (seek-distance x latency) histogram from a trace.
+
+    §3.6: "it might be interesting to correlate seek distance with
+    latency.  Such correlations are possible using online techniques
+    including with the use of 2d histograms.  Our current work only
+    deals with 1d histograms ... Such analysis, for now, requires
+    using SCSI traces."  This is that trace-side analysis: a matrix of
+    counts over the paper's seek-distance bins (rows) and latency bins
+    (columns).
+    """
+    from ..core.bins import LATENCY_US_BINS, SEEK_DISTANCE_BINS
+
+    rows = SEEK_DISTANCE_BINS.num_bins
+    cols = LATENCY_US_BINS.num_bins
+    matrix = [[0] * cols for _ in range(rows)]
+    previous_end: Optional[int] = None
+    for record in sorted(records, key=lambda r: (r.issue_ns, r.serial)):
+        if previous_end is not None:
+            seek = record.lba - previous_end
+            latency_us = record.latency_ns // 1_000
+            matrix[SEEK_DISTANCE_BINS.index_for(seek)][
+                LATENCY_US_BINS.index_for(latency_us)
+            ] += 1
+        previous_end = record.last_block
+    return matrix
+
+
+def reuse_distances(records: Iterable[TraceRecord],
+                    block_granularity: int = 16) -> List[int]:
+    """Temporal locality: per-access reuse distance in distinct blocks.
+
+    §3.6: "online temporal locality estimation is difficult to obtain
+    in constant time and is not implemented" — it needs the trace.
+    Accesses are reduced to ``block_granularity``-sector chunks; for
+    each re-access, the number of *distinct* chunks touched since the
+    previous access to the same chunk is recorded (LRU stack
+    distance).  First-touches are omitted.
+    """
+    ordered = sorted(records, key=lambda r: (r.issue_ns, r.serial))
+    # LRU stack as an ordered dict: chunk -> None, most recent last.
+    stack: Dict[int, None] = {}
+    distances: List[int] = []
+    for record in ordered:
+        first_chunk = record.lba // block_granularity
+        last_chunk = record.last_block // block_granularity
+        for chunk in range(first_chunk, last_chunk + 1):
+            if chunk in stack:
+                # Stack distance = number of distinct chunks above it.
+                depth = 0
+                for other in reversed(stack):
+                    if other == chunk:
+                        break
+                    depth += 1
+                distances.append(depth)
+                del stack[chunk]
+            stack[chunk] = None
+    return distances
+
+
+# ----------------------------------------------------------------------
+# Space accounting: the O(n) vs O(m) argument made concrete
+# ----------------------------------------------------------------------
+#: Bytes per trace record in the binary format (see core.tracing).
+TRACE_RECORD_BYTES = 40
+
+
+def trace_space_bytes(n_commands: int) -> int:
+    """Storage for a binary trace of ``n_commands`` — O(n)."""
+    return 8 + n_commands * TRACE_RECORD_BYTES  # magic + records
+
+
+def histogram_space_bytes(collector: VscsiStatsCollector) -> int:
+    """Storage for the full online histogram set — O(m), independent
+    of command count.  Counted as 8 bytes per bin counter plus the
+    fixed per-collector scalars, matching how the in-kernel service
+    would size its arrays."""
+    bins = sum(
+        family.all.scheme.num_bins * 3  # all / reads / writes
+        for family in collector.families().values()
+    )
+    scalars = 16  # last-block, last-arrival, counters, min/max etc.
+    window = 16   # the look-behind ring
+    return 8 * (bins + scalars + window)

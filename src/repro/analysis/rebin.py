@@ -1,0 +1,104 @@
+"""Bin-compression post-processing.
+
+§4: the collection-time bins are deliberately irregular to preserve
+"special" sizes, because "once inserted into the histogram, we'll
+lose that precise information.  A post-processing script could easily
+compress ranges back into powers of two or some other desired
+scheme."  This module is that script.
+
+Compression is exact when every source bin nests inside one target
+bin (true for compressing the paper's schemes to powers of two); the
+function refuses lossy mappings unless asked to force them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.bins import BinScheme
+from ..core.histogram import Histogram
+
+__all__ = ["power_of_two_scheme", "rebin"]
+
+
+def power_of_two_scheme(source: BinScheme,
+                        name: Optional[str] = None) -> BinScheme:
+    """A power-of-two scheme spanning the same range as ``source``.
+
+    Edges are all powers of two between the smallest and largest
+    positive source edges; negative source edges get mirrored negative
+    powers of two (for the signed seek-distance scheme), and a zero
+    edge is kept if the source has one.
+    """
+    positives = sorted({e for e in source.edges if e > 0})
+    negatives = sorted({e for e in source.edges if e < 0})
+    has_zero = 0 in source.edges
+    edges: List[int] = []
+    if negatives:
+        low = -negatives[0]   # largest magnitude
+        high = -negatives[-1]  # smallest magnitude
+        power = 1
+        while power < high:
+            power *= 2
+        mirror: List[int] = []
+        while power <= low:
+            mirror.append(-power)
+            power *= 2
+        if not mirror or -mirror[-1] < low:
+            mirror.append(-power)
+        edges.extend(sorted(mirror))
+    if has_zero:
+        edges.append(0)
+    if positives:
+        power = 1
+        while power < positives[0]:
+            power *= 2
+        while power < positives[-1]:
+            edges.append(power)
+            power *= 2
+        edges.append(power)
+    return BinScheme(
+        name if name is not None else f"{source.name}_pow2",
+        edges,
+        unit=source.unit,
+    )
+
+
+def rebin(hist: Histogram, target: BinScheme,
+          force: bool = False) -> Histogram:
+    """Re-express a histogram on a coarser scheme, preserving counts.
+
+    Each source bin ``(low, high]`` must nest inside one target bin;
+    otherwise the mapping would be lossy and a :class:`ValueError` is
+    raised (``force=True`` instead assigns by the source bin's upper
+    edge).  The total count is always preserved — a property test
+    asserts it.
+    """
+    result = Histogram(target, name=hist.name)
+    for index, count in enumerate(hist.counts):
+        if not count:
+            continue
+        low, high = hist.scheme.bounds(index)
+        if high == float("inf"):
+            anchor = low  # overflow: classify by its lower edge
+            target_index = (
+                len(target.edges)
+                if anchor >= target.edges[-1]
+                else target.index_for(anchor)
+            )
+        else:
+            target_index = target.index_for(high)
+            if not force:
+                t_low, t_high = target.bounds(target_index)
+                if low < t_low or high > t_high:
+                    raise ValueError(
+                        f"source bin ({low}, {high}] straddles target "
+                        f"bin ({t_low}, {t_high}]; pass force=True to "
+                        "rebin lossily"
+                    )
+        result.counts[target_index] += count
+    result.count = hist.count
+    result.total = hist.total
+    result.min = hist.min
+    result.max = hist.max
+    return result

@@ -1,0 +1,199 @@
+"""Automatic workload categorization and recommendations.
+
+The paper's future work (§7): "We plan to investigate automatic
+categorization of workloads and generation of recommendations for
+virtual disk placement and storage subsystem optimization."  This
+module implements that layer on top of the collectors, using only the
+rules the paper itself articulates:
+
+* stripe-size tuning needs the I/O size distribution (§1, [1]);
+* reverse scans "hint at a potential weakness in the application's
+  data layout algorithms" (§3.1);
+* multiple interleaved sequential streams suggest "separat[ing] out
+  sequential streams to different disk groups" (§3.1, §3.6);
+* write latencies far above read latencies "might point to problems
+  with the write-back cache strategy or cache capacity" (§3.4);
+* high outstanding-I/O counts identify async/multi-threaded issuers
+  (§3.3) that benefit from deeper queues.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..core.collector import VscsiStatsCollector
+from .characterize import (
+    interleaved_stream_signal,
+    random_fraction,
+    reverse_fraction,
+    sequential_fraction,
+)
+
+__all__ = ["WorkloadClass", "Recommendation", "categorize", "recommend"]
+
+
+class WorkloadClass(enum.Enum):
+    """Coarse workload taxonomy an administrator reasons in."""
+
+    OLTP = "oltp"                      # small, random, mixed r/w, concurrent
+    STREAMING = "streaming"            # large or sequential, one direction
+    FILE_SERVER = "file-server"        # mixed sizes, mild locality
+    LOG_STRUCTURED = "log-structured"  # sequential writes, random reads
+    IDLE = "idle"                      # too few commands to say
+
+
+#: Minimum commands before categorization is meaningful.
+_MIN_COMMANDS = 100
+
+#: "Small" I/O for classification purposes: <= 16 KB.
+_SMALL_IO_BYTES = 16 * 1024
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One actionable finding."""
+
+    rule: str        # stable identifier, e.g. "split-streams"
+    severity: str    # "info" | "tune" | "warn"
+    message: str
+
+
+def categorize(collector: VscsiStatsCollector) -> WorkloadClass:
+    """Assign a coarse class from the histogram set."""
+    if collector.commands < _MIN_COMMANDS:
+        return WorkloadClass.IDLE
+    seek = collector.seek_distance
+    sequential_all = sequential_fraction(
+        collector.seek_distance_windowed.all
+    )
+    small = collector.io_length.all.fraction_in(
+        float("-inf"), _SMALL_IO_BYTES
+    )
+    reads = collector.read_fraction
+
+    writes_sequential = (
+        sequential_fraction(collector.seek_distance_windowed.writes)
+        if seek.writes.count
+        else 0.0
+    )
+    reads_random = (
+        random_fraction(seek.reads) if seek.reads.count else 0.0
+    )
+    if writes_sequential > 0.7 and reads_random > 0.5 and 0.0 < reads < 1.0:
+        return WorkloadClass.LOG_STRUCTURED
+    if sequential_all > 0.7 or small < 0.3:
+        return WorkloadClass.STREAMING
+    if small > 0.7 and random_fraction(seek.all) > 0.4 and 0.1 < reads < 0.95:
+        return WorkloadClass.OLTP
+    return WorkloadClass.FILE_SERVER
+
+
+def recommend(collector: VscsiStatsCollector) -> List[Recommendation]:
+    """Generate placement/tuning recommendations from the histograms."""
+    findings: List[Recommendation] = []
+    if collector.commands < _MIN_COMMANDS:
+        return findings
+
+    # --- reverse scans (§3.1) -------------------------------------
+    # A uniformly random workload is ~50% negative by symmetry, so the
+    # detector requires a clear backwards *bias*, not just negatives.
+    reverse = reverse_fraction(collector.seek_distance.all)
+    if reverse > 0.65:
+        findings.append(
+            Recommendation(
+                rule="reverse-scans",
+                severity="warn",
+                message=(
+                    f"{reverse:.0%} of commands seek backwards; reverse "
+                    "scans are slow on disks — review the application's "
+                    "data layout."
+                ),
+            )
+        )
+
+    # --- interleaved sequential streams (§3.1/§3.6) ----------------
+    signal = interleaved_stream_signal(collector)
+    if signal > 0.3:
+        findings.append(
+            Recommendation(
+                rule="split-streams",
+                severity="tune",
+                message=(
+                    "multiple interleaved sequential streams detected "
+                    f"(window recovers {signal:.0%} sequentiality); "
+                    "consider splitting the streams onto separate "
+                    "virtual disks / disk groups."
+                ),
+            )
+        )
+
+    # --- stripe sizing from the size distribution ([1]) ------------
+    dominant = collector.io_length.all.mode_label()
+    if not dominant.startswith(">"):
+        dominant_bytes = int(dominant)
+        findings.append(
+            Recommendation(
+                rule="stripe-size",
+                severity="info",
+                message=(
+                    f"dominant request size is {dominant_bytes} bytes; "
+                    "RAID stripe elements should be at least this large "
+                    "to keep one request on one spindle."
+                ),
+            )
+        )
+
+    # --- write-back cache health (§3.4) ----------------------------
+    latency = collector.latency_us
+    if latency.reads.count >= 50 and latency.writes.count >= 50:
+        read_mean = latency.reads.mean
+        write_mean = latency.writes.mean
+        if read_mean > 0 and write_mean > 3.0 * read_mean:
+            findings.append(
+                Recommendation(
+                    rule="write-cache",
+                    severity="warn",
+                    message=(
+                        f"write latency ({write_mean:.0f} us) is "
+                        f"{write_mean / read_mean:.1f}x read latency "
+                        f"({read_mean:.0f} us); check the array's "
+                        "write-back cache strategy and capacity."
+                    ),
+                )
+            )
+
+    # --- concurrency vs queue depth (§3.3) --------------------------
+    outstanding = collector.outstanding.all
+    if outstanding.count:
+        high = 1.0 - outstanding.fraction_in(float("-inf"), 32)
+        if high > 0.25:
+            findings.append(
+                Recommendation(
+                    rule="queue-depth",
+                    severity="tune",
+                    message=(
+                        f"{high:.0%} of arrivals found more than 32 "
+                        "commands outstanding; verify the device queue "
+                        "depth matches the workload's parallelism."
+                    ),
+                )
+            )
+
+    # --- latency tail (§3.5) ----------------------------------------
+    if latency.all.count:
+        tail = 1.0 - latency.all.fraction_in(float("-inf"), 30_000)
+        if tail > 0.10:
+            findings.append(
+                Recommendation(
+                    rule="latency-tail",
+                    severity="warn",
+                    message=(
+                        f"{tail:.0%} of commands exceed 30 ms; the "
+                        "device may be overloaded by external load "
+                        "(check for collocated workloads)."
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,73 @@
+"""One-call workload report: histograms + profile + recommendations.
+
+``workload_report(collector)`` strings together everything an
+administrator would ask of the service — the rendered histograms (the
+paper's figures), the scalar characterization (§4's readings), the
+workload class, and the tuning recommendations (§7) — into a single
+text document.  The CLI's ``demo`` command and downstream tooling use
+it as the default "show me this disk" view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.collector import VscsiStatsCollector
+from ..core.report import render_histogram
+from .characterize import characterize, describe
+from .recommend import categorize, recommend
+
+__all__ = ["workload_report"]
+
+#: The metric panels the report prints, in the paper's figure order.
+_PANELS = (
+    ("I/O Length Histogram", "io_length", "all"),
+    ("Seek Distance Histogram", "seek_distance", "all"),
+    ("Seek Distance Histogram (Writes)", "seek_distance", "writes"),
+    ("Seek Distance Histogram (Reads)", "seek_distance", "reads"),
+    ("Outstanding I/Os Histogram", "outstanding", "all"),
+    ("I/O Latency Histogram (us)", "latency_us", "all"),
+)
+
+
+def workload_report(collector: VscsiStatsCollector,
+                    heading: Optional[str] = None,
+                    panels: bool = True) -> str:
+    """Render the full characterization of one virtual disk.
+
+    ``panels=False`` limits the report to the textual analysis — the
+    form that fits in a terminal scrollback or an alert email.
+    """
+    if not collector.commands:
+        return (heading or "workload report") + "\n  (no commands observed)"
+    sections: List[str] = []
+    if heading:
+        sections.append(heading)
+        sections.append("=" * len(heading))
+
+    sections.append(
+        f"workload class: {categorize(collector).value}"
+    )
+    sections.append("")
+    sections.append(describe(characterize(collector)))
+
+    findings = recommend(collector)
+    sections.append("")
+    if findings:
+        sections.append("recommendations:")
+        for finding in findings:
+            sections.append(
+                f"  [{finding.severity}] {finding.rule}: {finding.message}"
+            )
+    else:
+        sections.append("recommendations: none — nothing to tune")
+
+    if panels:
+        families = collector.families()
+        for title, metric, split in _PANELS:
+            hist = getattr(families[metric], split)
+            if not hist.count:
+                continue
+            sections.append("")
+            sections.append(render_histogram(hist, title=title))
+    return "\n".join(sections)

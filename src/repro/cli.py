@@ -1,0 +1,139 @@
+"""``vscsistats`` — the command-line surface of the reproduction.
+
+Subcommands:
+
+* ``list`` — enumerate the reproducible paper artifacts.
+* ``run <experiment>`` — regenerate one figure/table and print it in
+  the paper's layout (``--quick`` for scaled-down parameters).
+* ``demo`` — the 30-second tour: a small mixed workload, its
+  histograms, and its characterization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.report import render_histogram
+from .experiments.runner import EXPERIMENTS, run_experiment
+from .experiments.table2 import Table2Result, render_table2
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(e.exp_id) for e in EXPERIMENTS)
+    for experiment in EXPERIMENTS:
+        print(f"{experiment.exp_id.ljust(width)}  {experiment.title}")
+    return 0
+
+
+def _print_result(exp_id: str, result: object) -> None:
+    if isinstance(result, Table2Result):
+        print(render_table2(result))
+        return
+    # Figure results: render every histogram attribute they carry.
+    from .core.histogram import Histogram
+
+    for attr in vars(result):
+        value = getattr(result, attr)
+        if isinstance(value, Histogram):
+            print(render_histogram(value, title=f"{exp_id}: {attr}"))
+            print()
+        elif isinstance(value, (int, float, str)) and not attr.startswith("_"):
+            print(f"{exp_id}: {attr} = {value}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, quick=args.quick)
+    _print_result(args.experiment, result)
+    if args.export is not None:
+        _export_result(args.experiment, result, args.export)
+        print(f"\nwrote {args.export}")
+    return 0
+
+
+def _export_result(exp_id: str, result: object, path: str) -> None:
+    """Serialize every histogram/collector the result carries to JSON."""
+    import json
+
+    from .core.collector import VscsiStatsCollector
+    from .core.histogram import Histogram
+    from .core.histogram2d import TimeSeriesHistogram
+
+    payload = {"experiment": exp_id, "fields": {}}
+    for attr, value in vars(result).items():
+        if isinstance(value, Histogram):
+            payload["fields"][attr] = value.to_dict()
+        elif isinstance(value, TimeSeriesHistogram):
+            payload["fields"][attr] = value.to_dict()
+        elif isinstance(value, VscsiStatsCollector):
+            payload["fields"][attr] = value.to_dict()
+        elif isinstance(value, (int, float, str, bool)):
+            payload["fields"][attr] = value
+    with open(path, "w") as fileobj:
+        json.dump(payload, fileobj, indent=2, sort_keys=True)
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from .experiments.setups import reference_testbed
+    from .sim.engine import seconds
+    from .workloads.iometer import AccessSpec, IometerWorkload
+
+    bed = reference_testbed("cx3")
+    vm = bed.esx.create_vm("demo-vm")
+    device = bed.esx.create_vdisk(vm, "scsi0:0", bed.array, 2 * 1024**3)
+    bed.esx.stats.enable()
+    spec = AccessSpec("demo mixed", io_bytes=8192, read_fraction=0.7,
+                      random_fraction=0.6, outstanding=8)
+    IometerWorkload(bed.engine, device, spec).start()
+    bed.engine.run(until=seconds(5))
+    collector = bed.esx.collector_for("demo-vm", "scsi0:0")
+    assert collector is not None
+    print(render_histogram(collector.io_length.all, title="I/O Length"))
+    print()
+    print(render_histogram(collector.seek_distance.all,
+                           title="Seek Distance"))
+    print()
+    print(render_histogram(collector.latency_us.all, title="Latency (us)"))
+    print()
+    from .analysis.summary import workload_report
+
+    print(workload_report(collector, heading="demo-vm/scsi0:0",
+                          panels=False))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vscsistats",
+        description="Reproduction of the IISWC 2007 vSCSI workload "
+        "characterization paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible artifacts")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "experiment", choices=[e.exp_id for e in EXPERIMENTS]
+    )
+    run_parser.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down parameters (seconds instead of minutes)",
+    )
+    run_parser.add_argument(
+        "--export", metavar="FILE", default=None,
+        help="write the result's histograms to FILE as JSON",
+    )
+
+    subparsers.add_parser("demo", help="30-second live demo")
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "demo": _cmd_demo}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

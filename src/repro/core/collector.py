@@ -1,0 +1,271 @@
+"""Per-virtual-disk histogram collector — the paper's §3 service.
+
+One :class:`VscsiStatsCollector` is attached to each (VM, virtual disk)
+pair at the vSCSI emulation layer.  On every command *arrival* it
+records:
+
+* I/O length (bytes),
+* seek distance from the previous command (signed sectors, §3.1),
+* windowed minimum seek distance over the last N commands (§3.1),
+* interarrival time since the previous command (µs, §3.2),
+* outstanding I/Os already in flight on this virtual disk (§3.3);
+
+and on every command *completion*:
+
+* device latency (µs, §3.5).
+
+Every metric is kept three ways: all commands, reads only, writes only
+(§3.4).  All state is O(m) per metric plus the N-entry look-behind
+ring — constant space regardless of how many commands flow by.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .bins import (
+    BinScheme,
+    INTERARRIVAL_US_BINS,
+    IO_LENGTH_BINS,
+    LATENCY_US_BINS,
+    OUTSTANDING_IO_BINS,
+    SEEK_DISTANCE_BINS,
+)
+from .histogram import Histogram
+from .histogram2d import TimeSeriesHistogram
+from .window import DEFAULT_WINDOW_SIZE, LookBehindWindow
+
+__all__ = ["MetricFamily", "VscsiStatsCollector", "DEFAULT_TIME_SLOT_NS"]
+
+#: The paper's time-resolved figures use 6-second intervals.
+DEFAULT_TIME_SLOT_NS = 6_000_000_000
+
+#: Bytes per SCSI logical block (§3: "A logical block is a unit of
+#: space (512 bytes)").
+SECTOR_BYTES = 512
+
+
+class MetricFamily:
+    """One metric kept as three histograms: all / reads / writes (§3.4)."""
+
+    __slots__ = ("all", "reads", "writes")
+
+    def __init__(self, scheme: BinScheme, name: str):
+        self.all = Histogram(scheme, name=name)
+        self.reads = Histogram(scheme, name=f"{name}_reads")
+        self.writes = Histogram(scheme, name=f"{name}_writes")
+
+    def insert(self, value: int, is_read: bool) -> None:
+        self.all.insert(value)
+        if is_read:
+            self.reads.insert(value)
+        else:
+            self.writes.insert(value)
+
+    def reset(self) -> None:
+        self.all.reset()
+        self.reads.reset()
+        self.writes.reset()
+
+    def to_dict(self) -> Dict:
+        return {
+            "all": self.all.to_dict(),
+            "reads": self.reads.to_dict(),
+            "writes": self.writes.to_dict(),
+        }
+
+
+class VscsiStatsCollector:
+    """Online workload characterization state for one virtual disk.
+
+    Parameters
+    ----------
+    window_size:
+        Look-behind depth N for the windowed min-seek histogram
+        (paper default: 16).
+    time_slot_ns:
+        Interval width for the time-resolved histograms (paper figures:
+        6 seconds).  Pass ``0`` to disable time-resolved collection.
+    """
+
+    def __init__(self, window_size: int = DEFAULT_WINDOW_SIZE,
+                 time_slot_ns: int = DEFAULT_TIME_SLOT_NS):
+        # Histogram families (§3.1-3.5).
+        self.io_length = MetricFamily(IO_LENGTH_BINS, "io_length")
+        self.seek_distance = MetricFamily(SEEK_DISTANCE_BINS, "seek_distance")
+        self.seek_distance_windowed = MetricFamily(
+            SEEK_DISTANCE_BINS, "seek_distance_windowed"
+        )
+        self.interarrival_us = MetricFamily(INTERARRIVAL_US_BINS, "interarrival_us")
+        self.outstanding = MetricFamily(OUTSTANDING_IO_BINS, "outstanding")
+        self.latency_us = MetricFamily(LATENCY_US_BINS, "latency_us")
+
+        # Time-resolved variants used by Figures 4(d) and 6(c).
+        self.time_slot_ns = int(time_slot_ns)
+        self.outstanding_over_time: Optional[TimeSeriesHistogram] = None
+        self.latency_over_time: Optional[TimeSeriesHistogram] = None
+        if self.time_slot_ns:
+            self.outstanding_over_time = TimeSeriesHistogram(
+                OUTSTANDING_IO_BINS, self.time_slot_ns, name="outstanding_over_time"
+            )
+            self.latency_over_time = TimeSeriesHistogram(
+                LATENCY_US_BINS, self.time_slot_ns, name="latency_over_time"
+            )
+
+        # The in-memory records the paper describes: a single 64-bit
+        # last-block location, the N-deep ring, and the last arrival
+        # cycle-counter value.
+        self._last_end_block: Optional[int] = None
+        self._window = LookBehindWindow(window_size)
+        self._last_arrival_ns: Optional[int] = None
+
+        # Scalar counters for rate reporting (IOps / MBps, Table 2).
+        self.commands = 0
+        self.read_commands = 0
+        self.write_commands = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.first_arrival_ns: Optional[int] = None
+        self.last_arrival_ns: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks called by the vSCSI layer
+    # ------------------------------------------------------------------
+    def on_issue(self, time_ns: int, is_read: bool, lba: int, nblocks: int,
+                 outstanding_before: int) -> None:
+        """Record a command arrival at the vSCSI layer.
+
+        Parameters mirror exactly what the emulation layer can see:
+        the arrival timestamp, operation direction, starting logical
+        block, transfer length in blocks, and how many commands were
+        already issued-but-not-completed on this virtual disk.
+        """
+        length_bytes = nblocks * SECTOR_BYTES
+        self.io_length.insert(length_bytes, is_read)
+        self.outstanding.insert(outstanding_before, is_read)
+        if self.outstanding_over_time is not None:
+            self.outstanding_over_time.insert(time_ns, outstanding_before)
+
+        # Seek distance: first block of this I/O minus last block of
+        # the previous I/O (signed; §3.1).
+        first_block = lba
+        last_block = lba + nblocks - 1
+        if self._last_end_block is not None:
+            self.seek_distance.insert(first_block - self._last_end_block, is_read)
+        self._last_end_block = last_block
+
+        # Windowed min distance over the last N I/Os (§3.1).
+        windowed = self._window.observe(first_block, last_block)
+        if windowed is not None:
+            self.seek_distance_windowed.insert(windowed, is_read)
+
+        # Interarrival period in microseconds (§3.2).
+        if self._last_arrival_ns is not None:
+            delta_us = (time_ns - self._last_arrival_ns) // 1_000
+            self.interarrival_us.insert(delta_us, is_read)
+        self._last_arrival_ns = time_ns
+
+        # Scalar counters.
+        self.commands += 1
+        if is_read:
+            self.read_commands += 1
+            self.bytes_read += length_bytes
+        else:
+            self.write_commands += 1
+            self.bytes_written += length_bytes
+        if self.first_arrival_ns is None:
+            self.first_arrival_ns = time_ns
+        self.last_arrival_ns = time_ns
+
+    def on_complete(self, time_ns: int, is_read: bool, latency_ns: int) -> None:
+        """Record a command completion (device latency, §3.5)."""
+        latency_us = latency_ns // 1_000
+        self.latency_us.insert(latency_us, is_read)
+        if self.latency_over_time is not None:
+            self.latency_over_time.insert(time_ns, latency_us)
+
+    # ------------------------------------------------------------------
+    # Derived reporting
+    # ------------------------------------------------------------------
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of commands that were reads (§3.4's read/write ratio)."""
+        return self.read_commands / self.commands if self.commands else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def duration_seconds(self) -> float:
+        """Span between the first and last observed arrivals, seconds."""
+        if self.first_arrival_ns is None or self.last_arrival_ns is None:
+            return 0.0
+        return (self.last_arrival_ns - self.first_arrival_ns) / 1e9
+
+    def iops(self) -> float:
+        """Average commands per second over the observed span."""
+        duration = self.duration_seconds()
+        return self.commands / duration if duration > 0 else 0.0
+
+    def mbps(self) -> float:
+        """Average transfer rate in MB/s over the observed span."""
+        duration = self.duration_seconds()
+        return self.total_bytes / (1024 * 1024) / duration if duration > 0 else 0.0
+
+    def families(self) -> Dict[str, MetricFamily]:
+        """All six metric families, keyed by metric name."""
+        return {
+            "io_length": self.io_length,
+            "seek_distance": self.seek_distance,
+            "seek_distance_windowed": self.seek_distance_windowed,
+            "interarrival_us": self.interarrival_us,
+            "outstanding": self.outstanding,
+            "latency_us": self.latency_us,
+        }
+
+    def reset(self) -> None:
+        """Zero everything (the CLI's reset operation)."""
+        for family in self.families().values():
+            family.reset()
+        if self.time_slot_ns:
+            self.outstanding_over_time = TimeSeriesHistogram(
+                OUTSTANDING_IO_BINS, self.time_slot_ns, name="outstanding_over_time"
+            )
+            self.latency_over_time = TimeSeriesHistogram(
+                LATENCY_US_BINS, self.time_slot_ns, name="latency_over_time"
+            )
+        self._last_end_block = None
+        self._window.reset()
+        self._last_arrival_ns = None
+        self.commands = 0
+        self.read_commands = 0
+        self.write_commands = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.first_arrival_ns = None
+        self.last_arrival_ns = None
+
+    def to_dict(self) -> Dict:
+        """Full JSON-exportable snapshot of the collector."""
+        data: Dict = {
+            "commands": self.commands,
+            "read_commands": self.read_commands,
+            "write_commands": self.write_commands,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "families": {
+                name: family.to_dict()
+                for name, family in self.families().items()
+            },
+        }
+        if self.outstanding_over_time is not None:
+            data["outstanding_over_time"] = self.outstanding_over_time.to_dict()
+        if self.latency_over_time is not None:
+            data["latency_over_time"] = self.latency_over_time.to_dict()
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VscsiStatsCollector commands={self.commands} "
+            f"r/w={self.read_commands}/{self.write_commands}>"
+        )

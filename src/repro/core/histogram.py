@@ -1,0 +1,222 @@
+"""The online histogram — the core data structure of the paper.
+
+With ``n`` input commands and ``m`` bins (``m << n``), inserting is
+O(1) per command (a binary search over the fixed edges) and the whole
+structure is O(m) space, versus O(n) space for a trace (§3).  That
+complexity argument is the heart of the paper, so this class keeps the
+hot path to: one bisect, one list increment, and four scalar updates.
+
+Beyond the raw bins the histogram tracks count, sum, min and max so the
+usual scalar statistics (the ones a tool like Moilanen's fingerprint
+would report) fall out for free and can be contrasted with the full
+distribution.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .bins import BinScheme
+
+__all__ = ["Histogram"]
+
+
+class Histogram:
+    """A fixed-bin online histogram over integer-valued observations.
+
+    Parameters
+    ----------
+    scheme:
+        The :class:`BinScheme` defining the bin edges.
+    name:
+        Optional display name (defaults to the scheme's name).
+    """
+
+    __slots__ = ("scheme", "name", "counts", "count", "total", "min", "max")
+
+    def __init__(self, scheme: BinScheme, name: Optional[str] = None):
+        self.scheme = scheme
+        self.name = name if name is not None else scheme.name
+        self.counts: List[int] = [0] * scheme.num_bins
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def insert(self, value: int) -> None:
+        """Record one observation.  O(log m) time, O(1) extra space."""
+        self.counts[bisect_left(self.scheme.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def insert_many(self, values: Iterable[int]) -> None:
+        """Record a batch of observations."""
+        for value in values:
+            self.insert(value)
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all inserted values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def fraction_in(self, low: float, high: float) -> float:
+        """Fraction of observations in bins fully inside ``(low, high]``.
+
+        Because bins are fixed, this answers questions the paper poses
+        like "91% of I/Os had latency in (15ms, 30ms]" — ``low`` and
+        ``high`` should be existing bin edges for an exact answer.
+        """
+        if not self.count:
+            return 0.0
+        hit = 0
+        for index, c in enumerate(self.counts):
+            if not c:
+                continue
+            b_low, b_high = self.scheme.bounds(index)
+            if b_low >= low and b_high <= high:
+                hit += c
+        return hit / self.count
+
+    def mode_bin(self) -> int:
+        """Index of the most populated bin (ties -> lowest index)."""
+        best_index = 0
+        best_count = -1
+        for index, c in enumerate(self.counts):
+            if c > best_count:
+                best_count = c
+                best_index = index
+        return best_index
+
+    def mode_label(self) -> str:
+        """Axis label of the most populated bin."""
+        return self.scheme.labels()[self.mode_bin()]
+
+    def percentile_bin(self, q: float) -> int:
+        """Index of the bin containing the ``q``-quantile (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if not self.count:
+            raise ValueError("empty histogram has no percentiles")
+        threshold = q * self.count
+        cumulative = 0
+        for index, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= threshold:
+                return index
+        return len(self.counts) - 1  # pragma: no cover - unreachable
+
+    def percentile_upper_bound(self, q: float) -> float:
+        """Upper edge of the bin containing the ``q``-quantile."""
+        return self.scheme.bounds(self.percentile_bin(q))[1]
+
+    def nonzero_items(self) -> List[Tuple[str, int]]:
+        """``(label, count)`` for every populated bin, in axis order."""
+        labels = self.scheme.labels()
+        return [
+            (labels[index], c)
+            for index, c in enumerate(self.counts)
+            if c
+        ]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Return a new histogram combining this one and ``other``.
+
+        Both must share a bin scheme.  Merging is how per-interval
+        histograms (the time-resolved figures) roll up to a whole run.
+        """
+        if self.scheme != other.scheme:
+            raise ValueError(
+                f"cannot merge schemes {self.scheme.name!r} and "
+                f"{other.scheme.name!r}"
+            )
+        merged = Histogram(self.scheme, name=self.name)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxs = [m for m in (self.max, other.max) if m is not None]
+        merged.min = min(mins) if mins else None
+        merged.max = max(maxs) if maxs else None
+        return merged
+
+    def reset(self) -> None:
+        """Zero all state (the service's stats-reset operation)."""
+        self.counts = [0] * self.scheme.num_bins
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def copy(self) -> "Histogram":
+        """Independent deep copy (snapshots for interval reporting)."""
+        dup = Histogram(self.scheme, name=self.name)
+        dup.counts = list(self.counts)
+        dup.count = self.count
+        dup.total = self.total
+        dup.min = self.min
+        dup.max = self.max
+        return dup
+
+    # ------------------------------------------------------------------
+    # Serialization (the tool's export format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain-dict form for JSON export."""
+        return {
+            "name": self.name,
+            "scheme": self.scheme.name,
+            "edges": list(self.scheme.edges),
+            "unit": self.scheme.unit,
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        scheme = BinScheme(data["scheme"], data["edges"], data.get("unit", ""))
+        hist = cls(scheme, name=data.get("name"))
+        counts = list(data["counts"])
+        if len(counts) != scheme.num_bins:
+            raise ValueError(
+                f"counts length {len(counts)} does not match scheme "
+                f"with {scheme.num_bins} bins"
+            )
+        hist.counts = counts
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Histogram)
+            and self.scheme == other.scheme
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name!r} n={self.count} mean={self.mean:.1f}>"

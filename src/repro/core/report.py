@@ -1,0 +1,95 @@
+"""Text rendering of histograms in the paper's figure layout.
+
+The paper presents each metric as a bar chart over the irregular bin
+labels.  In a terminal we render the same thing as a horizontal
+ASCII bar chart plus the scalar summary line, which is how the real
+``vscsiStats`` output reads as well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .collector import VscsiStatsCollector
+from .histogram import Histogram
+from .histogram2d import TimeSeriesHistogram
+
+__all__ = ["render_histogram", "render_timeseries", "render_collector"]
+
+_BAR_WIDTH = 48
+
+
+def render_histogram(hist: Histogram, title: Optional[str] = None,
+                     bar_width: int = _BAR_WIDTH) -> str:
+    """Render one histogram as an ASCII bar chart.
+
+    >>> from repro.core.bins import OUTSTANDING_IO_BINS
+    >>> h = Histogram(OUTSTANDING_IO_BINS)
+    >>> h.insert(1); h.insert(1); h.insert(32)
+    >>> print(render_histogram(h, title="demo"))    # doctest: +ELLIPSIS
+    demo...
+    """
+    lines: List[str] = []
+    lines.append(title if title is not None else hist.name)
+    lines.append(
+        f"  count={hist.count}  mean={hist.mean:.1f}"
+        + (f"  min={hist.min}  max={hist.max}" if hist.count else "")
+        + (f"  [{hist.scheme.unit}]" if hist.scheme.unit else "")
+    )
+    peak = max(hist.counts) if hist.count else 0
+    labels = hist.scheme.labels()
+    label_width = max(len(label) for label in labels)
+    for label, count in zip(labels, hist.counts):
+        bar = "#" * (round(count / peak * bar_width) if peak else 0)
+        lines.append(f"  {label.rjust(label_width)} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def render_timeseries(series: TimeSeriesHistogram, title: Optional[str] = None,
+                      max_cell_width: int = 6) -> str:
+    """Render a time-resolved histogram as a slot x bin count table."""
+    lines: List[str] = []
+    lines.append(title if title is not None else series.name)
+    labels = series.scheme.labels()
+    widths = [max(len(label), 3) for label in labels]
+    header = "  slot | " + " ".join(
+        label.rjust(width) for label, width in zip(labels, widths)
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for slot_index, hist in enumerate(series.slots()):
+        cells = " ".join(
+            str(count).rjust(width) for count, width in zip(hist.counts, widths)
+        )
+        lines.append(f"  S{slot_index + 1:<4d}| {cells}")
+    return "\n".join(lines)
+
+
+def render_collector(collector: VscsiStatsCollector, heading: str = "",
+                     include_time_series: bool = False) -> str:
+    """Render every family of a collector — one "figure" per metric."""
+    sections: List[str] = []
+    if heading:
+        sections.append(heading)
+        sections.append("=" * len(heading))
+    sections.append(
+        f"commands={collector.commands}  reads={collector.read_commands}  "
+        f"writes={collector.write_commands}  "
+        f"read_fraction={collector.read_fraction:.2f}  "
+        f"IOps={collector.iops():.0f}  MBps={collector.mbps():.2f}"
+    )
+    for name, family in collector.families().items():
+        sections.append("")
+        sections.append(render_histogram(family.all, title=f"{name} (all)"))
+        if family.reads.count:
+            sections.append(render_histogram(family.reads, title=f"{name} (reads)"))
+        if family.writes.count:
+            sections.append(render_histogram(family.writes, title=f"{name} (writes)"))
+    if include_time_series:
+        if collector.outstanding_over_time is not None:
+            sections.append("")
+            sections.append(render_timeseries(collector.outstanding_over_time))
+        if collector.latency_over_time is not None:
+            sections.append("")
+            sections.append(render_timeseries(collector.latency_over_time))
+    return "\n".join(sections)

@@ -1,0 +1,81 @@
+"""Look-behind window for the windowed minimum seek distance (§3.1).
+
+A single previous-I/O record mis-measures workloads with *multiple
+interleaved sequential streams*: the seek distance oscillates between
+the streams and the histogram peak drifts away from 1.  The paper's
+fix is a circular array of the last ``N`` I/O end positions (``N = 16``
+by default); on each new command the inserted value is the distance to
+the *closest* of those N positions (minimum by absolute value, sign
+preserved).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["LookBehindWindow", "DEFAULT_WINDOW_SIZE"]
+
+#: The paper's default look-behind depth.
+DEFAULT_WINDOW_SIZE = 16
+
+
+class LookBehindWindow:
+    """Circular record of the last-block positions of the last N I/Os.
+
+    ``observe(first_block, last_block)`` returns the signed distance
+    from ``first_block`` to the nearest remembered last-block (or
+    ``None`` for the very first I/O) and then records ``last_block``.
+    The linear scan over N entries is exactly the paper's algorithm —
+    N is a small constant, so the per-command cost remains O(1).
+    """
+
+    __slots__ = ("size", "_ring", "_next", "_filled")
+
+    def __init__(self, size: int = DEFAULT_WINDOW_SIZE):
+        if size < 1:
+            raise ValueError(f"window size must be >= 1, got {size}")
+        self.size = size
+        self._ring: List[int] = [0] * size
+        self._next = 0
+        self._filled = 0
+
+    @property
+    def filled(self) -> int:
+        """Number of valid entries currently remembered (<= size)."""
+        return self._filled
+
+    def observe(self, first_block: int, last_block: int) -> Optional[int]:
+        """Measure min-distance to the window, then push ``last_block``."""
+        distance = self.min_distance(first_block)
+        self._ring[self._next] = last_block
+        self._next = (self._next + 1) % self.size
+        if self._filled < self.size:
+            self._filled += 1
+        return distance
+
+    def min_distance(self, first_block: int) -> Optional[int]:
+        """Signed distance to the nearest remembered position.
+
+        Minimum is by absolute value; the sign of the winning distance
+        is preserved so reverse-scan detection still works.  Returns
+        ``None`` when the window is empty.
+        """
+        if not self._filled:
+            return None
+        best: Optional[int] = None
+        best_abs = 0
+        for index in range(self._filled):
+            d = first_block - self._ring[index]
+            d_abs = -d if d < 0 else d
+            if best is None or d_abs < best_abs:
+                best = d
+                best_abs = d_abs
+        return best
+
+    def reset(self) -> None:
+        """Forget all remembered positions."""
+        self._next = 0
+        self._filled = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LookBehindWindow size={self.size} filled={self._filled}>"

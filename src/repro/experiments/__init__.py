@@ -1,0 +1,47 @@
+"""One module per paper artifact (figures 2-6, tables 1-2)."""
+
+from .figure2 import Figure2Result, run_figure2
+from .figure3 import Figure3Result, run_figure3
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import CopyRunResult, Figure5Result, run_copy, run_figure5
+from .figure6 import (
+    Figure6Result,
+    WorkloadOutcome,
+    run_figure6,
+    run_pair,
+    run_sequential_over_time,
+    run_symmetrix_control,
+)
+from .runner import EXPERIMENTS, Experiment, run_experiment
+from .setups import ARRAY_KINDS, TABLE1_SPEC, Testbed, reference_testbed
+from .table2 import Table2Result, Table2Row, render_table2, run_table2
+
+__all__ = [
+    "Figure2Result",
+    "run_figure2",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "CopyRunResult",
+    "Figure5Result",
+    "run_copy",
+    "run_figure5",
+    "Figure6Result",
+    "WorkloadOutcome",
+    "run_figure6",
+    "run_pair",
+    "run_sequential_over_time",
+    "run_symmetrix_control",
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "ARRAY_KINDS",
+    "TABLE1_SPEC",
+    "Testbed",
+    "reference_testbed",
+    "Table2Result",
+    "Table2Row",
+    "render_table2",
+    "run_table2",
+]

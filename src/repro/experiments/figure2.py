@@ -1,0 +1,101 @@
+"""Figure 2: Filebench OLTP on Solaris/UFS.
+
+Panels (all per the paper's axes):
+
+(a) I/O Length Histogram        — peaks at 4096 and 8192 bytes
+(b) Seek Distance Histogram     — spikes at both edges (random)
+(c) Seek Distance (Writes)      — random
+(d) Seek Distance (Reads)       — random
+
+Paper observations this run must reproduce in shape:
+
+* "UFS is issuing I/Os of sizes 4KB and 8KB which is closer to the
+  original data stream from Filebench OLTP."
+* "the OLTP workload is quite random ... spikes at the right and left
+  edges of graph"; "UFS isn't doing anything special since the
+  workload shows randomness for both reads and writes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.characterize import (
+    random_fraction,
+    sequential_fraction,
+)
+from ..core.collector import VscsiStatsCollector
+from ..core.histogram import Histogram
+from ..guest.os import GuestOS
+from ..guest.ufs import UFS
+from ..sim.engine import seconds
+from ..workloads.filebench import FilebenchWorkload, oltp_personality
+from .setups import reference_testbed
+
+__all__ = ["Figure2Result", "run_figure2"]
+
+#: Scaled-down file set for test runs; the paper values (10 GB / 1 GB)
+#: are the defaults of :func:`run_figure2`.
+VDISK_SLACK_BYTES = 512 * 1024 * 1024
+
+
+@dataclass
+class Figure2Result:
+    """The four panels plus the raw collector and workload counters."""
+
+    collector: VscsiStatsCollector
+    io_length: Histogram            # panel (a)
+    seek_distance: Histogram        # panel (b)
+    seek_distance_writes: Histogram  # panel (c)
+    seek_distance_reads: Histogram  # panel (d)
+    ops_per_second: float
+    app_ops_per_second: float       # Filebench-level operation rate
+    dominant_size_label: str
+    small_io_fraction: float        # commands <= 8 KB
+    random: float
+    random_reads: float
+    random_writes: float
+    sequential_writes: float
+
+
+def run_figure2(duration_s: float = 30.0,
+                filesize: int = 10 * 1024**3,
+                logfilesize: int = 1 * 1024**3,
+                seed: int = 0) -> Figure2Result:
+    """Run Filebench OLTP over the UFS model and collect the panels."""
+    bed = reference_testbed("symmetrix", seed=seed)
+    vm = bed.esx.create_vm("solaris-ufs")
+    vdisk_bytes = filesize + logfilesize + VDISK_SLACK_BYTES
+    device = bed.esx.create_vdisk(vm, "scsi0:0", bed.array, vdisk_bytes)
+    guest = GuestOS(bed.engine, "solaris11", device, queue_depth=64)
+    fs = UFS(guest)
+    workload = FilebenchWorkload(
+        bed.engine,
+        fs,
+        oltp_personality(filesize=filesize, logfilesize=logfilesize),
+        random_source=bed.esx.random.fork("filebench"),
+    )
+    bed.esx.stats.enable()
+    workload.start()
+    bed.engine.run(until=seconds(duration_s))
+    workload.stop()
+
+    collector = bed.esx.collector_for(vm.name, "scsi0:0")
+    assert collector is not None, "stats were enabled; collector must exist"
+    io_all = collector.io_length.all
+    seek_all = collector.seek_distance.all
+    return Figure2Result(
+        collector=collector,
+        io_length=io_all,
+        seek_distance=seek_all,
+        seek_distance_writes=collector.seek_distance.writes,
+        seek_distance_reads=collector.seek_distance.reads,
+        ops_per_second=collector.iops(),
+        app_ops_per_second=(workload.reads + workload.writes) / duration_s,
+        dominant_size_label=io_all.mode_label(),
+        small_io_fraction=io_all.fraction_in(float("-inf"), 8192),
+        random=random_fraction(seek_all),
+        random_reads=random_fraction(collector.seek_distance.reads),
+        random_writes=random_fraction(collector.seek_distance.writes),
+        sequential_writes=sequential_fraction(collector.seek_distance.writes),
+    )

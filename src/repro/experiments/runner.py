@@ -1,0 +1,91 @@
+"""Experiment registry and the `vscsistats repro` entry point.
+
+Maps each paper artifact (figure/table id) to the function that
+regenerates it and a one-line description, so the CLI, the benchmark
+harness and EXPERIMENTS.md all enumerate the same set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .figure2 import run_figure2
+from .figure3 import run_figure3
+from .figure4 import run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6, run_symmetrix_control
+from .table2 import run_table2
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    exp_id: str
+    title: str
+    run: Callable
+    quick_kwargs: Dict[str, object]  # scaled-down parameters for tests
+
+
+EXPERIMENTS: Tuple[Experiment, ...] = (
+    Experiment(
+        "figure2",
+        "Filebench OLTP on Solaris/UFS: lengths and seek distances",
+        run_figure2,
+        {"duration_s": 5.0, "filesize": 1 << 30, "logfilesize": 1 << 27},
+    ),
+    Experiment(
+        "figure3",
+        "Filebench OLTP on Solaris/ZFS: COW turns writes sequential",
+        run_figure3,
+        {"duration_s": 5.0, "filesize": 1 << 30, "logfilesize": 1 << 27},
+    ),
+    Experiment(
+        "figure4",
+        "DBT-2 on PostgreSQL/ext3: 8K-only I/O, 32 outstanding writes",
+        run_figure4,
+        {"duration_s": 30.0, "warehouses": 50, "connections": 20},
+    ),
+    Experiment(
+        "figure5",
+        "Large file copy: Windows XP (64K) vs Vista (1MB)",
+        run_figure5,
+        {"duration_s": 5.0, "file_bytes": 1 << 30},
+    ),
+    Experiment(
+        "figure6",
+        "Multi-VM interference on the CX3 with read cache off",
+        run_figure6,
+        {"duration_s": 10.0},
+    ),
+    Experiment(
+        "figure6-symmetrix",
+        "Multi-VM control on the Symmetrix (no large change)",
+        run_symmetrix_control,
+        {"duration_s": 10.0},
+    ),
+    Experiment(
+        "table2",
+        "Histogram service overhead micro-benchmark",
+        run_table2,
+        {"duration_s": 2.0, "repetitions": 2},
+    ),
+)
+
+_BY_ID = {experiment.exp_id: experiment for experiment in EXPERIMENTS}
+
+
+def run_experiment(exp_id: str, quick: bool = False, **kwargs):
+    """Run one experiment by id; ``quick=True`` uses scaled parameters."""
+    try:
+        experiment = _BY_ID[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_BY_ID)}"
+        ) from None
+    call_kwargs = dict(experiment.quick_kwargs) if quick else {}
+    call_kwargs.update(kwargs)
+    return experiment.run(**call_kwargs)

@@ -1,0 +1,78 @@
+"""Experiment testbeds — Table 1 in code.
+
+Table 1 of the paper:
+
+==================  =================================================
+Machine Model       HP DL 585 G2
+CPU                 8 CPUs (4 socket, dual-core) @ 2.4 GHz
+Total Memory        8 GB
+Hypervisor          VMware ESX Server 3
+Disk Subsystem      EMC Symmetrix 500 GB RAID-5, Qlogic 2340
+(4 Gb SAN)          (4 Gb Fibre Channel)
+==================  =================================================
+
+plus the EMC CLARiiON CX3 RAID-0 box §5.3 switches to for the
+interference study.  :func:`reference_testbed` builds the simulated
+equivalent: an :class:`EsxServer` over the chosen array preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..hypervisor.esx import EsxServer
+from ..sim.engine import Engine
+from ..storage.array import StorageArray, clariion_cx3, symmetrix
+
+__all__ = ["TABLE1_SPEC", "ARRAY_KINDS", "reference_testbed"]
+
+#: The machine/storage specification of Table 1, kept as data so the
+#: documentation and EXPERIMENTS.md render it from one source.
+TABLE1_SPEC: Tuple[Tuple[str, str], ...] = (
+    ("Machine Model", "HP DL 585 G2"),
+    ("CPU", "8 CPUs (4 socket, dual-core) @2.4 GHz"),
+    ("Total Memory", "8 GB"),
+    ("Hypervisor", "VMware ESX Server 3"),
+    ("Disk Subsystem (4Gb SAN)",
+     "EMC Symmetrix 500GB RAID-5; Qlogic 2340 (4Gb Fibre Channel)"),
+)
+
+#: Array presets selectable by experiments.
+ARRAY_KINDS = ("symmetrix", "cx3", "cx3_nocache")
+
+
+@dataclass
+class Testbed:
+    """A ready-to-use simulated host."""
+
+    engine: Engine
+    esx: EsxServer
+    array: StorageArray
+
+
+def reference_testbed(array_kind: str = "symmetrix",
+                      seed: int = 0) -> Testbed:
+    """Build the simulated Table-1 host with the chosen array.
+
+    ``array_kind``:
+
+    * ``"symmetrix"`` — the Table 1 reference array (RAID-5, huge cache).
+    * ``"cx3"`` — CLARiiON CX3, RAID-0, 2.5 GB read cache.
+    * ``"cx3_nocache"`` — the CX3 with its read cache turned off, the
+      §5.3 worst-case configuration behind Figure 6.
+    """
+    engine = Engine()
+    esx = EsxServer(engine, seed=seed)
+    if array_kind == "symmetrix":
+        array = symmetrix(engine)
+    elif array_kind == "cx3":
+        array = clariion_cx3(engine, read_cache=True)
+    elif array_kind == "cx3_nocache":
+        array = clariion_cx3(engine, read_cache=False)
+    else:
+        raise ValueError(
+            f"unknown array kind {array_kind!r}; choose from {ARRAY_KINDS}"
+        )
+    esx.add_array(array)
+    return Testbed(engine=engine, esx=esx, array=array)

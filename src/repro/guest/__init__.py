@@ -1,0 +1,31 @@
+"""Guest OS substrate: block layer, page cache, filesystem models."""
+
+from .ext3 import Ext3
+from .filesystem import BlockMap, BlockOp, FileHandle, Filesystem
+from .ntfs import (
+    NTFS,
+    CopyEngineProfile,
+    VISTA_COPY_ENGINE,
+    XP_COPY_ENGINE,
+)
+from .os import GuestOS
+from .pagecache import DEFAULT_PAGE_BYTES, PageCache
+from .ufs import UFS
+from .zfs import ZFS
+
+__all__ = [
+    "Ext3",
+    "BlockMap",
+    "BlockOp",
+    "FileHandle",
+    "Filesystem",
+    "NTFS",
+    "CopyEngineProfile",
+    "VISTA_COPY_ENGINE",
+    "XP_COPY_ENGINE",
+    "GuestOS",
+    "DEFAULT_PAGE_BYTES",
+    "PageCache",
+    "UFS",
+    "ZFS",
+]

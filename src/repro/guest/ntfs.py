@@ -1,0 +1,100 @@
+"""NTFS filesystem model, with the XP and Vista copy-engine profiles.
+
+§4.3 compares the same large-file copy on Windows XP Professional and
+Windows Vista Enterprise: "The copy application in Microsoft Windows
+XP Pro is issuing I/Os of size 64K whereas in Microsoft Vista
+Enterprise, I/Os are primarily 1MB in size."  The filesystem itself is
+an in-place allocator; what differs between the two OS generations is
+the copy engine's transfer size and pipeline depth, captured here as
+:class:`CopyEngineProfile` presets consumed by
+:mod:`repro.workloads.filecopy`.
+
+NTFS also charges a small periodic Master File Table (MFT) update —
+a 4 KB metadata write near the front of the volume every
+``mft_update_every`` data operations — so the copy workload shows the
+occasional long seek a real NTFS volume exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..scsi.commands import SECTOR_BYTES
+from .filesystem import BlockOp, FileHandle, Filesystem
+
+__all__ = ["NTFS", "CopyEngineProfile", "XP_COPY_ENGINE", "VISTA_COPY_ENGINE"]
+
+
+@dataclass(frozen=True)
+class CopyEngineProfile:
+    """How an OS generation's CopyFile implementation moves data."""
+
+    name: str
+    chunk_bytes: int          # transfer size per read/write
+    pipeline_depth: int       # concurrent chunks in flight
+
+    @property
+    def chunk_sectors(self) -> int:
+        return self.chunk_bytes // SECTOR_BYTES
+
+
+#: Windows XP Professional: 64 KB chunks, shallow pipeline.
+XP_COPY_ENGINE = CopyEngineProfile(name="xp", chunk_bytes=64 * 1024,
+                                   pipeline_depth=2)
+
+#: Windows Vista Enterprise: 1 MB chunks, deeper pipeline.
+VISTA_COPY_ENGINE = CopyEngineProfile(name="vista", chunk_bytes=1024 * 1024,
+                                      pipeline_depth=4)
+
+
+class NTFS(Filesystem):
+    """In-place NTFS: 4 KB clusters plus periodic MFT metadata writes."""
+
+    name = "ntfs"
+    default_block_bytes = 4096
+
+    def __init__(self, guest, region_blocks=None, block_bytes=None,
+                 max_io_bytes: int = 1024 * 1024,
+                 mft_bytes: int = 16 * 1024 * 1024,
+                 mft_update_every: int = 256):
+        super().__init__(
+            guest,
+            region_blocks=region_blocks,
+            block_bytes=block_bytes,
+            max_io_bytes=max_io_bytes,
+        )
+        # MFT zone at the front of the volume; data allocation starts
+        # after it.
+        self._mft_sectors = mft_bytes // SECTOR_BYTES
+        if self._mft_sectors >= self.region_blocks:
+            raise ValueError("MFT zone larger than the volume")
+        self._alloc_cursor = self._mft_sectors
+        self._mft_cursor = 0
+        self.mft_update_every = mft_update_every
+        self._ops_since_mft = 0
+        self.mft_updates = 0
+
+    # ------------------------------------------------------------------
+    def _plan_write(self, handle: FileHandle, offset: int, nbytes: int,
+                    sync: bool) -> List[BlockOp]:
+        ops = self._passthrough_ops(handle, offset, nbytes, is_read=False)
+        return ops + self._maybe_mft_update()
+
+    def _plan_read(self, handle: FileHandle, offset: int,
+                   nbytes: int) -> List[BlockOp]:
+        ops = self._passthrough_ops(handle, offset, nbytes, is_read=True)
+        return ops + self._maybe_mft_update()
+
+    def _maybe_mft_update(self) -> List[BlockOp]:
+        self._ops_since_mft += 1
+        if self._ops_since_mft < self.mft_update_every:
+            return []
+        self._ops_since_mft = 0
+        self.mft_updates += 1
+        sectors = 4096 // SECTOR_BYTES
+        if self._mft_cursor + sectors > self._mft_sectors:
+            self._mft_cursor = 0
+        lba = self._mft_cursor
+        self._mft_cursor += sectors
+        return [(lba, sectors, False)]

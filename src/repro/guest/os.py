@@ -1,0 +1,105 @@
+"""Guest operating system block layer.
+
+The guest's own block layer sits *above* the instrumentation point:
+§6 notes that "one thing that is not visible to the hypervisor is the
+time spent in the guest OS queues."  :class:`GuestOS` therefore keeps
+its own submission queue with its own depth limit; commands wait there
+without the vSCSI layer (and thus the histograms) ever seeing them —
+a property the test suite asserts explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..hypervisor.vscsi import VScsiDevice
+from ..scsi.request import ScsiRequest
+from ..sim.engine import Engine
+
+__all__ = ["GuestOS"]
+
+
+class GuestOS:
+    """A guest kernel's block device queue over one vSCSI target.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    name:
+        Guest identity ("solaris11", "linux-2.6.17", ...).
+    device:
+        The emulated SCSI target this guest's driver talks to.
+    queue_depth:
+        Maximum commands the guest driver keeps outstanding at the
+        (virtual) adapter; more requests wait inside the guest.
+    """
+
+    def __init__(self, engine: Engine, name: str, device: VScsiDevice,
+                 queue_depth: int = 32):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.engine = engine
+        self.name = name
+        self.device = device
+        self.queue_depth = queue_depth
+        self._inflight = 0
+        self._waiting: Deque[Tuple[ScsiRequest, Optional[Callable]]] = deque()
+        # Counters.
+        self.submitted = 0
+        self.completed = 0
+        self.max_guest_queue = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Commands this guest has issued to the adapter, not completed."""
+        return self._inflight
+
+    @property
+    def guest_queued(self) -> int:
+        """Commands waiting inside the guest (invisible to the hypervisor)."""
+        return len(self._waiting)
+
+    # ------------------------------------------------------------------
+    def submit(self, is_read: bool, lba: int, nblocks: int,
+               on_done: Optional[Callable[[ScsiRequest], None]] = None,
+               tag: str = "") -> ScsiRequest:
+        """Submit one block I/O; returns the request object."""
+        request = ScsiRequest(is_read, lba, nblocks, tag=tag)
+        self.submitted += 1
+        if self._inflight >= self.queue_depth:
+            self._waiting.append((request, on_done))
+            if len(self._waiting) > self.max_guest_queue:
+                self.max_guest_queue = len(self._waiting)
+            return request
+        self._send(request, on_done)
+        return request
+
+    def _send(self, request: ScsiRequest,
+              on_done: Optional[Callable[[ScsiRequest], None]]) -> None:
+        self._inflight += 1
+
+        def complete(req: ScsiRequest) -> None:
+            self._inflight -= 1
+            self.completed += 1
+            # Refill the adapter slot before the upper layer reacts.
+            if self._waiting and self._inflight < self.queue_depth:
+                next_request, next_done = self._waiting.popleft()
+                self._send(next_request, next_done)
+            if on_done is not None:
+                on_done(req)
+
+        request.on_complete(complete)
+        self.device.issue(request)
+
+    def drained(self) -> bool:
+        """True when no I/O is pending anywhere in the guest."""
+        return self._inflight == 0 and not self._waiting
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GuestOS {self.name!r} inflight={self._inflight} "
+            f"guest_queued={len(self._waiting)}>"
+        )

@@ -1,0 +1,114 @@
+"""UFS (Solaris) filesystem model.
+
+§4.1's control case: "UFS is issuing I/Os of sizes 4KB and 8KB which
+is closer to the original data stream from Filebench OLTP" and the
+seek histograms show randomness for both reads and writes — UFS "isn't
+doing anything special".
+
+The model captures that behaviour plus the two UFS properties that
+make OLTP *slow* on it (the performance half of §4.1's comparison):
+
+* **Update-in-place with 8 KB blocks, 4 KB page-granularity writes.**
+  Reads fetch whole blocks (8 KB); page-aligned writes pass straight
+  through (the directio path a database configuration uses), while
+  unaligned writes read-modify-write the containing block.
+* **The per-file writer lock.**  UFS serializes writers to a single
+  file, so ten concurrent database writer threads make no more
+  progress than one — the classic UFS-vs-database pathology that ZFS's
+  range locking removes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from .filesystem import BlockOp, FileHandle, Filesystem
+
+__all__ = ["UFS"]
+
+
+class UFS(Filesystem):
+    """Update-in-place UFS: 8 KB blocks, 4 KB fragments, no remapping."""
+
+    name = "ufs"
+    default_block_bytes = 8192
+    #: Sub-block transfer granularity (UFS fragments are 1 KB on disk;
+    #: 4 KB is the page-aligned granularity Solaris actually issues).
+    fragment_bytes = 4096
+    #: UFS clusters contiguous I/O up to maxcontig (128 KB default).
+    default_max_io_bytes = 128 * 1024
+
+    def __init__(self, guest, region_blocks=None, block_bytes=None,
+                 max_io_bytes=None, page_cache=None):
+        super().__init__(
+            guest,
+            region_blocks=region_blocks,
+            block_bytes=block_bytes,
+            max_io_bytes=(
+                max_io_bytes if max_io_bytes is not None
+                else self.default_max_io_bytes
+            ),
+            page_cache=page_cache,
+        )
+        # Per-file writer-lock queues: file_id -> waiting thunks.  The
+        # presence of a key means the lock is held.
+        self._write_locks: Dict[int, Deque[Callable[[], None]]] = {}
+        self.rmw_reads = 0
+
+    # ------------------------------------------------------------------
+    # Write path: per-file writer lock + sub-block read-modify-write
+    # ------------------------------------------------------------------
+    def write(self, handle: FileHandle, offset: int, nbytes: int,
+              on_done: Optional[Callable[[], None]] = None,
+              sync: bool = True) -> None:
+        self._check_range(handle, offset, nbytes)
+
+        def locked() -> None:
+            self._locked_write(handle, offset, nbytes, on_done)
+
+        queue = self._write_locks.get(handle.file_id)
+        if queue is None:
+            self._write_locks[handle.file_id] = deque()
+            locked()
+        else:
+            queue.append(locked)
+
+    def _locked_write(self, handle: FileHandle, offset: int, nbytes: int,
+                      on_done: Optional[Callable[[], None]]) -> None:
+        def release() -> None:
+            queue = self._write_locks[handle.file_id]
+            if queue:
+                self.guest.engine.schedule(0, queue.popleft())
+            else:
+                del self._write_locks[handle.file_id]
+            if on_done is not None:
+                on_done()
+
+        write_ops = self._subblock_ops(
+            handle, offset, nbytes, False, granularity=self.fragment_bytes
+        )
+        unaligned = (
+            offset % self.fragment_bytes != 0
+            or (offset + nbytes) % self.fragment_bytes != 0
+        )
+        if unaligned:
+            # A write that does not cover whole pages must read the
+            # containing block(s) first to merge (read-modify-write).
+            # Page-aligned database writes take the direct path.
+            self.rmw_reads += 1
+            read_ops = self._subblock_ops(
+                handle, offset, nbytes, True, granularity=self.block_bytes
+            )
+            self._issue(read_ops, lambda: self._issue(write_ops, release))
+        else:
+            self._issue(write_ops, release)
+
+    def _plan_read(self, handle: FileHandle, offset: int,
+                   nbytes: int) -> List[BlockOp]:
+        # Reads fetch whole filesystem blocks (a 4 KB application read
+        # comes out as the containing 8 KB block) — this is where the
+        # 8 KB half of Figure 2(a)'s 4K/8K mix comes from.
+        return self._subblock_ops(
+            handle, offset, nbytes, True, granularity=self.block_bytes
+        )

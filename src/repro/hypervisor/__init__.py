@@ -1,0 +1,8 @@
+"""ESX-like hypervisor substrate: VMs, virtual disks, vSCSI emulation."""
+
+from .esx import EsxServer
+from .vdisk import VirtualDisk
+from .vm import VirtualMachine
+from .vscsi import VScsiDevice
+
+__all__ = ["EsxServer", "VirtualDisk", "VirtualMachine", "VScsiDevice"]

@@ -1,0 +1,131 @@
+"""The ESX-like host: VMs, virtual disks, the stats service.
+
+:class:`EsxServer` wires everything together the way Figure 1 of the
+paper draws it: virtual machines on top, the thin hypervisor layer
+(vSCSI emulation + the histogram service + tracing) in the middle,
+and physical storage below.  It also owns extent allocation on the
+backing LUNs, so creating several virtual disks on one array places
+them side by side — the sharing that drives §3.7/§5.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.service import HistogramService
+from ..sim.engine import Engine
+from ..sim.randomness import RandomSource
+from ..storage.array import StorageArray
+from .vdisk import VirtualDisk
+from .vm import VirtualMachine
+from .vscsi import VScsiDevice
+
+__all__ = ["EsxServer"]
+
+
+class EsxServer:
+    """A simulated ESX host.
+
+    Typical setup::
+
+        engine = Engine()
+        esx = EsxServer(engine)
+        array = esx.add_array(clariion_cx3(engine, read_cache=False))
+        vm = esx.create_vm("vm1")
+        esx.create_vdisk(vm, "scsi0:0", array, capacity_bytes=6 * 1024**3)
+        esx.stats.enable()
+    """
+
+    def __init__(self, engine: Engine, seed: int = 0,
+                 default_device_queue_depth: Optional[int] = 64):
+        self.engine = engine
+        self.random = RandomSource(seed)
+        self.stats = HistogramService()
+        self.default_device_queue_depth = default_device_queue_depth
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._arrays: Dict[str, StorageArray] = {}
+        self._next_extent: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def add_array(self, array: StorageArray) -> StorageArray:
+        """Register a storage array (LUN) with the host."""
+        if array.name in self._arrays:
+            raise ValueError(f"array {array.name!r} already registered")
+        self._arrays[array.name] = array
+        self._next_extent[array.name] = 0
+        return array
+
+    def create_vm(self, name: str) -> VirtualMachine:
+        """Create and register a VM."""
+        if name in self._vms:
+            raise ValueError(f"VM {name!r} already exists")
+        vm = VirtualMachine(name)
+        self._vms[name] = vm
+        return vm
+
+    def vm(self, name: str) -> VirtualMachine:
+        """Look up a VM by name."""
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise KeyError(
+                f"no VM {name!r}; known: {sorted(self._vms)}"
+            ) from None
+
+    def array(self, name: str) -> StorageArray:
+        """Look up an array by name."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError(
+                f"no array {name!r}; known: {sorted(self._arrays)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Virtual disk provisioning
+    # ------------------------------------------------------------------
+    def create_vdisk(self, vm: VirtualMachine, vdisk_name: str,
+                     array: StorageArray, capacity_bytes: int,
+                     device_queue_depth: Optional[int] = None) -> VScsiDevice:
+        """Carve an extent off ``array`` and attach it to ``vm``.
+
+        Extents are allocated contiguously in creation order, so two
+        virtual disks on one array are neighbours on the spindles.
+        """
+        if array.name not in self._arrays:
+            raise ValueError(f"array {array.name!r} is not registered")
+        capacity_blocks = capacity_bytes // 512
+        offset = self._next_extent[array.name]
+        vdisk = VirtualDisk(
+            name=vdisk_name,
+            backing=array,
+            offset_blocks=offset,
+            capacity_blocks=capacity_blocks,
+        )
+        self._next_extent[array.name] = offset + capacity_blocks
+        depth = (
+            device_queue_depth
+            if device_queue_depth is not None
+            else self.default_device_queue_depth
+        )
+        device = VScsiDevice(
+            self.engine,
+            vm_name=vm.name,
+            vdisk=vdisk,
+            service=self.stats,
+            device_queue_depth=depth,
+        )
+        vm.attach(device)
+        return device
+
+    # ------------------------------------------------------------------
+    def collector_for(self, vm_name: str, vdisk_name: str):
+        """Shortcut: the stats collector for a (VM, vdisk) pair."""
+        return self.stats.collector(vm_name, vdisk_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EsxServer vms={sorted(self._vms)} arrays={sorted(self._arrays)}>"
+        )

@@ -1,0 +1,53 @@
+"""Virtual disks: linear block arrays carved out of an array LUN.
+
+§3: "The virtual disk, for our purposes, can be thought of as a linear
+array and logical blocks as offsets into the array."  Each virtual
+disk is an extent of a shared :class:`~repro.storage.array.StorageArray`
+LUN — which is precisely why multiple VMs' workloads interfere at the
+spindles while each VM's *own* address space (what the histograms see)
+stays linear and private.
+"""
+
+from __future__ import annotations
+
+from ..scsi.commands import SECTOR_BYTES
+from ..storage.array import StorageArray
+
+__all__ = ["VirtualDisk"]
+
+
+class VirtualDisk:
+    """An extent of the backing LUN exported to one VM as a SCSI disk."""
+
+    def __init__(self, name: str, backing: StorageArray, offset_blocks: int,
+                 capacity_blocks: int):
+        if capacity_blocks < 1:
+            raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
+        if offset_blocks < 0:
+            raise ValueError(f"negative extent offset {offset_blocks}")
+        if offset_blocks + capacity_blocks > backing.capacity_blocks:
+            raise ValueError(
+                f"extent [{offset_blocks}, {offset_blocks + capacity_blocks}) "
+                f"exceeds LUN capacity {backing.capacity_blocks}"
+            )
+        self.name = name
+        self.backing = backing
+        self.offset_blocks = offset_blocks
+        self.capacity_blocks = capacity_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_blocks * SECTOR_BYTES
+
+    def translate(self, lba: int, nblocks: int) -> int:
+        """Map a virtual-disk LBA to the backing LUN address space."""
+        if lba < 0 or lba + nblocks > self.capacity_blocks:
+            raise ValueError(
+                f"access [{lba}, {lba + nblocks}) outside virtual disk "
+                f"{self.name!r} of {self.capacity_blocks} blocks"
+            )
+        return self.offset_blocks + lba
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        gib = self.capacity_bytes / 1024**3
+        return f"<VirtualDisk {self.name!r} {gib:.1f} GiB @{self.offset_blocks}>"

@@ -1,0 +1,57 @@
+"""Virtual machines.
+
+A :class:`VirtualMachine` is a named container of emulated SCSI
+targets.  Guest software (the :mod:`repro.guest` OS and filesystem
+models, or raw workload generators) issues :class:`ScsiRequest`\\ s
+against a target by vdisk name — the same shape as a guest driver
+writing to an emulated LSI Logic adapter (§2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..scsi.request import ScsiRequest
+from .vscsi import VScsiDevice
+
+__all__ = ["VirtualMachine"]
+
+
+class VirtualMachine:
+    """One VM: a set of vSCSI targets plus identity."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._targets: Dict[str, VScsiDevice] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, device: VScsiDevice) -> None:
+        """Attach an emulated SCSI target (done by the EsxServer)."""
+        if device.vdisk.name in self._targets:
+            raise ValueError(
+                f"VM {self.name!r} already has a disk named "
+                f"{device.vdisk.name!r}"
+            )
+        self._targets[device.vdisk.name] = device
+
+    def target(self, vdisk_name: str) -> VScsiDevice:
+        """Look up a target by virtual-disk name."""
+        try:
+            return self._targets[vdisk_name]
+        except KeyError:
+            raise KeyError(
+                f"VM {self.name!r} has no disk {vdisk_name!r}; "
+                f"attached: {sorted(self._targets)}"
+            ) from None
+
+    def targets(self) -> List[VScsiDevice]:
+        """All attached targets, in attach order."""
+        return list(self._targets.values())
+
+    # ------------------------------------------------------------------
+    def issue(self, vdisk_name: str, request: ScsiRequest) -> None:
+        """Issue a command to one of this VM's disks."""
+        self.target(vdisk_name).issue(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VirtualMachine {self.name!r} disks={sorted(self._targets)}>"

@@ -1,0 +1,15 @@
+"""SCSI protocol substrate: CDB model, in-flight requests, queues."""
+
+from .commands import Cdb, OpCode, SECTOR_BYTES, build_rw_cdb, parse_cdb
+from .queue import PendingQueue
+from .request import ScsiRequest
+
+__all__ = [
+    "Cdb",
+    "OpCode",
+    "SECTOR_BYTES",
+    "build_rw_cdb",
+    "parse_cdb",
+    "PendingQueue",
+    "ScsiRequest",
+]

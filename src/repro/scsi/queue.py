@@ -1,0 +1,99 @@
+"""Per-virtual-disk pending-request queue.
+
+§2: "ESX Server maintains a queue of pending requests per virtual
+machine for each target SCSI device."  The queue tracks which commands
+have been issued to the backing device but not yet completed — the
+*outstanding I/O* count sampled by the characterization service at
+every arrival (§3.3) — and optionally throttles concurrency to a
+device queue depth, queueing the excess.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from .request import ScsiRequest
+
+__all__ = ["PendingQueue"]
+
+
+class PendingQueue:
+    """Outstanding-command accounting with an optional depth limit.
+
+    Parameters
+    ----------
+    depth_limit:
+        Maximum commands in flight at the device; further submissions
+        wait in FIFO order.  ``None`` means unlimited (the vSCSI layer
+        itself does not throttle; limits usually live in the guest
+        driver or the physical HBA).
+    """
+
+    def __init__(self, depth_limit: Optional[int] = None):
+        if depth_limit is not None and depth_limit < 1:
+            raise ValueError(f"depth_limit must be >= 1, got {depth_limit}")
+        self.depth_limit = depth_limit
+        self._inflight: Dict[int, ScsiRequest] = {}
+        self._waiting: Deque[ScsiRequest] = deque()
+        self._dispatch: Optional[Callable[[ScsiRequest], None]] = None
+        # Lifetime counters.
+        self.submitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.max_outstanding = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Commands issued to the device and not yet completed."""
+        return len(self._inflight)
+
+    @property
+    def queued(self) -> int:
+        """Commands waiting for a device slot."""
+        return len(self._waiting)
+
+    def set_dispatcher(self, dispatch: Callable[[ScsiRequest], None]) -> None:
+        """Install the function that sends a request to the device."""
+        self._dispatch = dispatch
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ScsiRequest) -> None:
+        """Accept a request; dispatch now or queue behind the limit."""
+        if self._dispatch is None:
+            raise RuntimeError("PendingQueue has no dispatcher installed")
+        self.submitted += 1
+        if self.depth_limit is not None and self.outstanding >= self.depth_limit:
+            self._waiting.append(request)
+            return
+        self._send(request)
+
+    def complete(self, request: ScsiRequest) -> None:
+        """Notify that the device finished ``request``; refill the slot."""
+        if request.serial not in self._inflight:
+            raise KeyError(f"request {request.serial} is not in flight")
+        del self._inflight[request.serial]
+        self.completed += 1
+        if self._waiting and (
+            self.depth_limit is None or self.outstanding < self.depth_limit
+        ):
+            self._send(self._waiting.popleft())
+
+    def _send(self, request: ScsiRequest) -> None:
+        self._inflight[request.serial] = request
+        self.dispatched += 1
+        if self.outstanding > self.max_outstanding:
+            self.max_outstanding = self.outstanding
+        assert self._dispatch is not None
+        self._dispatch(request)
+
+    def drain_check(self) -> bool:
+        """True when nothing is in flight or waiting."""
+        return not self._inflight and not self._waiting
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PendingQueue inflight={self.outstanding} queued={self.queued} "
+            f"limit={self.depth_limit}>"
+        )

@@ -1,0 +1,115 @@
+"""In-flight SCSI request objects.
+
+A :class:`ScsiRequest` is the unit that travels from the guest's
+driver through the vSCSI emulation layer down to the storage model and
+back.  It carries the timestamps the characterization service needs —
+issue time at the vSCSI layer and completion time — plus an optional
+completion callback chain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from .commands import SECTOR_BYTES
+
+__all__ = ["ScsiRequest"]
+
+_serials = itertools.count()
+
+
+class ScsiRequest:
+    """One block-transfer command in flight.
+
+    Parameters
+    ----------
+    is_read:
+        Direction of the transfer.
+    lba:
+        Starting logical block (512-byte units) in the *virtual disk*
+        address space.
+    nblocks:
+        Transfer length in logical blocks (>= 1).
+    tag:
+        Optional free-form label (workload / stream attribution in
+        traces and tests).
+    """
+
+    __slots__ = (
+        "serial",
+        "is_read",
+        "lba",
+        "nblocks",
+        "tag",
+        "issue_ns",
+        "complete_ns",
+        "_callbacks",
+    )
+
+    def __init__(self, is_read: bool, lba: int, nblocks: int, tag: str = ""):
+        if lba < 0:
+            raise ValueError(f"negative LBA {lba}")
+        if nblocks < 1:
+            raise ValueError(f"nblocks must be >= 1, got {nblocks}")
+        self.serial = next(_serials)
+        self.is_read = bool(is_read)
+        self.lba = int(lba)
+        self.nblocks = int(nblocks)
+        self.tag = tag
+        self.issue_ns: Optional[int] = None
+        self.complete_ns: Optional[int] = None
+        self._callbacks: List[Callable[["ScsiRequest"], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def length_bytes(self) -> int:
+        """Transfer length in bytes."""
+        return self.nblocks * SECTOR_BYTES
+
+    @property
+    def last_block(self) -> int:
+        """Last logical block touched (inclusive)."""
+        return self.lba + self.nblocks - 1
+
+    @property
+    def completed(self) -> bool:
+        return self.complete_ns is not None
+
+    @property
+    def latency_ns(self) -> int:
+        """Issue-to-completion latency; only valid once completed."""
+        if self.issue_ns is None or self.complete_ns is None:
+            raise ValueError("request has not completed")
+        return self.complete_ns - self.issue_ns
+
+    # ------------------------------------------------------------------
+    def on_complete(self, callback: Callable[["ScsiRequest"], None]) -> None:
+        """Register a completion callback (fired in registration order)."""
+        if self.completed:
+            raise ValueError("cannot register callback on a completed request")
+        self._callbacks.append(callback)
+
+    def mark_issued(self, time_ns: int) -> None:
+        """Stamp the vSCSI-layer issue time."""
+        if self.issue_ns is not None:
+            raise ValueError(f"request {self.serial} issued twice")
+        self.issue_ns = time_ns
+
+    def mark_completed(self, time_ns: int) -> None:
+        """Stamp completion and fire callbacks."""
+        if self.issue_ns is None:
+            raise ValueError(f"request {self.serial} completed before issue")
+        if self.complete_ns is not None:
+            raise ValueError(f"request {self.serial} completed twice")
+        self.complete_ns = time_ns
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        op = "R" if self.is_read else "W"
+        return (
+            f"<ScsiRequest #{self.serial} {op} lba={self.lba} "
+            f"nblocks={self.nblocks}>"
+        )

@@ -1,0 +1,50 @@
+"""Seeded, named random streams.
+
+Every stochastic component (each workload thread, the storage model,
+interarrival jitter) draws from its **own** named stream derived from a
+single experiment seed.  This guarantees that adding a component or
+reordering draws in one component never perturbs another — the property
+that makes the figure reproductions stable run-to-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RandomSource"]
+
+
+class RandomSource:
+    """Factory of independent named :class:`random.Random` streams.
+
+    >>> src = RandomSource(seed=42)
+    >>> a = src.stream("disk")
+    >>> b = src.stream("workload.oltp.0")
+    >>> a is src.stream("disk")          # streams are cached by name
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the (cached) stream for ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode("utf-8")
+            ).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RandomSource":
+        """Derive a child source (for subsystems that make many streams)."""
+        digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode()).digest()
+        return RandomSource(int.from_bytes(digest[:8], "big"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RandomSource seed={self.seed} streams={len(self._streams)}>"

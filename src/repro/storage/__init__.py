@@ -1,0 +1,22 @@
+"""Storage array substrate: spindles, RAID, caches, testbed presets."""
+
+from .array import StorageArray, clariion_cx3, symmetrix
+from .cache import DEFAULT_LINE_BLOCKS, ReadCache, WriteBackCache
+from .disk import Disk, DiskModel
+from .raid import DEFAULT_STRIPE_BLOCKS, PhysicalOp, Raid0, Raid5, RaidLayout
+
+__all__ = [
+    "StorageArray",
+    "clariion_cx3",
+    "symmetrix",
+    "DEFAULT_LINE_BLOCKS",
+    "ReadCache",
+    "WriteBackCache",
+    "Disk",
+    "DiskModel",
+    "DEFAULT_STRIPE_BLOCKS",
+    "PhysicalOp",
+    "Raid0",
+    "Raid5",
+    "RaidLayout",
+]

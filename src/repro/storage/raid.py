@@ -1,0 +1,128 @@
+"""RAID striping layouts.
+
+The reference testbed uses an EMC Symmetrix RAID-5 group and a
+CLARiiON CX3 RAID-0 group (Table 1, §5.3).  A layout maps a logical
+extent ``(lba, nblocks)`` on the exported LUN to per-spindle physical
+operations; RAID-5 additionally produces the read-modify-write parity
+traffic for small writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["PhysicalOp", "RaidLayout", "Raid0", "Raid5", "DEFAULT_STRIPE_BLOCKS"]
+
+#: Default stripe chunk: 128 blocks = 64 KB per disk per stripe.
+DEFAULT_STRIPE_BLOCKS = 128
+
+
+@dataclass(frozen=True)
+class PhysicalOp:
+    """One operation on one spindle resulting from a logical access."""
+
+    disk_index: int
+    lba: int
+    nblocks: int
+    is_read: bool
+
+
+class RaidLayout:
+    """Base class: a striped layout over ``ndisks`` spindles."""
+
+    def __init__(self, ndisks: int, stripe_blocks: int = DEFAULT_STRIPE_BLOCKS):
+        if ndisks < 1:
+            raise ValueError(f"need >= 1 disk, got {ndisks}")
+        if stripe_blocks < 1:
+            raise ValueError(f"stripe must be >= 1 block, got {stripe_blocks}")
+        self.ndisks = ndisks
+        self.stripe_blocks = stripe_blocks
+
+    @property
+    def data_disks(self) -> int:
+        """Spindles holding data in each stripe row."""
+        raise NotImplementedError
+
+    def capacity_blocks(self, disk_capacity_blocks: int) -> int:
+        """Exported LUN capacity given per-disk capacity."""
+        return disk_capacity_blocks * self.data_disks
+
+    def map(self, lba: int, nblocks: int, is_read: bool) -> List[PhysicalOp]:
+        """Decompose a logical access into per-spindle operations."""
+        raise NotImplementedError
+
+    # Helper shared by subclasses: split a logical extent into
+    # stripe-chunk-aligned pieces.
+    def _chunks(self, lba: int, nblocks: int):
+        remaining = nblocks
+        current = lba
+        while remaining > 0:
+            offset_in_chunk = current % self.stripe_blocks
+            span = min(remaining, self.stripe_blocks - offset_in_chunk)
+            yield current, span
+            current += span
+            remaining -= span
+
+
+class Raid0(RaidLayout):
+    """Plain striping — the CLARiiON configuration in §5.3."""
+
+    @property
+    def data_disks(self) -> int:
+        return self.ndisks
+
+    def map(self, lba: int, nblocks: int, is_read: bool) -> List[PhysicalOp]:
+        ops: List[PhysicalOp] = []
+        for chunk_lba, span in self._chunks(lba, nblocks):
+            stripe_index = chunk_lba // self.stripe_blocks
+            disk = stripe_index % self.ndisks
+            row = stripe_index // self.ndisks
+            disk_lba = row * self.stripe_blocks + chunk_lba % self.stripe_blocks
+            ops.append(PhysicalOp(disk, disk_lba, span, is_read))
+        return ops
+
+
+class Raid5(RaidLayout):
+    """Left-asymmetric RAID-5 — the Symmetrix group in Table 1.
+
+    Reads map like RAID-0 over ``ndisks - 1`` data chunks per row (the
+    parity chunk rotates).  A *small* write expands into the classic
+    read-modify-write: read old data + old parity, write new data +
+    new parity — four physical ops per chunk, which is what makes
+    RAID-5 write latency interesting to a characterization tool.
+    """
+
+    def __init__(self, ndisks: int, stripe_blocks: int = DEFAULT_STRIPE_BLOCKS):
+        if ndisks < 3:
+            raise ValueError(f"RAID-5 needs >= 3 disks, got {ndisks}")
+        super().__init__(ndisks, stripe_blocks)
+
+    @property
+    def data_disks(self) -> int:
+        return self.ndisks - 1
+
+    def _locate(self, chunk_lba: int):
+        """(data disk, parity disk, disk LBA) for a logical chunk."""
+        stripe_index = chunk_lba // self.stripe_blocks
+        row = stripe_index // self.data_disks
+        position = stripe_index % self.data_disks
+        parity_disk = (self.ndisks - 1) - (row % self.ndisks)
+        data_disk = position if position < parity_disk else position + 1
+        disk_lba = row * self.stripe_blocks + chunk_lba % self.stripe_blocks
+        return data_disk, parity_disk, disk_lba
+
+    def map(self, lba: int, nblocks: int, is_read: bool) -> List[PhysicalOp]:
+        ops: List[PhysicalOp] = []
+        for chunk_lba, span in self._chunks(lba, nblocks):
+            data_disk, parity_disk, disk_lba = self._locate(chunk_lba)
+            if is_read:
+                ops.append(PhysicalOp(data_disk, disk_lba, span, True))
+            else:
+                # Read-modify-write: old data, old parity, new data,
+                # new parity.
+                ops.append(PhysicalOp(data_disk, disk_lba, span, True))
+                ops.append(PhysicalOp(parity_disk, disk_lba, span, True))
+                ops.append(PhysicalOp(data_disk, disk_lba, span, False))
+                ops.append(PhysicalOp(parity_disk, disk_lba, span, False))
+        return ops

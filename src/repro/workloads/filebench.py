@@ -1,0 +1,498 @@
+"""A miniature Filebench: model-based file workload generation (§4.1).
+
+Filebench [16] is Sun's model-based workload generator: a model file
+declares processes and threads composed of *flowops* (read, write,
+append, think, synchronize) over a set of files, with sizes, rates and
+randomness parameters.  This module implements the subset of the model
+semantics the paper's experiments exercise, plus the **OLTP
+personality** — the model "that tries to emulate an Oracle database
+server generating I/Os under an online transaction processing
+workload": shadow reader threads doing small random reads, database
+writer threads doing small random asynchronous writes, and a log
+writer appending synchronously.
+
+The paper's configuration is the default here: 10 GB total filesize,
+1 GB logfilesize, ~4 KB I/Os.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..guest.filesystem import FileHandle, Filesystem
+from ..sim.engine import Engine, us
+from ..sim.process import Process, all_of
+from ..sim.randomness import RandomSource
+from .base import Workload
+
+__all__ = [
+    "FlowOp",
+    "ReadFlow",
+    "WriteFlow",
+    "BatchWriteFlow",
+    "AppendFlow",
+    "WholeFileReadFlow",
+    "ThinkFlow",
+    "ThreadSpec",
+    "Personality",
+    "FilebenchWorkload",
+    "oltp_personality",
+    "webserver_personality",
+    "fileserver_personality",
+    "varmail_personality",
+]
+
+
+class FlowOp:
+    """One step in a thread's workflow."""
+
+    def run(self, proc: Process, ctx: "_ThreadContext") -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ReadFlow(FlowOp):
+    """Read ``iosize`` bytes from ``filename`` (random or sequential)."""
+
+    filename: str
+    iosize: int
+    random: bool = True
+
+    def run(self, proc: Process, ctx: "_ThreadContext") -> Generator:
+        handle = ctx.file(self.filename)
+        offset = ctx.pick_offset(handle, self.iosize, self.random)
+        done = proc.signal()
+        ctx.fs.read(handle, offset, self.iosize, on_done=done.fire)
+        yield done
+        ctx.reads += 1
+
+
+@dataclass(frozen=True)
+class WriteFlow(FlowOp):
+    """Write ``iosize`` bytes to ``filename`` (random or sequential)."""
+
+    filename: str
+    iosize: int
+    random: bool = True
+    sync: bool = False
+
+    def run(self, proc: Process, ctx: "_ThreadContext") -> Generator:
+        handle = ctx.file(self.filename)
+        offset = ctx.pick_offset(handle, self.iosize, self.random)
+        done = proc.signal()
+        ctx.fs.write(handle, offset, self.iosize, on_done=done.fire,
+                     sync=self.sync)
+        yield done
+        ctx.writes += 1
+
+
+@dataclass(frozen=True)
+class BatchWriteFlow(FlowOp):
+    """Issue ``count`` concurrent writes, then wait for all of them —
+    Filebench's ``aiowrite``/``aiowait`` pair, which is how the OLTP
+    personality's database writers flush batches of dirty buffers."""
+
+    filename: str
+    iosize: int
+    count: int
+    random: bool = True
+    sync: bool = True
+
+    def run(self, proc: Process, ctx: "_ThreadContext") -> Generator:
+        handle = ctx.file(self.filename)
+        signals = []
+        for _ in range(self.count):
+            offset = ctx.pick_offset(handle, self.iosize, self.random)
+            done = proc.signal()
+            ctx.fs.write(handle, offset, self.iosize, on_done=done.fire,
+                         sync=self.sync)
+            signals.append(done)
+        yield all_of(signals)
+        ctx.writes += self.count
+
+
+@dataclass(frozen=True)
+class AppendFlow(FlowOp):
+    """Append ``iosize`` bytes to ``filename`` (wraps at the file end —
+    the behaviour of a circular redo log)."""
+
+    filename: str
+    iosize: int
+    sync: bool = True
+
+    def run(self, proc: Process, ctx: "_ThreadContext") -> Generator:
+        handle = ctx.file(self.filename)
+        offset = ctx.append_offset(handle, self.iosize)
+        done = proc.signal()
+        ctx.fs.write(handle, offset, self.iosize, on_done=done.fire,
+                     sync=self.sync)
+        yield done
+        ctx.writes += 1
+
+
+@dataclass(frozen=True)
+class WholeFileReadFlow(FlowOp):
+    """Read one whole file, sequentially, in ``chunk_bytes`` pieces —
+    Filebench's webserver-style ``readwholefile``.  The file is chosen
+    uniformly from those whose name starts with ``prefix``."""
+
+    prefix: str
+    chunk_bytes: int = 16 * 1024
+
+    def run(self, proc: Process, ctx: "_ThreadContext") -> Generator:
+        handle = ctx.pick_file(self.prefix)
+        offset = 0
+        while offset < handle.size_bytes:
+            span = min(self.chunk_bytes, handle.size_bytes - offset)
+            done = proc.signal()
+            ctx.fs.read(handle, offset, span, on_done=done.fire)
+            yield done
+            offset += span
+        ctx.reads += 1
+
+
+@dataclass(frozen=True)
+class ThinkFlow(FlowOp):
+    """Exponential think time with the given mean (microseconds)."""
+
+    mean_us: float
+
+    def run(self, proc: Process, ctx: "_ThreadContext") -> Generator:
+        delay = ctx.rng.expovariate(1.0 / self.mean_us) if self.mean_us > 0 else 0
+        yield proc.timeout(us(delay))
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """``instances`` threads, each looping over ``flowops`` forever."""
+
+    name: str
+    flowops: Tuple[FlowOp, ...]
+    instances: int = 1
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ValueError(f"instances must be >= 1, got {self.instances}")
+        if not self.flowops:
+            raise ValueError(f"thread {self.name!r} has no flowops")
+
+
+@dataclass(frozen=True)
+class Personality:
+    """A complete model: the file set plus the thread population."""
+
+    name: str
+    files: Tuple[Tuple[str, int], ...]   # (filename, size_bytes)
+    threads: Tuple[ThreadSpec, ...]
+
+
+class _ThreadContext:
+    """Per-thread runtime state shared machinery."""
+
+    def __init__(self, fs: Filesystem, files: Dict[str, FileHandle],
+                 append_cursors: Dict[str, int], rng: _random.Random):
+        self.fs = fs
+        self._files = files
+        self._append_cursors = append_cursors
+        self.rng = rng
+        self._seq_cursors: Dict[str, int] = {}
+        self._names_by_prefix: Dict[str, List[str]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def file(self, name: str) -> FileHandle:
+        return self._files[name]
+
+    def pick_file(self, prefix: str) -> FileHandle:
+        """Uniformly choose a file whose name starts with ``prefix``."""
+        names = self._names_by_prefix.get(prefix)
+        if names is None:
+            names = sorted(
+                name for name in self._files if name.startswith(prefix)
+            )
+            if not names:
+                raise KeyError(f"no files with prefix {prefix!r}")
+            self._names_by_prefix[prefix] = names
+        return self._files[self.rng.choice(names)]
+
+    def pick_offset(self, handle: FileHandle, iosize: int,
+                    random: bool) -> int:
+        slots = handle.size_bytes // iosize
+        if slots < 1:
+            raise ValueError(
+                f"file {handle.name!r} smaller than one I/O of {iosize}"
+            )
+        if random:
+            return self.rng.randrange(slots) * iosize
+        cursor = self._seq_cursors.get(handle.name, 0)
+        self._seq_cursors[handle.name] = (cursor + 1) % slots
+        return cursor * iosize
+
+    def append_offset(self, handle: FileHandle, iosize: int) -> int:
+        cursor = self._append_cursors.get(handle.name, 0)
+        if cursor + iosize > handle.size_bytes:
+            cursor = 0
+        self._append_cursors[handle.name] = cursor + iosize
+        return cursor
+
+
+class FilebenchWorkload(Workload):
+    """Instantiates a personality's files and runs its threads."""
+
+    name = "filebench"
+
+    def __init__(self, engine: Engine, fs: Filesystem,
+                 personality: Personality,
+                 random_source: Optional[RandomSource] = None):
+        self.engine = engine
+        self.fs = fs
+        self.personality = personality
+        self.random_source = (
+            random_source if random_source is not None else RandomSource(0)
+        )
+        self._files: Dict[str, FileHandle] = {}
+        self._append_cursors: Dict[str, int] = {}
+        self._contexts: List[_ThreadContext] = []
+        self._processes: List[Process] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Create the file set and launch every thread."""
+        if self._processes:
+            raise RuntimeError("workload already started")
+        for filename, size in self.personality.files:
+            self._files[filename] = self.fs.create_file(filename, size)
+        for spec in self.personality.threads:
+            for instance in range(spec.instances):
+                ctx = _ThreadContext(
+                    self.fs,
+                    self._files,
+                    self._append_cursors,
+                    self.random_source.stream(
+                        f"{self.personality.name}.{spec.name}.{instance}"
+                    ),
+                )
+                self._contexts.append(ctx)
+                self._processes.append(
+                    Process(
+                        self.engine,
+                        self._thread_body(spec, ctx),
+                        name=f"{spec.name}[{instance}]",
+                    )
+                )
+
+    @staticmethod
+    def _thread_body(spec: ThreadSpec, ctx: _ThreadContext):
+        def body(proc: Process) -> Generator:
+            while True:
+                for flowop in spec.flowops:
+                    yield from flowop.run(proc, ctx)
+
+        return body
+
+    def stop(self) -> None:
+        for process in self._processes:
+            process.kill()
+
+    # ------------------------------------------------------------------
+    @property
+    def reads(self) -> int:
+        return sum(ctx.reads for ctx in self._contexts)
+
+    @property
+    def writes(self) -> int:
+        return sum(ctx.writes for ctx in self._contexts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FilebenchWorkload {self.personality.name!r} "
+            f"threads={len(self._processes)}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# The OLTP personality (§4.1 configuration)
+# ----------------------------------------------------------------------
+def oltp_personality(filesize: int = 10 * 1024**3,
+                     logfilesize: int = 1 * 1024**3,
+                     iosize: int = 4096,
+                     nshadows: int = 20,
+                     ndbwriters: int = 10,
+                     writer_batch: int = 20,
+                     shadow_think_us: float = 3_000.0,
+                     writer_think_us: float = 40_000.0,
+                     log_think_us: float = 6_000.0) -> Personality:
+    """The Filebench OLTP model as the paper configures it.
+
+    Shadow readers issue random ``iosize`` reads against the table
+    file with exponential think times; database writers flush
+    ``writer_batch``-deep bursts of random synchronous writes
+    (Filebench's ``aiowrite``/``aiowait`` pattern, matching a DBWR
+    checkpointing dirty buffers); a single log writer appends
+    synchronously to the (circular) redo log.  "Only three parameters
+    were changed from their default values: total filesize is 10GB,
+    logfilesize is 1GB" — with think times standing in for Filebench's
+    ``memperthread`` CPU component.
+    """
+    return Personality(
+        name="oltp",
+        files=(
+            ("datafile", filesize),
+            ("logfile", logfilesize),
+        ),
+        threads=(
+            ThreadSpec(
+                name="shadow",
+                instances=nshadows,
+                flowops=(
+                    ReadFlow("datafile", iosize, random=True),
+                    ThinkFlow(shadow_think_us),
+                ),
+            ),
+            ThreadSpec(
+                name="dbwriter",
+                instances=ndbwriters,
+                flowops=(
+                    BatchWriteFlow("datafile", iosize, count=writer_batch,
+                                   random=True, sync=True),
+                    ThinkFlow(writer_think_us),
+                ),
+            ),
+            ThreadSpec(
+                name="lgwriter",
+                instances=1,
+                flowops=(
+                    AppendFlow("logfile", iosize, sync=True),
+                    ThinkFlow(log_think_us),
+                ),
+            ),
+        ),
+    )
+
+
+def webserver_personality(nfiles: int = 200,
+                          mean_file_bytes: int = 64 * 1024,
+                          nreaders: int = 25,
+                          logfile_bytes: int = 64 * 1024 * 1024,
+                          reader_think_us: float = 2_000.0) -> Personality:
+    """The stock Filebench *webserver* model: many threads each read a
+    whole (smallish) file chosen at random, and a single thread appends
+    to a weblog.  File sizes follow a rough power spread around the
+    mean, like a document tree.
+    """
+    files: List[Tuple[str, int]] = []
+    for index in range(nfiles):
+        # Deterministic size spread: 1/4x .. 4x the mean.
+        scale = 2.0 ** ((index % 9) - 4)
+        size = max(4096, int(mean_file_bytes * scale))
+        files.append((f"htdocs/file{index:05d}", size))
+    files.append(("weblog", logfile_bytes))
+    return Personality(
+        name="webserver",
+        files=tuple(files),
+        threads=(
+            ThreadSpec(
+                name="httpd",
+                instances=nreaders,
+                flowops=(
+                    WholeFileReadFlow("htdocs/", chunk_bytes=16 * 1024),
+                    ThinkFlow(reader_think_us),
+                ),
+            ),
+            ThreadSpec(
+                name="weblog",
+                instances=1,
+                flowops=(
+                    AppendFlow("weblog", 8192, sync=False),
+                    ThinkFlow(reader_think_us),
+                ),
+            ),
+        ),
+    )
+
+
+def fileserver_personality(nfiles: int = 50,
+                           file_bytes: int = 2 * 1024 * 1024,
+                           nthreads: int = 20,
+                           think_us: float = 3_000.0) -> Personality:
+    """The stock Filebench *fileserver* model (simplified to the
+    operations this runtime supports): threads alternately read whole
+    files, rewrite regions, and append — the mixed-size, mildly local
+    pattern of an SMB/NFS server."""
+    files = tuple(
+        (f"share/file{index:04d}", file_bytes) for index in range(nfiles)
+    )
+    return Personality(
+        name="fileserver",
+        files=files,
+        threads=(
+            ThreadSpec(
+                name="reader",
+                instances=nthreads // 2,
+                flowops=(
+                    WholeFileReadFlow("share/", chunk_bytes=64 * 1024),
+                    ThinkFlow(think_us),
+                ),
+            ),
+            ThreadSpec(
+                name="writer",
+                instances=nthreads // 4,
+                flowops=(
+                    WriteFlow("share/file0000", 64 * 1024, random=True,
+                              sync=False),
+                    ThinkFlow(think_us),
+                ),
+            ),
+            ThreadSpec(
+                name="appender",
+                instances=nthreads // 4,
+                flowops=(
+                    AppendFlow("share/file0001", 16 * 1024, sync=False),
+                    ThinkFlow(think_us),
+                ),
+            ),
+        ),
+    )
+
+
+def varmail_personality(nfiles: int = 100,
+                        mean_file_bytes: int = 16 * 1024,
+                        nthreads: int = 16,
+                        iosize: int = 8192,
+                        think_us: float = 2_000.0) -> Personality:
+    """The stock Filebench *varmail* model (simplified): a mail server
+    doing fsync-heavy small appends (message delivery) interleaved
+    with whole-file reads (message retrieval).  The synchronous
+    appends are what makes varmail the classic latency-sensitive
+    filesystem benchmark."""
+    files: List[Tuple[str, int]] = []
+    for index in range(nfiles):
+        scale = 2.0 ** ((index % 5) - 2)
+        # Every mailbox must hold at least a couple of messages.
+        size = max(2 * iosize, int(mean_file_bytes * scale))
+        files.append((f"mail/box{index:04d}", size))
+    return Personality(
+        name="varmail",
+        files=tuple(files),
+        threads=(
+            ThreadSpec(
+                name="deliver",
+                instances=nthreads // 2,
+                flowops=(
+                    AppendFlow("mail/box0000", iosize, sync=True),
+                    ThinkFlow(think_us),
+                ),
+            ),
+            ThreadSpec(
+                name="retrieve",
+                instances=nthreads // 2,
+                flowops=(
+                    WholeFileReadFlow("mail/", chunk_bytes=iosize),
+                    ThinkFlow(think_us),
+                ),
+            ),
+        ),
+    )

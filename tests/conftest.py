@@ -1,0 +1,44 @@
+"""Shared fixtures: a small simulated host with one guest disk."""
+
+import pytest
+
+from repro.guest.os import GuestOS
+from repro.hypervisor.esx import EsxServer
+from repro.sim.engine import Engine
+from repro.storage.array import symmetrix
+
+GIB = 1024**3
+
+
+class Harness:
+    """Engine + ESX + one VM/vdisk/guest, ready for filesystem tests."""
+
+    def __init__(self, vdisk_bytes=8 * GIB, queue_depth=64):
+        self.engine = Engine()
+        self.esx = EsxServer(self.engine)
+        self.array = self.esx.add_array(symmetrix(self.engine))
+        self.vm = self.esx.create_vm("vm1")
+        self.device = self.esx.create_vdisk(
+            self.vm, "scsi0:0", self.array, vdisk_bytes
+        )
+        self.esx.stats.enable()
+        self.guest = GuestOS(self.engine, "guest", self.device,
+                             queue_depth=queue_depth)
+
+    @property
+    def collector(self):
+        return self.esx.collector_for("vm1", "scsi0:0")
+
+    def run(self, until=None):
+        self.engine.run(until=until)
+
+
+@pytest.fixture
+def harness():
+    return Harness()
+
+
+@pytest.fixture
+def harness_factory():
+    """Build a harness with non-default sizing."""
+    return Harness

@@ -1,0 +1,239 @@
+"""Unit tests for characterization, comparison and the fingerprint
+baseline."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    characterize,
+    describe,
+    interleaved_stream_signal,
+    random_fraction,
+    reverse_fraction,
+    sequential_fraction,
+)
+from repro.analysis.compare import (
+    compare_collectors,
+    mode_shift,
+    render_comparison,
+    total_variation_distance,
+)
+from repro.analysis.fingerprint import Fingerprint, fingerprint
+from repro.core.bins import SEEK_DISTANCE_BINS
+from repro.core.collector import VscsiStatsCollector
+from repro.core.histogram import Histogram
+from repro.sim.engine import us
+
+
+def feed(collector, accesses, is_read=True):
+    """Feed (lba, nblocks) accesses at 1 ms spacing."""
+    time_ns = 0
+    for lba, nblocks in accesses:
+        collector.on_issue(time_ns, is_read, lba, nblocks, 0)
+        collector.on_complete(time_ns + us(500), is_read, us(500))
+        time_ns += us(1000)
+
+
+def sequential_collector(n=100):
+    collector = VscsiStatsCollector()
+    feed(collector, [(index * 8, 8) for index in range(n)])
+    return collector
+
+
+def random_collector(n=100, seed=0):
+    import random
+    rng = random.Random(seed)
+    collector = VscsiStatsCollector()
+    feed(collector, [(rng.randrange(0, 10**8), 8) for _ in range(n)])
+    return collector
+
+
+class TestFractions:
+    def test_sequential_stream(self):
+        collector = sequential_collector()
+        assert sequential_fraction(collector.seek_distance.all) > 0.95
+        assert random_fraction(collector.seek_distance.all) < 0.05
+
+    def test_random_stream(self):
+        collector = random_collector()
+        assert sequential_fraction(collector.seek_distance.all) < 0.05
+        assert random_fraction(collector.seek_distance.all) > 0.8
+
+    def test_reverse_scan(self):
+        collector = VscsiStatsCollector()
+        feed(collector, [((100 - index) * 8, 8) for index in range(50)])
+        assert reverse_fraction(collector.seek_distance.all) > 0.95
+
+    def test_empty_histograms(self):
+        hist = Histogram(SEEK_DISTANCE_BINS)
+        assert sequential_fraction(hist) == 0.0
+        assert random_fraction(hist) == 0.0
+        assert reverse_fraction(hist) == 0.0
+
+    def test_interleaved_signal_positive_for_multi_stream(self):
+        collector = VscsiStatsCollector()
+        accesses = []
+        a, b = 0, 50_000_000
+        for _ in range(100):
+            accesses.append((a, 8))
+            a += 8
+            accesses.append((b, 8))
+            b += 8
+        feed(collector, accesses)
+        assert interleaved_stream_signal(collector) > 0.5
+
+    def test_interleaved_signal_near_zero_for_single_stream(self):
+        assert interleaved_stream_signal(sequential_collector()) < 0.1
+
+
+class TestProfile:
+    def test_characterize_sequential(self):
+        profile = characterize(sequential_collector())
+        assert profile.sequential > 0.9
+        assert profile.read_fraction == 1.0
+        assert profile.dominant_io_size == "4096"
+
+    def test_characterize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            characterize(VscsiStatsCollector())
+
+    def test_describe_mentions_key_facts(self):
+        text = describe(characterize(sequential_collector()))
+        assert "4096" in text
+        assert "sequential" in text
+
+    def test_describe_flags_interleaving(self):
+        collector = VscsiStatsCollector()
+        accesses = []
+        a, b = 0, 50_000_000
+        for _ in range(100):
+            accesses.append((a, 8))
+            a += 8
+            accesses.append((b, 8))
+            b += 8
+        feed(collector, accesses)
+        assert "interleaved" in describe(characterize(collector))
+
+
+class TestComparison:
+    def test_identical_distance_zero(self):
+        a = sequential_collector()
+        b = sequential_collector()
+        distance = total_variation_distance(
+            a.seek_distance.all, b.seek_distance.all
+        )
+        assert distance == 0.0
+
+    def test_disjoint_distance_one(self):
+        a = Histogram(SEEK_DISTANCE_BINS)
+        b = Histogram(SEEK_DISTANCE_BINS)
+        a.insert(1)
+        b.insert(1_000_000)
+        assert total_variation_distance(a, b) == 1.0
+
+    def test_scheme_mismatch_rejected(self):
+        from repro.core.bins import IO_LENGTH_BINS
+        a = Histogram(SEEK_DISTANCE_BINS)
+        b = Histogram(IO_LENGTH_BINS)
+        a.insert(1)
+        b.insert(1)
+        with pytest.raises(ValueError):
+            total_variation_distance(a, b)
+
+    def test_empty_rejected(self):
+        a = Histogram(SEEK_DISTANCE_BINS)
+        b = Histogram(SEEK_DISTANCE_BINS)
+        a.insert(1)
+        with pytest.raises(ValueError):
+            total_variation_distance(a, b)
+
+    def test_compare_collectors_flags_changed_metric(self):
+        comparisons = compare_collectors(sequential_collector(),
+                                         random_collector())
+        assert comparisons["seek_distance"].changed
+        assert not comparisons["io_length"].changed
+
+    def test_compare_split_selection(self):
+        with pytest.raises(ValueError):
+            compare_collectors(sequential_collector(), random_collector(),
+                               split="sideways")
+
+    def test_mode_shift(self):
+        a = sequential_collector()
+        b = random_collector()
+        mode_a, mode_b = mode_shift(a.seek_distance.all, b.seek_distance.all)
+        assert mode_a == "2"
+        assert mode_b != "2"
+
+    def test_render_contains_metrics(self):
+        text = render_comparison(
+            compare_collectors(sequential_collector(), random_collector()),
+            label_a="UFS", label_b="ZFS",
+        )
+        assert "seek_distance" in text
+        assert "UFS" in text
+
+
+class TestFingerprint:
+    def test_basic_values(self):
+        print_ = fingerprint(sequential_collector())
+        assert print_.mean_io_bytes == 4096.0
+        assert print_.mean_outstanding == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint(VscsiStatsCollector())
+
+    def test_read_write_ratio(self):
+        collector = VscsiStatsCollector()
+        feed(collector, [(0, 8), (8, 8)], is_read=True)
+        feed(collector, [(16, 8)], is_read=False)
+        assert fingerprint(collector).read_write_ratio == 2.0
+
+    def test_fingerprint_collision_demonstrates_paper_point(self):
+        """§3: multimodal behaviour is 'obfuscated by a mean'.  A
+        uniform 8 KB workload and a 4 KB/12 KB bimodal workload share a
+        fingerprint; their histograms differ."""
+        uniform = VscsiStatsCollector()
+        feed(uniform, [(index * 16, 16) for index in range(100)])
+
+        bimodal = VscsiStatsCollector()
+        accesses = []
+        position = 0
+        for index in range(50):
+            accesses.append((position, 8))    # 4 KB
+            position += 8
+            accesses.append((position, 24))   # 12 KB
+            position += 24
+        feed(bimodal, accesses)
+
+        assert fingerprint(uniform).close_to(fingerprint(bimodal), rtol=0.1)
+        assert (
+            uniform.io_length.all.counts != bimodal.io_length.all.counts
+        )
+
+    def test_close_to_rejects_different(self):
+        a = fingerprint(sequential_collector())
+        b = fingerprint(random_collector())
+        assert not a.close_to(b)
+
+
+class TestInterarrivalProfile:
+    def test_burstiness_detected(self):
+        collector = VscsiStatsCollector()
+        time_ns = 0
+        for burst in range(20):
+            for index in range(10):
+                collector.on_issue(time_ns, True, (burst * 10 + index) * 16,
+                                   16, index)
+                time_ns += us(10)         # 10 us apart inside a burst
+            time_ns += us(50_000)          # 50 ms between bursts
+        profile = characterize(collector)
+        assert profile.burstiness > 0.8
+        assert "bursty" in describe(profile)
+
+    def test_paced_stream_not_bursty(self):
+        collector = VscsiStatsCollector()
+        feed(collector, [(index * 16, 16) for index in range(100)])
+        profile = characterize(collector)
+        assert profile.burstiness < 0.1
+        assert profile.typical_interarrival_us == "1000"

@@ -1,0 +1,164 @@
+"""Unit tests for the storage array."""
+
+import pytest
+
+from repro.sim.engine import Engine, ms, seconds, us
+from repro.storage.array import StorageArray, clariion_cx3, symmetrix
+from repro.storage.cache import ReadCache, WriteBackCache
+from repro.storage.disk import DiskModel
+from repro.storage.raid import Raid0
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def plain_array(engine, **kwargs):
+    return StorageArray(engine, layout=Raid0(ndisks=4), **kwargs)
+
+
+def run_one(engine, array, lba, nblocks, is_read):
+    done_at = []
+    array.submit(lba, nblocks, is_read, lambda: done_at.append(engine.now))
+    engine.run()
+    assert len(done_at) == 1
+    return done_at[0]
+
+
+class TestBounds:
+    def test_out_of_range_rejected(self, engine):
+        array = plain_array(engine)
+        with pytest.raises(ValueError):
+            array.submit(array.capacity_blocks, 8, True, lambda: None)
+        with pytest.raises(ValueError):
+            array.submit(-1, 8, True, lambda: None)
+
+    def test_capacity_from_layout(self, engine):
+        array = plain_array(engine)
+        assert array.capacity_blocks == 4 * DiskModel().capacity_blocks
+
+
+class TestReadPath:
+    def test_cold_read_goes_to_disk(self, engine):
+        array = plain_array(engine)
+        elapsed = run_one(engine, array, 10_000_000, 16, True)
+        assert elapsed > ms(1)
+        assert array.total_disk_commands() >= 1
+
+    def test_cached_read_is_fast(self, engine):
+        cache = ReadCache(capacity_bytes=64 * 1024 * 1024)
+        array = plain_array(engine, read_cache=cache)
+        # A full-line read stages the line; the re-read hits.
+        run_one(engine, array, 0, 128, True)
+        start = engine.now
+        elapsed = run_one(engine, array, 0, 128, True) - start
+        assert elapsed < us(500)
+        assert array.read_cache_hits == 1
+
+    def test_sub_line_read_cannot_warm_cache(self, engine):
+        """Line-granular caches need the full line: small random reads
+        never become hits (the UFS-vs-ZFS asymmetry of Figure 2/3)."""
+        cache = ReadCache(capacity_bytes=64 * 1024 * 1024)
+        array = plain_array(engine, read_cache=cache)
+        run_one(engine, array, 0, 16, True)
+        run_one(engine, array, 0, 16, True)
+        assert array.read_cache_hits == 0
+
+    def test_prefetch_populates_ahead(self, engine):
+        cache = ReadCache(capacity_bytes=64 * 1024 * 1024, prefetch_lines=8)
+        array = plain_array(engine, read_cache=cache)
+        run_one(engine, array, 0, 128, True)
+        run_one(engine, array, 128, 128, True)    # sequential: hint fires
+        # The next lines were prefetched: this read now hits.
+        start = engine.now
+        elapsed = run_one(engine, array, 256, 128, True) - start
+        assert elapsed < us(500)
+
+
+class TestWritePath:
+    def test_write_cache_absorbs(self, engine):
+        array = plain_array(
+            engine, write_cache=WriteBackCache(64 * 1024 * 1024)
+        )
+        elapsed = run_one(engine, array, 0, 16, False)
+        assert elapsed < us(500)
+        assert array.write_cache_hits == 1
+
+    def test_destage_eventually_drains(self, engine):
+        cache = WriteBackCache(64 * 1024 * 1024)
+        array = plain_array(engine, write_cache=cache)
+        for index in range(10):
+            array.submit(index * 1024, 16, False, lambda: None)
+        engine.run()
+        assert cache.dirty_bytes == 0
+        assert array.total_disk_commands() >= 10
+
+    def test_full_write_cache_goes_synchronous(self, engine):
+        cache = WriteBackCache(capacity_bytes=8192)
+        array = plain_array(engine, write_cache=cache)
+        done = {}
+        # First write fills the cache; the second is rejected before
+        # any destage can run and must go straight to the spindles.
+        array.submit(0, 16, False, lambda: done.setdefault("cached", engine.now))
+        array.submit(10_000_000, 16, False,
+                     lambda: done.setdefault("direct", engine.now))
+        engine.run(until=seconds(1))
+        assert done["cached"] < us(500)
+        assert done["direct"] > ms(1)
+
+    def test_uncached_write_is_disk_bound(self, engine):
+        array = plain_array(engine)
+        assert run_one(engine, array, 10_000_000, 16, False) > ms(1)
+
+    def test_full_line_write_updates_read_cache(self, engine):
+        array = plain_array(
+            engine,
+            read_cache=ReadCache(64 * 1024 * 1024),
+            write_cache=WriteBackCache(64 * 1024 * 1024),
+        )
+        run_one(engine, array, 0, 128, False)   # full cache line
+        start = engine.now
+        elapsed = run_one(engine, array, 0, 128, True) - start
+        assert elapsed < us(500)
+
+    def test_partial_write_invalidates_read_cache(self, engine):
+        array = plain_array(
+            engine,
+            read_cache=ReadCache(64 * 1024 * 1024),
+            write_cache=WriteBackCache(64 * 1024 * 1024),
+        )
+        run_one(engine, array, 0, 128, True)     # line resident
+        run_one(engine, array, 0, 16, False)     # sub-line write: stale
+        start = engine.now
+        elapsed = run_one(engine, array, 0, 128, True) - start
+        assert elapsed > us(500)  # must re-stage from the spindles
+
+
+class TestTransferScaling:
+    def test_large_cached_transfer_takes_longer(self, engine):
+        cache = WriteBackCache(256 * 1024 * 1024)
+        array = plain_array(engine, write_cache=cache)
+        small = run_one(engine, array, 0, 16, False)
+        start = engine.now
+        large = run_one(engine, array, 1_000_000, 2048, False) - start
+        assert large > small + ms(2)  # 1 MiB at 400 MB/s ~ 2.5 ms extra
+
+
+class TestPresets:
+    def test_symmetrix_configuration(self, engine):
+        array = symmetrix(engine)
+        assert array.read_cache is not None
+        assert array.write_cache is not None
+        assert len(array.disks) == 16
+
+    def test_cx3_read_cache_toggle(self, engine):
+        with_cache = clariion_cx3(engine, read_cache=True)
+        without = clariion_cx3(Engine(), read_cache=False)
+        assert with_cache.read_cache is not None
+        assert without.read_cache is None
+
+    def test_duplicate_name_ok_but_distinct_objects(self, engine):
+        a = clariion_cx3(engine, name="a")
+        b = clariion_cx3(engine, name="b")
+        assert a.disks[0] is not b.disks[0]

@@ -1,0 +1,128 @@
+"""Unit tests for the bin-edge schemes (the paper's figure axes)."""
+
+import pytest
+
+from repro.core.bins import (
+    BinScheme,
+    INTERARRIVAL_US_BINS,
+    IO_LENGTH_BINS,
+    LATENCY_US_BINS,
+    OUTSTANDING_IO_BINS,
+    SEEK_DISTANCE_BINS,
+    scheme_for_metric,
+)
+
+
+class TestBinScheme:
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            BinScheme("bad", (1, 1))
+        with pytest.raises(ValueError):
+            BinScheme("bad", (2, 1))
+
+    def test_needs_an_edge(self):
+        with pytest.raises(ValueError):
+            BinScheme("empty", ())
+
+    def test_num_bins_includes_overflow(self):
+        assert BinScheme("s", (1, 2, 3)).num_bins == 4
+
+    def test_index_for_upper_edge_semantics(self):
+        scheme = BinScheme("s", (10, 20))
+        assert scheme.index_for(5) == 0
+        assert scheme.index_for(10) == 0   # inclusive upper edge
+        assert scheme.index_for(11) == 1
+        assert scheme.index_for(20) == 1
+        assert scheme.index_for(21) == 2   # overflow
+
+    def test_bounds(self):
+        scheme = BinScheme("s", (10, 20))
+        assert scheme.bounds(0) == (float("-inf"), 10.0)
+        assert scheme.bounds(1) == (10.0, 20.0)
+        assert scheme.bounds(2) == (20.0, float("inf"))
+
+    def test_bounds_range_checked(self):
+        scheme = BinScheme("s", (10,))
+        with pytest.raises(IndexError):
+            scheme.bounds(2)
+        with pytest.raises(IndexError):
+            scheme.bounds(-1)
+
+    def test_labels_match_paper_format(self):
+        scheme = BinScheme("s", (512, 1024))
+        assert scheme.labels() == ["512", "1024", ">1024"]
+
+    def test_equality_and_hash(self):
+        a = BinScheme("s", (1, 2))
+        b = BinScheme("s", (1, 2))
+        c = BinScheme("s", (1, 3))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_len(self):
+        assert len(BinScheme("s", (1,))) == 2
+
+
+class TestPaperSchemes:
+    def test_io_length_special_sizes_have_dedicated_bins(self):
+        """The paper's signature bins: (2048,4095], then {4096}."""
+        scheme = IO_LENGTH_BINS
+        index_4095 = scheme.index_for(4095)
+        index_4096 = scheme.index_for(4096)
+        assert index_4095 != index_4096
+        assert scheme.bounds(index_4096) == (4095.0, 4096.0)
+
+    @pytest.mark.parametrize("size", [4096, 8192, 16384, 65536])
+    def test_exact_power_sizes_isolated(self, size):
+        scheme = IO_LENGTH_BINS
+        low, high = scheme.bounds(scheme.index_for(size))
+        assert high == size
+        assert low == size - 1
+
+    def test_io_length_axis_matches_figure(self):
+        assert IO_LENGTH_BINS.labels() == [
+            "512", "1024", "2048", "4095", "4096", "8191", "8192",
+            "16383", "16384", "32768", "49152", "65535", "65536",
+            "81920", "131072", "262144", "524288", ">524288",
+        ]
+
+    def test_seek_distance_is_signed_and_symmetric(self):
+        edges = SEEK_DISTANCE_BINS.edges
+        positives = [e for e in edges if e > 0]
+        negatives = [-e for e in edges if e < 0]
+        assert sorted(negatives) == sorted(positives)
+
+    def test_seek_distance_zero_bin(self):
+        scheme = SEEK_DISTANCE_BINS
+        index = scheme.index_for(0)
+        assert scheme.bounds(index) == (-2.0, 0.0)
+
+    def test_seek_distance_one_lands_near_origin(self):
+        """Sequential I/O (distance 1) peaks 'centered around 1'."""
+        scheme = SEEK_DISTANCE_BINS
+        low, high = scheme.bounds(scheme.index_for(1))
+        assert (low, high) == (0.0, 2.0)
+
+    def test_latency_axis_matches_figure(self):
+        assert LATENCY_US_BINS.labels() == [
+            "1", "10", "100", "500", "1000", "5000", "15000", "30000",
+            "50000", "100000", ">100000",
+        ]
+
+    def test_outstanding_axis_matches_figure(self):
+        assert OUTSTANDING_IO_BINS.labels() == [
+            "1", "2", "4", "6", "8", "12", "16", "20", "24", "28",
+            "32", "64", ">64",
+        ]
+
+    def test_interarrival_uses_microsecond_scale(self):
+        assert INTERARRIVAL_US_BINS.unit == "microseconds"
+
+    def test_scheme_lookup(self):
+        assert scheme_for_metric("io_length") is IO_LENGTH_BINS
+        assert scheme_for_metric("seek_distance") is SEEK_DISTANCE_BINS
+
+    def test_scheme_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            scheme_for_metric("nope")

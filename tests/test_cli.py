@@ -1,0 +1,46 @@
+"""Smoke tests for the ``vscsistats`` command-line surface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_enumerates_artifacts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("figure2", "figure6", "table2"):
+            assert exp_id in out
+
+    def test_demo_prints_histograms(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "I/O Length" in out
+        assert "Seek Distance" in out
+        assert "dominant I/O size" in out
+
+    def test_run_table2_quick(self, capsys):
+        assert main(["run", "table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "IOps" in out
+        assert "Enabled" in out
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExport:
+    def test_run_with_export_writes_json(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "out.json"
+        assert main(["run", "figure2", "--quick",
+                     "--export", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "figure2"
+        assert "io_length" in payload["fields"]
+        assert payload["fields"]["io_length"]["count"] > 0

@@ -1,0 +1,169 @@
+"""Unit tests for the per-virtual-disk stats collector (§3)."""
+
+import pytest
+
+from repro.core.collector import VscsiStatsCollector
+from repro.sim.engine import ms, seconds, us
+
+
+@pytest.fixture
+def collector():
+    return VscsiStatsCollector()
+
+
+def issue(collector, time_ns, is_read, lba, nblocks, outstanding=0):
+    collector.on_issue(time_ns, is_read, lba, nblocks, outstanding)
+
+
+class TestSeekDistance:
+    def test_paper_definition(self, collector):
+        """Distance = first block of current minus last block of
+        previous (§3: 'the number of logical blocks between the
+        starting block of a request and the last block in the previous
+        I/O')."""
+        issue(collector, 0, True, 100, 8)      # occupies 100..107
+        issue(collector, us(1), True, 200, 8)  # 200 - 107 = 93
+        assert collector.seek_distance.all.count == 1
+        items = collector.seek_distance.all.nonzero_items()
+        assert items == [("500", 1)]  # 93 falls in (64, 500]
+
+    def test_sequential_io_distance_one(self, collector):
+        issue(collector, 0, True, 0, 8)
+        issue(collector, us(1), True, 8, 8)
+        # distance = 8 - 7 = 1, bin (0, 2]
+        assert collector.seek_distance.all.nonzero_items() == [("2", 1)]
+
+    def test_same_block_rereads_centered_at_zero(self, collector):
+        issue(collector, 0, True, 100, 1)
+        issue(collector, us(1), True, 100, 1)
+        # distance = 100 - 100 = 0, the (−2, 0] bin
+        assert collector.seek_distance.all.nonzero_items() == [("0", 1)]
+
+    def test_reverse_scan_is_negative(self, collector):
+        issue(collector, 0, True, 10_000, 8)
+        issue(collector, us(1), True, 100, 8)
+        low, high = collector.seek_distance.all.scheme.bounds(
+            collector.seek_distance.all.mode_bin()
+        )
+        assert high <= 0
+
+    def test_first_command_records_no_distance(self, collector):
+        issue(collector, 0, True, 0, 8)
+        assert collector.seek_distance.all.count == 0
+
+    def test_windowed_min_recovers_interleaved_streams(self, collector):
+        """§3.1: with two interleaved sequential streams, the plain
+        histogram shows jumps; the min-of-last-N peaks at 1."""
+        a, b = 0, 10_000_000
+        for _ in range(50):
+            issue(collector, us(1), True, a, 8)
+            a += 8
+            issue(collector, us(1), True, b, 8)
+            b += 8
+        plain = collector.seek_distance.all
+        windowed = collector.seek_distance_windowed.all
+        assert plain.fraction_in(0, 2) < 0.05
+        assert windowed.fraction_in(0, 2) > 0.9
+
+
+class TestLengthAndInterarrival:
+    def test_length_is_bytes(self, collector):
+        issue(collector, 0, True, 0, 8)   # 8 sectors = 4096 bytes
+        assert collector.io_length.all.nonzero_items() == [("4096", 1)]
+
+    def test_interarrival_microseconds(self, collector):
+        issue(collector, 0, True, 0, 8)
+        issue(collector, ms(2), True, 8, 8)
+        # 2 ms = 2000 us -> the (1000, 5000] bin
+        assert collector.interarrival_us.all.nonzero_items() == [("5000", 1)]
+
+    def test_interarrival_needs_two_commands(self, collector):
+        issue(collector, 0, True, 0, 8)
+        assert collector.interarrival_us.all.count == 0
+
+
+class TestOutstandingAndLatency:
+    def test_outstanding_recorded_at_arrival(self, collector):
+        issue(collector, 0, True, 0, 8, outstanding=5)
+        assert collector.outstanding.all.nonzero_items() == [("6", 1)]
+
+    def test_latency_microseconds(self, collector):
+        collector.on_complete(us(10), True, latency_ns=us(700))
+        assert collector.latency_us.all.nonzero_items() == [("1000", 1)]
+
+    def test_time_resolved_series_populated(self, collector):
+        issue(collector, seconds(1), True, 0, 8, outstanding=3)
+        collector.on_complete(seconds(8), True, latency_ns=ms(1))
+        assert collector.outstanding_over_time.slot(0).count == 1
+        assert collector.latency_over_time.slot(1).count == 1
+
+    def test_time_series_disabled_with_zero_slot(self):
+        collector = VscsiStatsCollector(time_slot_ns=0)
+        assert collector.outstanding_over_time is None
+        issue(collector, 0, True, 0, 8)
+        collector.on_complete(0, True, 1000)
+
+
+class TestReadWriteSplit:
+    def test_every_family_splits(self, collector):
+        issue(collector, 0, True, 0, 8, outstanding=1)
+        issue(collector, us(5), False, 100, 16, outstanding=2)
+        collector.on_complete(us(9), True, us(100))
+        collector.on_complete(us(9), False, us(200))
+        for family in collector.families().values():
+            assert family.all.count == family.reads.count + family.writes.count
+        assert collector.io_length.reads.nonzero_items() == [("4096", 1)]
+        assert collector.io_length.writes.nonzero_items() == [("8192", 1)]
+
+    def test_read_fraction(self, collector):
+        issue(collector, 0, True, 0, 8)
+        issue(collector, 1, True, 8, 8)
+        issue(collector, 2, False, 16, 8)
+        assert collector.read_fraction == pytest.approx(2 / 3)
+
+
+class TestRates:
+    def test_iops_over_observed_span(self, collector):
+        for index in range(11):
+            issue(collector, index * seconds(0.1), True, index * 8, 8)
+        # 11 commands over 1 second of arrivals
+        assert collector.iops() == pytest.approx(11.0, rel=0.01)
+
+    def test_mbps(self, collector):
+        issue(collector, 0, False, 0, 2048)           # 1 MiB
+        issue(collector, seconds(1), False, 2048, 2048)
+        assert collector.mbps() == pytest.approx(2.0, rel=0.01)
+
+    def test_byte_counters(self, collector):
+        issue(collector, 0, True, 0, 8)
+        issue(collector, 1, False, 8, 16)
+        assert collector.bytes_read == 4096
+        assert collector.bytes_written == 8192
+        assert collector.total_bytes == 12288
+
+    def test_empty_rates_are_zero(self, collector):
+        assert collector.iops() == 0.0
+        assert collector.mbps() == 0.0
+
+
+class TestLifecycle:
+    def test_reset_clears_everything(self, collector):
+        issue(collector, 0, True, 0, 8)
+        issue(collector, us(1), True, 8, 8)
+        collector.on_complete(us(2), True, us(10))
+        collector.reset()
+        assert collector.commands == 0
+        assert collector.seek_distance.all.count == 0
+        # Seek state forgotten: next command records no distance.
+        issue(collector, us(3), True, 100, 8)
+        assert collector.seek_distance.all.count == 0
+
+    def test_to_dict_shape(self, collector):
+        issue(collector, 0, True, 0, 8)
+        data = collector.to_dict()
+        assert data["commands"] == 1
+        assert set(data["families"]) == {
+            "io_length", "seek_distance", "seek_distance_windowed",
+            "interarrival_us", "outstanding", "latency_us",
+        }
+        assert "outstanding_over_time" in data

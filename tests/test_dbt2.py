@@ -1,0 +1,137 @@
+"""Unit tests for the DBT-2 (TPC-C) workload."""
+
+import random
+
+import pytest
+
+from repro.guest.ext3 import Ext3
+from repro.sim.engine import seconds
+from repro.workloads.dbt2 import Dbt2Config, Dbt2Workload, TRANSACTION_MIX
+from repro.workloads.postgres import PostgresEngine
+
+
+@pytest.fixture
+def setup(harness):
+    fs = Ext3(harness.guest, commit_interval_ns=seconds(1))
+    database = PostgresEngine(harness.engine, fs)
+    config = Dbt2Config(warehouses=4, connections=5,
+                        think_mean_us=5_000.0)
+    workload = Dbt2Workload(harness.engine, database, config)
+    return harness, database, workload
+
+
+class TestMix:
+    def test_weights_sum_to_one(self):
+        assert sum(weight for _name, weight in TRANSACTION_MIX) == pytest.approx(1.0)
+
+    def test_new_order_and_payment_dominate(self):
+        mix = dict(TRANSACTION_MIX)
+        assert mix["new_order"] == 0.45
+        assert mix["payment"] == 0.43
+
+    def test_pick_transaction_follows_weights(self):
+        rng = random.Random(0)
+        picks = [Dbt2Workload._pick_transaction(rng) for _ in range(5000)]
+        fraction = picks.count("new_order") / len(picks)
+        assert 0.40 < fraction < 0.50
+
+
+class TestDatabaseCreation:
+    def test_tables_scaled_by_warehouses(self, setup):
+        _harness, database, workload = setup
+        workload.create_database()
+        assert database.pages_in("stock") == (
+            48 * 1024 * 1024 * 4 // 8192
+        )
+        assert database._wal is not None
+
+    def test_start_creates_database_if_needed(self, setup):
+        harness, database, workload = setup
+        workload.start()
+        assert database._tables
+        workload.stop()
+
+
+class TestPagePicking:
+    def test_pages_always_in_range(self, setup):
+        _harness, _database, workload = setup
+        workload.create_database()
+        rng = random.Random(1)
+        for table in ("stock", "customer", "order_line"):
+            total = workload.database.pages_in(table)
+            for _ in range(500):
+                page = workload._pick_page(rng, table, 2, {})
+                assert 0 <= page < total
+
+    def test_home_warehouse_clustering(self, setup):
+        _harness, _database, workload = setup
+        workload.create_database()
+        rng = random.Random(2)
+        base, slice_pages = workload._slice("stock", 1)
+        anchors = {}
+        hits = sum(
+            1
+            for _ in range(500)
+            if base - workload.config.cluster_pages
+            <= workload._pick_page(rng, "stock", 1, anchors)
+            < base + slice_pages + workload.config.cluster_pages
+        )
+        # All but the remote fraction stay in the home slice.
+        assert hits / 500 > 0.8
+
+    def test_append_cursor_advances_slowly(self, setup):
+        _harness, _database, workload = setup
+        workload.create_database()
+        rng = random.Random(3)
+        config = workload.config
+        pages = [
+            workload._pick_page(rng, "order_line", 0, {}, update=True)
+            for _ in range(50)
+        ]
+        local = [p for p in pages]
+        # Append frontier: non-remote picks are identical or adjacent.
+        diffs = [b - a for a, b in zip(local, local[1:])]
+        small = sum(1 for d in diffs if 0 <= d <= 1)
+        assert small / len(diffs) > 0.7
+
+    def test_anchor_shared_within_transaction(self, harness):
+        from repro.guest.ext3 import Ext3 as _Ext3
+        fs = _Ext3(harness.guest, commit_interval_ns=seconds(1))
+        database = PostgresEngine(harness.engine, fs)
+        workload = Dbt2Workload(
+            harness.engine, database,
+            Dbt2Config(warehouses=4, connections=1, remote_fraction=0.0),
+        )
+        workload.create_database()
+        rng = random.Random(4)
+        anchors = {}
+        pages = [workload._pick_page(rng, "customer", 0, anchors)
+                 for _ in range(20)]
+        spread = max(pages) - min(pages)
+        # Without remote picks the spread stays within the jitter.
+        assert spread <= 2 * workload.config.cluster_pages + 1
+
+
+class TestExecution:
+    def test_transactions_complete(self, setup):
+        harness, _database, workload = setup
+        workload.start()
+        harness.run(until=seconds(10))
+        workload.stop()
+        assert workload.transactions > 0
+        assert workload.tpm() > 0
+        assert sum(workload.by_type.values()) == workload.transactions
+
+    def test_commits_happen_for_update_transactions(self, setup):
+        harness, database, workload = setup
+        workload.start()
+        harness.run(until=seconds(10))
+        workload.stop()
+        assert database.wal_flushes > 0
+
+    def test_double_start_rejected(self, setup):
+        _harness, _database, workload = setup
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()
+        workload.stop()

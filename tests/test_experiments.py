@@ -1,0 +1,228 @@
+"""Experiment shape tests: scaled-down runs of every paper artifact,
+asserting the qualitative claims the paper makes about each figure."""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.setups import TABLE1_SPEC, reference_testbed
+from repro.experiments.table2 import render_table2, run_table2
+
+MIB = 1024**2
+GIB = 1024**3
+
+
+# Durations long enough for the guest/array caches to reach steady
+# state — the UFS-vs-ZFS throughput ordering only emerges once ZFS's
+# inflated reads have warmed its cache (see DESIGN.md).
+@pytest.fixture(scope="module")
+def figure2():
+    return run_figure2(duration_s=12.0, filesize=1 * GIB,
+                       logfilesize=128 * MIB)
+
+
+@pytest.fixture(scope="module")
+def figure3():
+    return run_figure3(duration_s=12.0, filesize=1 * GIB,
+                       logfilesize=128 * MIB)
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return run_figure4(duration_s=30.0, warehouses=20, connections=10)
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    return run_figure5(duration_s=4.0, file_bytes=1 * GIB)
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    return run_figure6(duration_s=6.0)
+
+
+class TestSetups:
+    def test_table1_documented(self):
+        spec = dict(TABLE1_SPEC)
+        assert spec["Machine Model"] == "HP DL 585 G2"
+        assert "Symmetrix" in spec["Disk Subsystem (4Gb SAN)"]
+
+    def test_array_kinds(self):
+        for kind in ("symmetrix", "cx3", "cx3_nocache"):
+            bed = reference_testbed(kind)
+            assert bed.array is bed.esx.array(bed.array.name)
+        with pytest.raises(ValueError):
+            reference_testbed("floppy")
+
+
+class TestFigure2Shape:
+    def test_io_sizes_are_4k_and_8k(self, figure2):
+        """'UFS is issuing I/Os of sizes 4KB and 8KB.'"""
+        assert figure2.small_io_fraction > 0.95
+        items = dict(figure2.io_length.nonzero_items())
+        assert items.get("4096", 0) > 0
+        assert items.get("8192", 0) > 0
+
+    def test_workload_is_random(self, figure2):
+        """'the OLTP workload is quite random ... spikes at the right
+        and left edges.'"""
+        assert figure2.random > 0.5
+        assert figure2.random_reads > 0.5
+        assert figure2.random_writes > 0.5
+
+    def test_no_write_sequentialization(self, figure2):
+        """'UFS isn't doing anything special.'"""
+        assert figure2.sequential_writes < 0.2
+
+
+class TestFigure3Shape:
+    def test_large_ios_dominate(self, figure3):
+        """'ZFS is issuing I/Os of sizes between 80KB and 128KB.'"""
+        assert figure3.dominant_size_label == "131072"
+        assert figure3.large_io_fraction > 0.5
+
+    def test_writes_sequentialized(self, figure3):
+        """'it is turning random writes into sequential I/O.'"""
+        assert figure3.sequential_writes > 0.7
+
+    def test_reads_stay_random(self, figure3):
+        """'generating random reads (expected).'"""
+        assert figure3.random_reads > 0.5
+
+    def test_zfs_outperforms_ufs(self, figure2, figure3):
+        """'the performance of OLTP on ZFS is significantly higher
+        than on UFS.'"""
+        assert figure3.app_ops_per_second > figure2.app_ops_per_second
+
+
+class TestFigure4Shape:
+    def test_almost_exclusively_8k(self, figure4):
+        assert figure4.eight_k_fraction > 0.9
+
+    def test_locality_bursts_in_writes(self, figure4):
+        """'within 500 sectors (20%) or within 5000 sectors (33%).'"""
+        assert 0.05 < figure4.writes_within_500 < 0.6
+        assert figure4.writes_within_5000 > figure4.writes_within_500
+        # ... inside an overall random stream: edges populated too.
+        labels = dict(figure4.seek_distance_writes.nonzero_items())
+        assert labels.get("-500000", 0) + labels.get(">500000", 0) > 0
+
+    def test_writes_pinned_near_32(self, figure4):
+        """'PostgreSQL is always issuing around 32 writes
+        simultaneously.'"""
+        assert figure4.modal_write_outstanding in ("28", "32", "64")
+
+    def test_reads_and_writes_differ(self, figure4):
+        reads = figure4.outstanding_reads
+        writes = figure4.outstanding_writes
+        assert reads.mode_label() != writes.mode_label()
+
+    def test_rate_varies_over_time(self, figure4):
+        """'I/O rate ... varying by as much as 15%.'"""
+        assert figure4.rate_variation > 0.02
+
+
+class TestFigure5Shape:
+    def test_xp_64k_vista_1mb(self, figure5):
+        assert figure5.xp.dominant_size_label == "65536"
+        assert figure5.vista.dominant_size_label == ">524288"
+
+    def test_sixteen_to_one_size_ratio(self, figure5):
+        assert 10 < figure5.vista_to_xp_size_ratio < 20
+
+    def test_vista_fewer_commands(self, figure5):
+        assert figure5.vista_fewer_commands
+
+    def test_vista_higher_latency(self, figure5):
+        assert figure5.vista_higher_latency
+
+    def test_both_sequential(self, figure5):
+        assert figure5.xp.sequential > 0.8
+        assert figure5.vista.sequential > 0.8
+
+
+class TestFigure6Shape:
+    def test_sequential_reader_hurt_badly(self, figure6):
+        """'latency increase: 40x, IOps drop: 90%.'"""
+        assert figure6.sequential_latency_factor > 10
+        assert figure6.sequential_iops_drop > 0.7
+
+    def test_random_reader_hurt_mildly(self, figure6):
+        """'latency increase: 1.6x, IOps drop: 38%' — the direction
+        and the asymmetry, not the exact factor."""
+        assert 1.0 < figure6.random_latency_factor < 3.0
+        assert figure6.random_iops_drop < figure6.sequential_iops_drop
+
+    def test_solo_sequential_latency_band(self, figure6):
+        """'94% of I/Os had latency in (100us,500us].'"""
+        assert figure6.sequential_solo.latency.fraction_in(100, 500) > 0.6
+
+    def test_solo_random_latency_band(self, figure6):
+        """'82% of I/Os had latency in (5ms,15ms].'"""
+        frac = figure6.random_solo.latency.fraction_in(5000, 15000)
+        assert frac > 0.3
+
+    def test_dual_sequential_shifts_right(self, figure6):
+        dual = figure6.sequential_dual.latency
+        assert dual.fraction_in(100, 500) < 0.2
+        assert dual.percentile_upper_bound(0.5) >= 5000
+
+
+class TestTable2:
+    def test_simulated_throughput_unperturbed(self):
+        result = run_table2(duration_s=1.0, repetitions=1)
+        assert result.iops_change == pytest.approx(0.0)
+        assert result.disabled.iops > 0
+
+    def test_render_contains_rows(self):
+        result = run_table2(duration_s=0.5, repetitions=1)
+        text = render_table2(result)
+        assert "IOps" in text
+        assert "Enabled" in text
+
+
+class TestRunner:
+    def test_registry_covers_every_artifact(self):
+        ids = {experiment.exp_id for experiment in EXPERIMENTS}
+        assert ids == {
+            "figure2", "figure3", "figure4", "figure5", "figure6",
+            "figure6-symmetrix", "table2",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_quick_run_table2(self):
+        result = run_experiment("table2", quick=True)
+        assert result.disabled.iops > 0
+
+
+class TestFigure6TimeSeries:
+    def test_sequential_over_time_shows_phases(self):
+        from repro.experiments.figure6 import run_sequential_over_time
+        series = run_sequential_over_time(
+            total_s=18.0, disturb_start_s=6.0, disturb_end_s=12.0
+        )
+        quiet = series.slot(0)
+        disturbed = series.slot(1)
+        recovered = series.slot(2)
+        assert quiet.count > 5 * disturbed.count
+        assert recovered.count > 5 * disturbed.count
+        assert (
+            disturbed.percentile_upper_bound(0.5)
+            > quiet.percentile_upper_bound(0.5)
+        )
+
+
+class TestSymmetrixControl:
+    def test_no_large_latency_change(self):
+        from repro.experiments.figure6 import run_symmetrix_control
+        result = run_symmetrix_control(duration_s=4.0)
+        assert result.sequential_latency_factor < 5.0
+        assert result.random_latency_factor < 5.0

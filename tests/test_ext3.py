@@ -1,0 +1,122 @@
+"""Unit tests for the ext3 model (Figure 4's filesystem)."""
+
+import pytest
+
+from repro.guest.ext3 import Ext3
+from repro.guest.pagecache import PageCache
+from repro.sim.engine import seconds, us
+
+
+@pytest.fixture
+def fs(harness):
+    return Ext3(harness.guest, commit_interval_ns=seconds(1))
+
+
+@pytest.fixture
+def datafile(fs):
+    return fs.create_file("data", 32 << 20)
+
+
+class TestSyncPath:
+    def test_sync_write_goes_straight_through(self, harness, fs, datafile):
+        done = []
+        fs.write(datafile, 0, 8192, on_done=lambda: done.append(True),
+                 sync=True)
+        harness.run(until=us(100_000))
+        assert done == [True]
+        assert harness.collector.write_commands >= 1
+
+    def test_aligned_8k_write_is_one_command(self, harness, fs, datafile):
+        fs.write(datafile, 8192, 8192, sync=True)
+        harness.run(until=us(100_000))
+        writes = harness.collector.io_length.writes.nonzero_items()
+        assert writes == [("8192", 1)]
+
+    def test_in_place_layout(self, fs, datafile):
+        fs.write(datafile, 0, 8192, sync=True)
+        assert datafile.blocks.is_contiguous
+
+
+class TestBufferedPath:
+    def test_buffered_write_defers_io(self, harness, fs, datafile):
+        done = []
+        fs.write(datafile, 0, 8192, on_done=lambda: done.append(True),
+                 sync=False)
+        harness.run(until=us(1000))
+        assert done == [True]           # caller continued immediately
+        assert fs.dirty_data_blocks == 2
+        collector = harness.collector
+        assert collector is None or collector.write_commands == 0
+
+    def test_commit_flushes_data_and_journal(self, harness, fs, datafile):
+        fs.write(datafile, 0, 8192, sync=False)
+        harness.run(until=seconds(2))
+        assert fs.dirty_data_blocks == 0
+        assert fs.journal_commits >= 1
+        assert fs.data_flushes == 1
+        assert harness.collector.write_commands >= 2  # data + journal
+
+    def test_flush_coalesces_adjacent_blocks(self, harness, fs, datafile):
+        for index in range(4):
+            fs.write(datafile, index * 4096, 4096, sync=False)
+        harness.run(until=seconds(2))
+        # Four adjacent 4 KB blocks coalesce into one 16 KB command.
+        writes = dict(harness.collector.io_length.writes.nonzero_items())
+        assert "16384" in writes
+
+    def test_rewrite_before_flush_dedups(self, fs, datafile):
+        fs.write(datafile, 0, 4096, sync=False)
+        fs.write(datafile, 0, 4096, sync=False)
+        assert fs.dirty_data_blocks == 1
+
+    def test_explicit_sync(self, harness, fs, datafile):
+        fs.write(datafile, 0, 4096, sync=False)
+        done = []
+        fs.sync(on_done=lambda: done.append(True))
+        harness.run(until=seconds(1))
+        assert done == [True]
+        assert fs.dirty_data_blocks == 0
+
+
+class TestJournal:
+    def test_journal_writes_are_sequential(self, harness, fs, datafile):
+        for round_index in range(3):
+            fs.write(datafile, round_index * 8192, 8192, sync=False)
+            harness.run(until=seconds(round_index + 2))
+        assert fs.journal_commits >= 2
+        assert fs._journal_cursor > 0
+
+    def test_journal_region_excluded_from_allocation(self, harness):
+        fs = Ext3(harness.guest, journal_bytes=64 * 1024 * 1024)
+        capacity = harness.device.vdisk.capacity_blocks
+        assert fs.region_blocks == capacity - (64 * 1024 * 1024) // 512
+
+    def test_journal_wraps(self, harness):
+        fs = Ext3(harness.guest, journal_bytes=1 << 20,
+                  commit_interval_ns=us(1000))
+        datafile = fs.create_file("d", 1 << 20)
+        for index in range(60):
+            fs.write(datafile, 0, 4096, sync=False)
+            harness.run(until=harness.engine.now + us(2000))
+        assert fs._journal_cursor <= fs._journal_sectors
+
+    def test_oversized_journal_rejected(self, harness):
+        with pytest.raises(ValueError):
+            Ext3(harness.guest, region_blocks=1000,
+                 journal_bytes=1024 * 1024 * 1024)
+
+
+class TestBufferedReads:
+    def test_reads_default_to_page_cache(self, harness):
+        fs = Ext3(harness.guest, page_cache=PageCache(16 << 20))
+        datafile = fs.create_file("d", 1 << 20)
+        fs.read(datafile, 0, 8192)
+        harness.run()
+        first = harness.collector.read_commands
+        fs.read(datafile, 0, 8192)
+        harness.run()
+        assert harness.collector.read_commands == first
+
+    def test_plan_write_not_usable_directly(self, harness, fs, datafile):
+        with pytest.raises(NotImplementedError):
+            fs._plan_write(datafile, 0, 8192, True)

@@ -1,0 +1,152 @@
+"""Tests for the external initiator (§3.7) and trace replay."""
+
+import pytest
+
+from repro.core.tracing import TraceRecord
+from repro.sim.engine import seconds, us
+from repro.workloads.external import ExternalInitiator
+from repro.workloads.iometer import AccessSpec, IometerWorkload
+from repro.workloads.replay import TraceReplayWorkload
+
+GIB = 1024**3
+
+
+class TestExternalInitiator:
+    def test_invisible_to_the_histograms(self, harness):
+        """§3.7: the external host's traffic never appears in any
+        collector — only its *effect* on latency does."""
+        initiator = ExternalInitiator(harness.engine, harness.array,
+                                      outstanding=8)
+        initiator.start()
+        harness.run(until=seconds(2))
+        assert initiator.completed > 0
+        assert harness.collector is None  # the VM issued nothing
+
+    def test_raises_vm_latency_without_touching_its_histogram_shape(
+        self, harness_factory
+    ):
+        def run(with_external):
+            bed = harness_factory()
+            spec = AccessSpec("probe", io_bytes=8192, random_fraction=1.0,
+                              outstanding=8)
+            IometerWorkload(bed.engine, bed.device, spec,
+                            rng=bed.esx.random.stream("w")).start()
+            if with_external:
+                ExternalInitiator(
+                    bed.engine, bed.array, outstanding=64,
+                ).start()
+            bed.run(until=seconds(3))
+            return bed.collector
+
+        quiet = run(False)
+        loaded = run(True)
+        assert loaded.latency_us.all.mean > quiet.latency_us.all.mean
+        assert (
+            quiet.io_length.all.mode_label()
+            == loaded.io_length.all.mode_label()
+        )
+
+    def test_region_validation(self, harness):
+        with pytest.raises(ValueError):
+            ExternalInitiator(harness.engine, harness.array,
+                              region_start_blocks=harness.array.capacity_blocks,
+                              region_blocks=1024)
+        with pytest.raises(ValueError):
+            ExternalInitiator(harness.engine, harness.array, io_bytes=1000)
+
+    def test_stop(self, harness):
+        initiator = ExternalInitiator(harness.engine, harness.array,
+                                      outstanding=4)
+        initiator.start()
+        harness.run(until=seconds(1))
+        initiator.stop()
+        at_stop = initiator.completed
+        harness.run(until=seconds(3))
+        assert initiator.completed <= at_stop + 4
+
+
+class TestTraceReplay:
+    def make_trace(self, n=50, spacing_us=500):
+        return [
+            TraceRecord(index, us(index * spacing_us),
+                        us(index * spacing_us + 300),
+                        lba=index * 16, nblocks=16, is_read=index % 3 != 0)
+            for index in range(n)
+        ]
+
+    def test_recorded_timing_preserves_arrival_histograms(self, harness):
+        records = self.make_trace()
+        replay = TraceReplayWorkload(harness.engine, harness.device, records)
+        replay.start()
+        harness.run(until=seconds(5))
+        assert replay.finished
+        collector = harness.collector
+        assert collector.commands == len(records)
+        # Sizes and seeks replay exactly.
+        assert collector.io_length.all.nonzero_items() == [
+            ("8192", len(records))
+        ]
+        from repro.analysis.characterize import sequential_fraction
+        assert sequential_fraction(collector.seek_distance.all) > 0.95
+        # Interarrival structure too: 500 us spacing -> the (100,500] bin.
+        assert collector.interarrival_us.all.mode_label() == "500"
+
+    def test_time_scale_stretches_interarrival(self, harness):
+        records = self.make_trace(spacing_us=500)
+        replay = TraceReplayWorkload(harness.engine, harness.device,
+                                     records, time_scale=4.0)
+        replay.start()
+        harness.run(until=seconds(5))
+        collector = harness.collector
+        # 2000 us spacing -> the (1000, 5000] bin.
+        assert collector.interarrival_us.all.mode_label() == "5000"
+
+    def test_closed_loop_mode_keeps_window(self, harness):
+        records = self.make_trace(n=40)
+        replay = TraceReplayWorkload(harness.engine, harness.device,
+                                     records, timing="closed",
+                                     outstanding=4)
+        replay.start()
+        harness.run(until=seconds(10))
+        assert replay.finished
+        labels = dict(harness.collector.outstanding.all.nonzero_items())
+        assert set(labels) <= {"1", "2", "4"}
+
+    def test_validation(self, harness):
+        records = self.make_trace(n=2)
+        with pytest.raises(ValueError):
+            TraceReplayWorkload(harness.engine, harness.device, records,
+                                timing="warp")
+        with pytest.raises(ValueError):
+            TraceReplayWorkload(harness.engine, harness.device, records,
+                                time_scale=0)
+        with pytest.raises(ValueError):
+            TraceReplayWorkload(harness.engine, harness.device, [],
+                                ).start()
+
+    def test_round_trip_capture_and_replay(self, harness_factory):
+        """Capture a live trace, replay it on a fresh host, and get the
+        same environment-independent histograms."""
+        source = harness_factory()
+        trace = source.device.start_trace()
+        spec = AccessSpec("cap", io_bytes=8192, random_fraction=0.5,
+                          outstanding=4)
+        IometerWorkload(source.engine, source.device, spec,
+                        rng=source.esx.random.stream("w")).start()
+        source.run(until=seconds(1))
+        original = source.collector
+
+        target = harness_factory()
+        replay = TraceReplayWorkload(target.engine, target.device,
+                                     list(trace))
+        replay.start()
+        target.run(until=seconds(30))
+        replayed = target.collector
+        # Every traced (i.e. completed) command was replayed with its
+        # exact size; the original collector may additionally hold the
+        # in-flight tail that never completed.
+        assert replayed.commands == len(trace)
+        assert replayed.bytes_read + replayed.bytes_written == sum(
+            record.length_bytes for record in trace
+        )
+        assert original.commands >= replayed.commands

@@ -1,0 +1,247 @@
+"""Unit tests for the mini-Filebench workload generator."""
+
+import pytest
+
+from repro.guest.ufs import UFS
+from repro.sim.engine import seconds
+from repro.workloads.filebench import (
+    AppendFlow,
+    FilebenchWorkload,
+    Personality,
+    ReadFlow,
+    ThinkFlow,
+    ThreadSpec,
+    WriteFlow,
+    oltp_personality,
+)
+
+
+@pytest.fixture
+def fs(harness):
+    return UFS(harness.guest)
+
+
+def run_personality(harness, fs, personality, duration_s=1.0):
+    workload = FilebenchWorkload(harness.engine, fs, personality)
+    workload.start()
+    harness.run(until=seconds(duration_s))
+    workload.stop()
+    return workload
+
+
+class TestModelValidation:
+    def test_thread_spec_needs_flowops(self):
+        with pytest.raises(ValueError):
+            ThreadSpec("t", flowops=())
+
+    def test_thread_spec_needs_instances(self):
+        with pytest.raises(ValueError):
+            ThreadSpec("t", flowops=(ThinkFlow(1.0),), instances=0)
+
+
+class TestExecution:
+    def test_reader_thread_reads(self, harness, fs):
+        personality = Personality(
+            name="readers",
+            files=(("f", 1 << 20),),
+            threads=(ThreadSpec("r", (ReadFlow("f", 4096),)),),
+        )
+        workload = run_personality(harness, fs, personality, 0.2)
+        assert workload.reads > 0
+        assert workload.writes == 0
+        assert harness.collector.read_commands > 0
+
+    def test_writer_thread_writes(self, harness, fs):
+        personality = Personality(
+            name="writers",
+            files=(("f", 1 << 20),),
+            threads=(ThreadSpec(
+                "w", (WriteFlow("f", 4096), ThinkFlow(100.0))
+            ),),
+        )
+        workload = run_personality(harness, fs, personality, 0.2)
+        assert workload.writes > 0
+
+    def test_instances_multiply_threads(self, harness, fs):
+        personality = Personality(
+            name="many",
+            files=(("f", 1 << 20),),
+            threads=(ThreadSpec(
+                "r", (ReadFlow("f", 4096), ThinkFlow(1000.0)), instances=5
+            ),),
+        )
+        workload = FilebenchWorkload(harness.engine, fs, personality)
+        workload.start()
+        assert len(workload._processes) == 5
+
+    def test_think_time_paces_issue(self, harness, fs):
+        fast = Personality(
+            "fast", (("f", 1 << 20),),
+            (ThreadSpec("r", (ReadFlow("f", 4096), ThinkFlow(100.0))),),
+        )
+        slow = Personality(
+            "slow", (("f", 1 << 20),),
+            (ThreadSpec("r", (ReadFlow("f", 4096), ThinkFlow(50_000.0))),),
+        )
+        fast_count = run_personality(harness, fs, fast, 0.5).reads
+
+        # Fresh world for the slow run.
+        slow_harness_cls = type(harness)
+        slow_harness = slow_harness_cls()
+        slow_fs = UFS(slow_harness.guest)
+        slow_workload = FilebenchWorkload(slow_harness.engine, slow_fs, slow)
+        slow_workload.start()
+        slow_harness.run(until=seconds(0.5))
+        assert fast_count > 3 * slow_workload.reads
+
+    def test_append_wraps_at_file_end(self, harness, fs):
+        personality = Personality(
+            "log", (("log", 64 * 1024),),
+            (ThreadSpec("lg", (AppendFlow("log", 4096),)),),
+        )
+        workload = run_personality(harness, fs, personality, 0.5)
+        # More appends than slots: the cursor wrapped without error.
+        assert workload.writes > 16
+
+    def test_sequential_read_cursor_advances(self, harness, fs):
+        personality = Personality(
+            "scan", (("f", 1 << 20),),
+            (ThreadSpec("s", (ReadFlow("f", 8192, random=False),)),),
+        )
+        trace = harness.device.start_trace()
+        run_personality(harness, fs, personality, 0.2)
+        ordered = trace.sorted_by_issue()
+        lbas = [record.lba for record in ordered[:20]]
+        assert lbas == sorted(lbas)
+
+    def test_stop_kills_threads(self, harness, fs):
+        personality = Personality(
+            "x", (("f", 1 << 20),),
+            (ThreadSpec("r", (ReadFlow("f", 4096), ThinkFlow(100.0))),),
+        )
+        workload = run_personality(harness, fs, personality, 0.2)
+        count = workload.reads
+        harness.run(until=seconds(1))
+        assert workload.reads == count
+
+    def test_double_start_rejected(self, harness, fs):
+        workload = FilebenchWorkload(
+            harness.engine, fs,
+            Personality("p", (("f", 1 << 20),),
+                        (ThreadSpec("r", (ReadFlow("f", 4096),)),)),
+        )
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()
+
+
+class TestOltpPersonality:
+    def test_paper_configuration_defaults(self):
+        personality = oltp_personality()
+        files = dict(personality.files)
+        assert files["datafile"] == 10 * 1024**3
+        assert files["logfile"] == 1 * 1024**3
+
+    def test_thread_population(self):
+        personality = oltp_personality(nshadows=7, ndbwriters=3)
+        by_name = {spec.name: spec for spec in personality.threads}
+        assert by_name["shadow"].instances == 7
+        assert by_name["dbwriter"].instances == 3
+        assert by_name["lgwriter"].instances == 1
+
+    def test_dbwriters_flush_synchronous_batches(self):
+        from repro.workloads.filebench import BatchWriteFlow
+        personality = oltp_personality(writer_batch=12)
+        by_name = {spec.name: spec for spec in personality.threads}
+        write_op = by_name["dbwriter"].flowops[0]
+        assert isinstance(write_op, BatchWriteFlow)
+        assert write_op.sync
+        assert write_op.count == 12
+
+    def test_runs_and_produces_mixed_io(self, harness, fs):
+        personality = oltp_personality(
+            filesize=64 << 20, logfilesize=8 << 20
+        )
+        workload = run_personality(harness, fs, personality, 1.0)
+        assert workload.reads > 0
+        assert workload.writes > 0
+        collector = harness.collector
+        assert collector.read_commands > 0
+        assert collector.write_commands > 0
+
+
+class TestOtherPersonalities:
+    def test_webserver_reads_whole_files_sequentially(self, harness, fs):
+        from repro.workloads.filebench import webserver_personality
+        personality = webserver_personality(nfiles=20, nreaders=5)
+        workload = run_personality(harness, fs, personality, 1.0)
+        assert workload.reads > 0         # whole files completed
+        collector = harness.collector
+        assert collector.read_commands > 0
+        # Whole-file reads are sequential runs: the windowed histogram
+        # shows substantial sequentiality despite file interleaving.
+        from repro.analysis.characterize import sequential_fraction
+        assert sequential_fraction(
+            collector.seek_distance_windowed.reads
+        ) > 0.3
+
+    def test_webserver_appends_to_weblog(self, harness, fs):
+        from repro.workloads.filebench import webserver_personality
+        personality = webserver_personality(nfiles=10, nreaders=2)
+        workload = run_personality(harness, fs, personality, 1.0)
+        assert workload.writes > 0
+
+    def test_fileserver_mixes_operations(self, harness, fs):
+        from repro.workloads.filebench import fileserver_personality
+        personality = fileserver_personality(nfiles=10, nthreads=8)
+        workload = run_personality(harness, fs, personality, 1.0)
+        assert workload.reads > 0
+        assert workload.writes > 0
+        collector = harness.collector
+        assert 0.0 < collector.read_fraction < 1.0
+
+    def test_file_size_spread_in_webserver(self):
+        from repro.workloads.filebench import webserver_personality
+        personality = webserver_personality(nfiles=18,
+                                            mean_file_bytes=64 * 1024)
+        sizes = [size for name, size in personality.files
+                 if name.startswith("htdocs/")]
+        assert min(sizes) < 64 * 1024 < max(sizes)
+
+    def test_pick_file_unknown_prefix_raises(self, harness, fs):
+        from repro.workloads.filebench import (
+            Personality, ThreadSpec, WholeFileReadFlow,
+        )
+        personality = Personality(
+            "bad", (("a", 1 << 20),),
+            (ThreadSpec("r", (WholeFileReadFlow("missing/"),)),),
+        )
+        workload = FilebenchWorkload(harness.engine, fs, personality)
+        workload.start()
+        with pytest.raises(KeyError):
+            harness.run(until=seconds(1))
+
+
+class TestVarmailPersonality:
+    def test_mixes_sync_appends_and_reads(self, harness, fs):
+        from repro.workloads.filebench import varmail_personality
+        personality = varmail_personality(nfiles=10, nthreads=4)
+        workload = run_personality(harness, fs, personality, 1.0)
+        assert workload.reads > 0
+        assert workload.writes > 0
+
+    def test_appends_are_synchronous(self):
+        from repro.workloads.filebench import (
+            AppendFlow, varmail_personality,
+        )
+        personality = varmail_personality()
+        by_name = {spec.name: spec for spec in personality.threads}
+        append_op = by_name["deliver"].flowops[0]
+        assert isinstance(append_op, AppendFlow)
+        assert append_op.sync
+
+    def test_file_size_spread(self):
+        from repro.workloads.filebench import varmail_personality
+        personality = varmail_personality(nfiles=10)
+        sizes = [size for _name, size in personality.files]
+        assert min(sizes) < max(sizes)

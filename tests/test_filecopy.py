@@ -1,0 +1,83 @@
+"""Unit tests for the file-copy workload."""
+
+import pytest
+
+from repro.guest.ntfs import NTFS, VISTA_COPY_ENGINE, XP_COPY_ENGINE
+from repro.sim.engine import seconds
+from repro.workloads.filecopy import FileCopyWorkload
+
+
+@pytest.fixture
+def fs(harness):
+    return NTFS(harness.guest)
+
+
+class TestCopy:
+    def test_small_copy_finishes(self, harness, fs):
+        workload = FileCopyWorkload(harness.engine, fs, XP_COPY_ENGINE,
+                                    file_bytes=8 << 20)
+        workload.start()
+        harness.run(until=seconds(60))
+        assert workload.finished
+        assert workload.bytes_copied == 8 << 20
+
+    def test_creates_source_and_destination(self, harness, fs):
+        workload = FileCopyWorkload(harness.engine, fs, XP_COPY_ENGINE,
+                                    file_bytes=1 << 20)
+        workload.start()
+        assert fs.open("source.bin").size_bytes == 1 << 20
+        assert fs.open("copy-of-source.bin").size_bytes == 1 << 20
+
+    def test_reads_equal_writes(self, harness, fs):
+        workload = FileCopyWorkload(harness.engine, fs, XP_COPY_ENGINE,
+                                    file_bytes=4 << 20)
+        workload.start()
+        harness.run(until=seconds(60))
+        collector = harness.collector
+        data_reads = [
+            count for label, count
+            in collector.io_length.reads.nonzero_items()
+            if label == "65536"
+        ]
+        data_writes = [
+            count for label, count
+            in collector.io_length.writes.nonzero_items()
+            if label == "65536"
+        ]
+        assert data_reads == data_writes == [64]
+
+    def test_chunk_sizes_visible_at_hypervisor(self, harness, fs):
+        workload = FileCopyWorkload(harness.engine, fs, VISTA_COPY_ENGINE,
+                                    file_bytes=16 << 20)
+        workload.start()
+        harness.run(until=seconds(60))
+        assert harness.collector.io_length.all.mode_label() == ">524288"
+
+    def test_pipeline_depth_parallelism(self, harness, fs):
+        workload = FileCopyWorkload(harness.engine, fs, VISTA_COPY_ENGINE,
+                                    file_bytes=64 << 20)
+        workload.start()
+        assert len(workload._processes) == VISTA_COPY_ENGINE.pipeline_depth
+
+    def test_stop_mid_copy(self, harness, fs):
+        workload = FileCopyWorkload(harness.engine, fs, XP_COPY_ENGINE,
+                                    file_bytes=256 << 20)
+        workload.start()
+        harness.run(until=seconds(0.05))
+        workload.stop()
+        copied = workload.chunks_copied
+        harness.run(until=seconds(1))
+        assert workload.chunks_copied <= copied + XP_COPY_ENGINE.pipeline_depth
+        assert not workload.finished
+
+    def test_too_small_file_rejected(self, harness, fs):
+        with pytest.raises(ValueError):
+            FileCopyWorkload(harness.engine, fs, VISTA_COPY_ENGINE,
+                             file_bytes=1024)
+
+    def test_double_start_rejected(self, harness, fs):
+        workload = FileCopyWorkload(harness.engine, fs, XP_COPY_ENGINE,
+                                    file_bytes=1 << 20)
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()

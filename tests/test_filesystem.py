@@ -1,0 +1,182 @@
+"""Unit tests for the filesystem base layer and block maps."""
+
+import pytest
+
+from repro.guest.filesystem import BlockMap, Filesystem
+from repro.guest.pagecache import PageCache
+
+
+class TestBlockMap:
+    def test_contiguous_mapping(self):
+        block_map = BlockMap(base_lba=1000, nblocks_fs=10, sectors_per_block=8)
+        assert block_map.lba_of(0) == 1000
+        assert block_map.lba_of(3) == 1024
+        assert block_map.is_contiguous
+
+    def test_remap_promotes_to_explicit(self):
+        block_map = BlockMap(0, 4, 8)
+        block_map.remap(2, 999)
+        assert not block_map.is_contiguous
+        assert block_map.lba_of(2) == 999
+        assert block_map.lba_of(1) == 8  # others unchanged
+
+    def test_bounds_checked(self):
+        block_map = BlockMap(0, 4, 8)
+        with pytest.raises(IndexError):
+            block_map.lba_of(4)
+        with pytest.raises(IndexError):
+            block_map.remap(9, 0)
+
+    def test_runs_coalesce_contiguous(self):
+        block_map = BlockMap(0, 8, 8)
+        assert list(block_map.runs(0, 8)) == [(0, 64)]
+
+    def test_runs_split_at_remap(self):
+        block_map = BlockMap(0, 4, 8)
+        block_map.remap(2, 1000)
+        runs = list(block_map.runs(0, 4))
+        assert runs == [(0, 16), (1000, 8), (24, 8)]
+
+    def test_runs_rejoin_after_adjacent_remap(self):
+        block_map = BlockMap(0, 4, 8)
+        block_map.remap(0, 500)
+        block_map.remap(1, 508)
+        assert list(block_map.runs(0, 2)) == [(500, 16)]
+
+    def test_empty_run(self):
+        assert list(BlockMap(0, 4, 8).runs(0, 0)) == []
+
+
+class TestAllocation:
+    def test_files_allocated_contiguously(self, harness):
+        fs = Filesystem(harness.guest)
+        a = fs.create_file("a", 1 << 20)
+        b = fs.create_file("b", 1 << 20)
+        assert a.blocks.lba_of(0) == 0
+        assert b.blocks.lba_of(0) == (1 << 20) // 512
+
+    def test_open_and_files(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 4096)
+        assert fs.open("a") is handle
+        assert fs.files() == [handle]
+
+    def test_duplicate_rejected(self, harness):
+        fs = Filesystem(harness.guest)
+        fs.create_file("a", 4096)
+        with pytest.raises(ValueError):
+            fs.create_file("a", 4096)
+
+    def test_missing_file(self, harness):
+        with pytest.raises(KeyError):
+            Filesystem(harness.guest).open("nope")
+
+    def test_out_of_space(self, harness):
+        fs = Filesystem(harness.guest, region_blocks=16)
+        with pytest.raises(ValueError):
+            fs.create_file("big", 1 << 20)
+
+    def test_size_rounded_up_to_blocks(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 5000)  # 4 KB blocks -> 2 blocks
+        assert handle.blocks.nblocks_fs == 2
+
+    def test_bad_sizes_rejected(self, harness):
+        fs = Filesystem(harness.guest)
+        with pytest.raises(ValueError):
+            fs.create_file("z", 0)
+
+    def test_region_cannot_exceed_vdisk(self, harness):
+        capacity = harness.device.vdisk.capacity_blocks
+        with pytest.raises(ValueError):
+            Filesystem(harness.guest, region_blocks=capacity + 1)
+
+
+class TestPassthroughPlanning:
+    def test_aligned_io_passes_through(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 1 << 20)
+        ops = fs._plan_read(handle, 8192, 4096)
+        assert ops == [(16, 8, True)]
+
+    def test_unaligned_io_rounds_to_blocks(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 1 << 20)
+        ops = fs._plan_read(handle, 100, 100)
+        assert ops == [(0, 8, True)]  # the containing 4 KB block
+
+    def test_multi_block_coalesces(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 1 << 20)
+        ops = fs._plan_read(handle, 0, 32768)
+        assert ops == [(0, 64, True)]
+
+    def test_split_at_max_io(self, harness):
+        fs = Filesystem(harness.guest, max_io_bytes=8192)
+        handle = fs.create_file("a", 1 << 20)
+        ops = fs._plan_read(handle, 0, 32768)
+        assert len(ops) == 4
+        assert all(nblocks == 16 for _lba, nblocks, _r in ops)
+
+    def test_ops_respect_remapped_blocks(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 1 << 20)
+        handle.blocks.remap(1, 4096)
+        ops = fs._plan_read(handle, 0, 12288)
+        assert ops == [(0, 8, True), (4096, 8, True), (16, 8, True)]
+
+
+class TestIo:
+    def test_read_completes_callback(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 1 << 20)
+        done = []
+        fs.read(handle, 0, 4096, on_done=lambda: done.append(True))
+        harness.run()
+        assert done == [True]
+
+    def test_write_visible_at_hypervisor(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 1 << 20)
+        fs.write(handle, 0, 4096)
+        harness.run()
+        assert harness.collector.write_commands == 1
+
+    def test_eof_checked(self, harness):
+        fs = Filesystem(harness.guest)
+        handle = fs.create_file("a", 8192)
+        with pytest.raises(ValueError):
+            fs.read(handle, 8000, 1000)
+        with pytest.raises(ValueError):
+            fs.write(handle, -1, 10)
+
+    def test_buffered_read_uses_page_cache(self, harness):
+        cache = PageCache(1 << 20)
+        fs = Filesystem(harness.guest, page_cache=cache)
+        handle = fs.create_file("a", 1 << 20)
+        fs.read(handle, 0, 8192, direct=False)
+        harness.run()
+        first = harness.collector.read_commands
+        fs.read(handle, 0, 8192, direct=False)
+        harness.run()
+        assert harness.collector.read_commands == first  # cache hit
+
+    def test_direct_read_bypasses_cache(self, harness):
+        cache = PageCache(1 << 20)
+        fs = Filesystem(harness.guest, page_cache=cache)
+        handle = fs.create_file("a", 1 << 20)
+        fs.read(handle, 0, 8192, direct=True)
+        fs.read(handle, 0, 8192, direct=True)
+        harness.run()
+        assert harness.collector.read_commands == 2
+
+    def test_write_populates_cache_for_reads(self, harness):
+        cache = PageCache(1 << 20)
+        fs = Filesystem(harness.guest, page_cache=cache)
+        handle = fs.create_file("a", 1 << 20)
+        fs.write(handle, 0, 8192)
+        harness.run()
+        reads_before = harness.collector.read_commands
+        fs.read(handle, 0, 8192, direct=False)
+        harness.run()
+        assert harness.collector.read_commands == reads_before

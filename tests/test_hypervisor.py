@@ -1,0 +1,193 @@
+"""Unit tests for the ESX-like hypervisor layer."""
+
+import pytest
+
+from repro.hypervisor.esx import EsxServer
+from repro.hypervisor.vdisk import VirtualDisk
+from repro.scsi.request import ScsiRequest
+from repro.sim.engine import Engine, seconds
+from repro.storage.array import clariion_cx3
+
+GIB = 1024**3
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def esx(engine):
+    server = EsxServer(engine)
+    server.add_array(clariion_cx3(engine, read_cache=False))
+    return server
+
+
+@pytest.fixture
+def device(esx):
+    vm = esx.create_vm("vm1")
+    return esx.create_vdisk(vm, "scsi0:0", esx.array("cx3"), 2 * GIB)
+
+
+class TestVirtualDisk:
+    def test_translate_applies_extent_offset(self, engine):
+        array = clariion_cx3(engine)
+        vdisk = VirtualDisk("d", array, offset_blocks=1000,
+                            capacity_blocks=100)
+        assert vdisk.translate(5, 10) == 1005
+
+    def test_translate_bounds_checked(self, engine):
+        array = clariion_cx3(engine)
+        vdisk = VirtualDisk("d", array, 0, 100)
+        with pytest.raises(ValueError):
+            vdisk.translate(95, 10)
+        with pytest.raises(ValueError):
+            vdisk.translate(-1, 1)
+
+    def test_extent_must_fit_lun(self, engine):
+        array = clariion_cx3(engine)
+        with pytest.raises(ValueError):
+            VirtualDisk("d", array, array.capacity_blocks - 10, 100)
+
+    def test_capacity_bytes(self, engine):
+        array = clariion_cx3(engine)
+        assert VirtualDisk("d", array, 0, 100).capacity_bytes == 51_200
+
+
+class TestEsxInventory:
+    def test_vm_registry(self, esx):
+        vm = esx.create_vm("a")
+        assert esx.vm("a") is vm
+        with pytest.raises(ValueError):
+            esx.create_vm("a")
+        with pytest.raises(KeyError):
+            esx.vm("missing")
+
+    def test_array_registry(self, esx, engine):
+        with pytest.raises(KeyError):
+            esx.array("missing")
+        with pytest.raises(ValueError):
+            esx.add_array(clariion_cx3(engine, name="cx3"))
+
+    def test_extents_allocated_side_by_side(self, esx):
+        vm = esx.create_vm("a")
+        array = esx.array("cx3")
+        d0 = esx.create_vdisk(vm, "d0", array, 1 * GIB)
+        d1 = esx.create_vdisk(vm, "d1", array, 1 * GIB)
+        assert d0.vdisk.offset_blocks == 0
+        assert d1.vdisk.offset_blocks == d0.vdisk.capacity_blocks
+
+    def test_duplicate_disk_name_rejected(self, esx):
+        vm = esx.create_vm("a")
+        array = esx.array("cx3")
+        esx.create_vdisk(vm, "d0", array, 1 * GIB)
+        with pytest.raises(ValueError):
+            esx.create_vdisk(vm, "d0", array, 1 * GIB)
+
+    def test_vm_target_lookup(self, esx, device):
+        vm = esx.vm("vm1")
+        assert vm.target("scsi0:0") is device
+        with pytest.raises(KeyError):
+            vm.target("scsi0:9")
+        assert vm.targets() == [device]
+
+
+class TestVScsiPath:
+    def run_io(self, engine, device, requests):
+        for request in requests:
+            device.issue(request)
+        engine.run(until=seconds(10))
+
+    def test_request_completes_with_timestamps(self, engine, esx, device):
+        request = ScsiRequest(True, 0, 16)
+        self.run_io(engine, device, [request])
+        assert request.completed
+        assert request.latency_ns > 0
+
+    def test_stats_disabled_collects_nothing(self, engine, esx, device):
+        self.run_io(engine, device, [ScsiRequest(True, 0, 16)])
+        assert esx.collector_for("vm1", "scsi0:0") is None
+
+    def test_stats_enabled_collects(self, engine, esx, device):
+        esx.stats.enable()
+        self.run_io(engine, device, [ScsiRequest(True, 0, 16)])
+        collector = esx.collector_for("vm1", "scsi0:0")
+        assert collector.commands == 1
+        assert collector.latency_us.all.count == 1
+
+    def test_outstanding_excludes_self(self, engine, esx, device):
+        esx.stats.enable()
+        self.run_io(engine, device,
+                    [ScsiRequest(True, index * 16, 16) for index in range(3)])
+        collector = esx.collector_for("vm1", "scsi0:0")
+        # First arrival saw 0 others -> bin "1"; never its own command.
+        assert collector.outstanding.all.counts[0] >= 1
+
+    def test_device_queue_depth_limits_backing(self, engine, esx):
+        vm = esx.create_vm("capped")
+        device = esx.create_vdisk(vm, "d0", esx.array("cx3"), 1 * GIB,
+                                  device_queue_depth=2)
+        esx.stats.enable()
+        for index in range(6):
+            device.issue(ScsiRequest(True, index * 100_000, 16))
+        engine.run(until=seconds(10))
+        collector = esx.collector_for("capped", "d0")
+        # Outstanding at arrival can never reach beyond the cap.
+        labels = dict(collector.outstanding.all.nonzero_items())
+        assert set(labels) <= {"1", "2"}
+
+    def test_trace_framework_captures_commands(self, engine, esx, device):
+        trace = device.start_trace()
+        self.run_io(engine, device,
+                    [ScsiRequest(False, 64, 8), ScsiRequest(True, 0, 16)])
+        buffer = device.stop_trace()
+        assert buffer is trace
+        assert len(buffer) == 2
+        ops = sorted(record.op for record in buffer)
+        assert ops == ["R", "W"]
+        assert all(record.latency_ns > 0 for record in buffer)
+
+    def test_trace_stops_after_stop(self, engine, esx, device):
+        device.start_trace()
+        buffer = device.stop_trace()
+        self.run_io(engine, device, [ScsiRequest(True, 0, 16)])
+        assert len(buffer) == 0
+
+    def test_per_vm_isolation_of_collectors(self, engine, esx):
+        esx.stats.enable()
+        array = esx.array("cx3")
+        vm_a, vm_b = esx.create_vm("a"), esx.create_vm("b")
+        dev_a = esx.create_vdisk(vm_a, "d", array, 1 * GIB)
+        dev_b = esx.create_vdisk(vm_b, "d", array, 1 * GIB)
+        dev_a.issue(ScsiRequest(True, 0, 16))
+        dev_a.issue(ScsiRequest(True, 16, 16))
+        dev_b.issue(ScsiRequest(False, 0, 16))
+        engine.run(until=seconds(10))
+        assert esx.collector_for("a", "d").commands == 2
+        assert esx.collector_for("b", "d").commands == 1
+        assert esx.collector_for("b", "d").write_commands == 1
+
+
+class TestCdbPath:
+    def test_issue_cdb_decodes_and_completes(self, engine, esx, device):
+        from repro.scsi.commands import build_rw_cdb
+        esx.stats.enable()
+        request = device.issue_cdb(build_rw_cdb(True, 1000, 16))
+        engine.run(until=seconds(10))
+        assert request.completed
+        assert (request.lba, request.nblocks, request.is_read) == (1000, 16, True)
+        collector = esx.collector_for("vm1", "scsi0:0")
+        assert collector.io_length.reads.nonzero_items() == [("8192", 1)]
+
+    def test_issue_cdb_write(self, engine, esx, device):
+        from repro.scsi.commands import build_rw_cdb
+        request = device.issue_cdb(build_rw_cdb(False, 0, 8), tag="t")
+        engine.run(until=seconds(10))
+        assert request.completed
+        assert not request.is_read
+        assert request.tag == "t"
+
+    def test_garbage_cdb_rejected(self, device):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            device.issue_cdb(b"\xff\x00\x00")

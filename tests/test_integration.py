@@ -1,0 +1,168 @@
+"""Cross-module integration tests: full I/O paths end to end."""
+
+import pytest
+
+from repro.analysis.characterize import characterize
+from repro.core.tracing import replay_into_collector
+from repro.guest.os import GuestOS
+from repro.guest.ufs import UFS
+from repro.hypervisor.esx import EsxServer
+from repro.scsi.request import ScsiRequest
+from repro.sim.engine import Engine, seconds
+from repro.storage.array import clariion_cx3, symmetrix
+from repro.workloads.iometer import (
+    AccessSpec,
+    IometerWorkload,
+    SPEC_8K_RANDOM_READ,
+)
+
+GIB = 1024**3
+
+
+class TestOnlineEqualsTraceReplay:
+    def test_live_run_replay_matches_histograms(self):
+        """Run a real mixed workload with BOTH the online service and
+        the tracing framework active; replaying the trace offline must
+        rebuild the online histograms (modulo the outstanding metric,
+        which replay reconstructs from timestamps and matches here
+        too because the trace is complete)."""
+        engine = Engine()
+        esx = EsxServer(engine)
+        array = esx.add_array(clariion_cx3(engine, read_cache=False))
+        vm = esx.create_vm("vm1")
+        device = esx.create_vdisk(vm, "scsi0:0", array, 2 * GIB)
+        esx.stats.enable()
+        trace = device.start_trace()
+        spec = AccessSpec("mix", io_bytes=8192, read_fraction=0.6,
+                          random_fraction=0.5, outstanding=4)
+        IometerWorkload(engine, device, spec).start()
+        engine.run(until=seconds(2))
+
+        online = esx.collector_for("vm1", "scsi0:0")
+        # Only compare completed commands: trim the in-flight tail by
+        # replaying the trace (completed commands only, by design).
+        replayed = replay_into_collector(trace)
+        assert replayed.latency_us.all.counts == online.latency_us.all.counts
+        assert replayed.io_length.all.count == len(trace)
+        # Length and seek histograms may differ by the still-inflight
+        # commands; bound the discrepancy.
+        diff = online.io_length.all.count - replayed.io_length.all.count
+        assert 0 <= diff <= spec.outstanding
+
+
+class TestMultiVmSharing:
+    def test_two_vms_share_spindles_but_not_histograms(self):
+        engine = Engine()
+        esx = EsxServer(engine)
+        array = esx.add_array(clariion_cx3(engine, read_cache=False))
+        vm_a, vm_b = esx.create_vm("a"), esx.create_vm("b")
+        dev_a = esx.create_vdisk(vm_a, "d", array, 1 * GIB)
+        dev_b = esx.create_vdisk(vm_b, "d", array, 1 * GIB)
+        esx.stats.enable()
+        IometerWorkload(engine, dev_a, SPEC_8K_RANDOM_READ,
+                        rng=esx.random.stream("a")).start()
+        IometerWorkload(engine, dev_b, SPEC_8K_RANDOM_READ,
+                        rng=esx.random.stream("b")).start()
+        engine.run(until=seconds(2))
+        col_a = esx.collector_for("a", "d")
+        col_b = esx.collector_for("b", "d")
+        assert col_a.commands > 0 and col_b.commands > 0
+        # Address spaces are private: both VMs see LBAs starting at 0,
+        # i.e. seek distances are virtual-disk relative (§3.7).
+        assert col_a.seek_distance.all.count > 0
+        # And the physical extents are disjoint on the shared LUN.
+        assert dev_a.vdisk.offset_blocks != dev_b.vdisk.offset_blocks
+
+    def test_interference_raises_latency_without_changing_sizes(self):
+        """§3.7: latency is environment-dependent; the I/O size
+        distribution is environment-independent."""
+        def run(two_vms):
+            engine = Engine()
+            esx = EsxServer(engine)
+            array = esx.add_array(clariion_cx3(engine, read_cache=False))
+            vm_a = esx.create_vm("a")
+            dev_a = esx.create_vdisk(vm_a, "d", array, 1 * GIB)
+            esx.stats.enable()
+            IometerWorkload(engine, dev_a, SPEC_8K_RANDOM_READ,
+                            rng=esx.random.stream("a")).start()
+            if two_vms:
+                vm_b = esx.create_vm("b")
+                dev_b = esx.create_vdisk(vm_b, "d", array, 1 * GIB)
+                IometerWorkload(engine, dev_b, SPEC_8K_RANDOM_READ,
+                                rng=esx.random.stream("b")).start()
+            engine.run(until=seconds(3))
+            return esx.collector_for("a", "d")
+
+        solo = run(False)
+        dual = run(True)
+        assert dual.latency_us.all.mean > solo.latency_us.all.mean
+        assert solo.io_length.all.mode_label() == dual.io_length.all.mode_label() == "8192"
+
+
+class TestFilesystemToArrayPath:
+    def test_filebench_through_ufs_reaches_spindles(self):
+        engine = Engine()
+        esx = EsxServer(engine)
+        array = esx.add_array(symmetrix(engine))
+        vm = esx.create_vm("vm")
+        device = esx.create_vdisk(vm, "d", array, 4 * GIB)
+        esx.stats.enable()
+        guest = GuestOS(engine, "solaris", device, queue_depth=32)
+        fs = UFS(guest)
+        from repro.workloads.filebench import (
+            FilebenchWorkload,
+            oltp_personality,
+        )
+        workload = FilebenchWorkload(
+            engine, fs,
+            oltp_personality(filesize=256 << 20, logfilesize=32 << 20),
+        )
+        workload.start()
+        engine.run(until=seconds(2))
+        workload.stop()
+        collector = esx.collector_for("vm", "d")
+        profile = characterize(collector)
+        assert profile.commands > 100
+        assert 0.0 < profile.read_fraction < 1.0
+        assert array.total_disk_commands() > 0
+
+
+class TestRawDeviceAccess:
+    def test_direct_request_bypasses_guest_layers(self):
+        engine = Engine()
+        esx = EsxServer(engine)
+        array = esx.add_array(clariion_cx3(engine))
+        vm = esx.create_vm("raw")
+        device = esx.create_vdisk(vm, "d", array, 1 * GIB)
+        esx.stats.enable()
+        request = ScsiRequest(False, 0, 128)
+        device.issue(request)
+        engine.run(until=seconds(5))
+        assert request.completed
+        collector = esx.collector_for("raw", "d")
+        assert collector.io_length.writes.nonzero_items() == [("65536", 1)]
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_histograms_exactly(self):
+        """The whole stack is deterministic: identical seeds produce
+        bit-identical histogram sets."""
+        from repro.experiments.figure2 import run_figure2
+
+        def run():
+            result = run_figure2(duration_s=2.0, filesize=1 << 28,
+                                 logfilesize=1 << 26, seed=123)
+            return result.collector.to_dict()
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        from repro.experiments.figure2 import run_figure2
+        a = run_figure2(duration_s=2.0, filesize=1 << 28,
+                        logfilesize=1 << 26, seed=1)
+        b = run_figure2(duration_s=2.0, filesize=1 << 28,
+                        logfilesize=1 << 26, seed=2)
+        assert (
+            a.collector.seek_distance.all.counts
+            != b.collector.seek_distance.all.counts
+        )

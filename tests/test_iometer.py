@@ -1,0 +1,148 @@
+"""Unit tests for the Iometer-style generator."""
+
+import pytest
+
+from repro.workloads.iometer import (
+    AccessSpec,
+    IometerWorkload,
+    SPEC_4K_SEQ_READ,
+    SPEC_8K_RANDOM_READ,
+    SPEC_8K_SEQ_READ,
+)
+from repro.sim.engine import seconds
+
+
+@pytest.fixture
+def device(harness):
+    return harness.device
+
+
+class TestAccessSpec:
+    def test_paper_specs(self):
+        assert SPEC_4K_SEQ_READ.io_bytes == 4096
+        assert SPEC_8K_SEQ_READ.outstanding == 32
+        assert SPEC_8K_RANDOM_READ.random_fraction == 1.0
+
+    def test_io_sectors(self):
+        assert SPEC_8K_SEQ_READ.io_sectors == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        {"io_bytes": 1000},                       # not sector-aligned
+        {"io_bytes": 4096, "read_fraction": 1.5},
+        {"io_bytes": 4096, "random_fraction": -0.1},
+        {"io_bytes": 4096, "outstanding": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AccessSpec("bad", **kwargs)
+
+
+class TestSequential:
+    def test_addresses_advance_monotonically(self, harness, device):
+        harness.esx.stats.enable()
+        workload = IometerWorkload(harness.engine, device, SPEC_8K_SEQ_READ)
+        trace = device.start_trace()
+        workload.start()
+        harness.run(until=seconds(0.5))
+        workload.stop()
+        ordered = trace.sorted_by_issue()
+        lbas = [record.lba for record in ordered[:100]]
+        assert lbas == sorted(lbas)
+        assert lbas[1] - lbas[0] == 16
+
+    def test_cursor_wraps_at_end(self, harness):
+        small = harness.esx.create_vm("small")
+        device = harness.esx.create_vdisk(small, "d", harness.array,
+                                          1 << 20)  # tiny: wraps fast
+        workload = IometerWorkload(
+            harness.engine, device,
+            AccessSpec("seq", io_bytes=65536, outstanding=1),
+        )
+        workload.start()
+        harness.run(until=seconds(1))
+        assert workload.completed > 16  # more I/Os than fit: it wrapped
+
+
+class TestRandom:
+    def test_offsets_aligned_to_io_size(self, harness, device):
+        trace = device.start_trace()
+        workload = IometerWorkload(harness.engine, device,
+                                   SPEC_8K_RANDOM_READ)
+        workload.start()
+        harness.run(until=seconds(0.5))
+        workload.stop()
+        assert all(record.lba % 16 == 0 for record in trace)
+
+    def test_offsets_spread_over_disk(self, harness, device):
+        trace = device.start_trace()
+        IometerWorkload(harness.engine, device, SPEC_8K_RANDOM_READ).start()
+        harness.run(until=seconds(0.5))
+        lbas = [record.lba for record in trace]
+        spread = max(lbas) - min(lbas)
+        assert spread > device.vdisk.capacity_blocks // 4
+
+    def test_deterministic_with_seeded_rng(self, harness, device):
+        import random
+        a = IometerWorkload(harness.engine, device, SPEC_8K_RANDOM_READ,
+                            rng=random.Random(1))
+        b_rng = random.Random(1)
+        first = [a._cursor]  # touch to silence lint; real check below
+        lba_a = [a.rng.randrange(10_000) for _ in range(5)]
+        lba_b = [b_rng.randrange(10_000) for _ in range(5)]
+        assert lba_a == lba_b
+
+
+class TestClosedLoop:
+    def test_maintains_outstanding(self, harness, device):
+        harness.esx.stats.enable()
+        spec = AccessSpec("probe", io_bytes=8192, random_fraction=1.0,
+                          outstanding=8)
+        workload = IometerWorkload(harness.engine, device, spec)
+        workload.start()
+        harness.run(until=seconds(1))
+        collector = harness.collector
+        # After the initial ramp, every arrival sees 7 others.
+        assert collector.outstanding.all.mode_label() == "8"
+
+    def test_double_start_rejected(self, harness, device):
+        workload = IometerWorkload(harness.engine, device, SPEC_4K_SEQ_READ)
+        workload.start()
+        with pytest.raises(RuntimeError):
+            workload.start()
+
+    def test_stop_halts_reissue(self, harness, device):
+        workload = IometerWorkload(harness.engine, device, SPEC_4K_SEQ_READ)
+        workload.start()
+        harness.run(until=seconds(0.2))
+        workload.stop()
+        count_at_stop = workload.completed
+        harness.run(until=seconds(2))
+        # Only the in-flight tail completes after stop.
+        assert workload.completed <= count_at_stop + SPEC_4K_SEQ_READ.outstanding
+
+    def test_rates(self, harness, device):
+        workload = IometerWorkload(harness.engine, device, SPEC_4K_SEQ_READ)
+        workload.start()
+        harness.run(until=seconds(1))
+        assert workload.iops() > 0
+        assert workload.mbps() == pytest.approx(
+            workload.iops() * 4096 / (1024 * 1024), rel=0.01
+        )
+
+    def test_disk_too_small_rejected(self, harness):
+        tiny_vm = harness.esx.create_vm("tiny")
+        device = harness.esx.create_vdisk(tiny_vm, "d", harness.array, 4096)
+        with pytest.raises(ValueError):
+            IometerWorkload(harness.engine, device,
+                            AccessSpec("big", io_bytes=65536))
+
+    def test_mixed_read_write(self, harness, device):
+        harness.esx.stats.enable()
+        spec = AccessSpec("mixed", io_bytes=8192, read_fraction=0.5,
+                          random_fraction=1.0, outstanding=4)
+        IometerWorkload(harness.engine, device, spec).start()
+        harness.run(until=seconds(1))
+        collector = harness.collector
+        assert collector.read_commands > 0
+        assert collector.write_commands > 0
+        assert 0.3 < collector.read_fraction < 0.7

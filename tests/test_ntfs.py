@@ -1,0 +1,74 @@
+"""Unit tests for the NTFS model and copy-engine profiles (Figure 5)."""
+
+import pytest
+
+from repro.guest.ntfs import (
+    NTFS,
+    CopyEngineProfile,
+    VISTA_COPY_ENGINE,
+    XP_COPY_ENGINE,
+)
+
+
+class TestProfiles:
+    def test_xp_is_64k(self):
+        assert XP_COPY_ENGINE.chunk_bytes == 64 * 1024
+        assert XP_COPY_ENGINE.chunk_sectors == 128
+
+    def test_vista_is_1mb(self):
+        assert VISTA_COPY_ENGINE.chunk_bytes == 1024 * 1024
+
+    def test_vista_sixteen_times_xp(self):
+        assert (
+            VISTA_COPY_ENGINE.chunk_bytes // XP_COPY_ENGINE.chunk_bytes == 16
+        )
+
+    def test_custom_profile(self):
+        profile = CopyEngineProfile("custom", 128 * 1024, 3)
+        assert profile.chunk_sectors == 256
+
+
+class TestNtfs:
+    @pytest.fixture
+    def fs(self, harness):
+        return NTFS(harness.guest, mft_update_every=4)
+
+    def test_data_allocated_after_mft_zone(self, fs):
+        handle = fs.create_file("f", 1 << 20)
+        assert handle.blocks.lba_of(0) >= fs._mft_sectors
+
+    def test_passthrough_sizes(self, harness, fs):
+        handle = fs.create_file("f", 4 << 20)
+        fs.write(handle, 0, 64 * 1024, sync=False)
+        harness.run()
+        writes = dict(harness.collector.io_length.writes.nonzero_items())
+        assert "65536" in writes
+
+    def test_1mb_io_not_split(self, harness, fs):
+        handle = fs.create_file("f", 4 << 20)
+        fs.read(handle, 0, 1024 * 1024)
+        harness.run()
+        reads = dict(harness.collector.io_length.reads.nonzero_items())
+        assert ">524288" in reads
+
+    def test_mft_update_every_n_ops(self, harness, fs):
+        handle = fs.create_file("f", 4 << 20)
+        for index in range(8):
+            fs.write(handle, index * 4096, 4096, sync=False)
+        harness.run()
+        assert fs.mft_updates == 2
+
+    def test_mft_writes_land_in_mft_zone(self, harness, fs):
+        handle = fs.create_file("f", 4 << 20)
+        trace = harness.device.start_trace()
+        for index in range(4):
+            fs.write(handle, index * 4096, 4096, sync=False)
+        harness.run()
+        mft_records = [r for r in trace if r.lba < fs._mft_sectors]
+        assert len(mft_records) == 1
+        assert not mft_records[0].is_read
+
+    def test_oversized_mft_rejected(self, harness):
+        with pytest.raises(ValueError):
+            NTFS(harness.guest, region_blocks=1000,
+                 mft_bytes=1024 * 1024 * 1024)

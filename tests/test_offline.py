@@ -1,0 +1,150 @@
+"""Unit tests for offline trace analysis (the O(n) baseline)."""
+
+import pytest
+
+from repro.analysis.offline import (
+    exact_percentile,
+    histogram_space_bytes,
+    latency_percentiles,
+    reuse_distances,
+    seek_latency_correlation,
+    trace_space_bytes,
+)
+from repro.core.collector import VscsiStatsCollector
+from repro.core.tracing import TraceRecord
+from repro.sim.engine import us
+
+
+def record(serial, issue_us, latency_us, lba, nblocks=8, is_read=True):
+    return TraceRecord(serial, us(issue_us), us(issue_us + latency_us),
+                       lba, nblocks, is_read)
+
+
+class TestPercentiles:
+    def test_exact_percentile(self):
+        values = list(range(1, 101))
+        assert exact_percentile(values, 0.5) == 50
+        assert exact_percentile(values, 0.99) == 99
+        assert exact_percentile(values, 1.0) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_percentile([], 0.5)
+        with pytest.raises(ValueError):
+            exact_percentile([1], 0.0)
+
+    def test_latency_percentiles_in_microseconds(self):
+        records = [record(i, i * 1000, 100 + i, 0) for i in range(100)]
+        result = latency_percentiles(records, quantiles=(0.5,))
+        assert result[0.5] == pytest.approx(149.0, abs=1)
+
+    def test_exactness_beats_histogram_bounds(self):
+        """The trace gives exact values the binned histogram can only
+        bound — the reason traces still exist (§3.6)."""
+        records = [record(i, i * 1000, 777, 0) for i in range(10)]
+        exact = latency_percentiles(records, quantiles=(0.5,))[0.5]
+        assert exact == 777.0  # a histogram could only say (500, 1000]
+
+
+class TestCorrelation:
+    def test_positive_when_seeks_cost(self):
+        records = []
+        position = 0
+        for index in range(100):
+            jump = 10_000 if index % 2 else 10
+            position += jump
+            records.append(record(index, index * 1000, jump // 10, position))
+        assert seek_latency_correlation(records) > 0.9
+
+    def test_zero_without_variance(self):
+        records = [record(i, i * 1000, 100, i * 8) for i in range(10)]
+        assert seek_latency_correlation(records) == 0.0
+
+    def test_too_few_records(self):
+        assert seek_latency_correlation([record(0, 0, 10, 0)]) == 0.0
+
+
+class TestReuseDistance:
+    def test_immediate_reuse_is_zero(self):
+        records = [record(0, 0, 1, 0), record(1, 1, 1, 0)]
+        assert reuse_distances(records, block_granularity=16) == [0]
+
+    def test_stack_distance_counts_distinct_chunks(self):
+        # A, B, C, A: reuse distance of the final A is 2 (B and C).
+        records = [
+            record(0, 0, 1, 0),
+            record(1, 1, 1, 1000),
+            record(2, 2, 1, 2000),
+            record(3, 3, 1, 0),
+        ]
+        assert reuse_distances(records, block_granularity=16) == [2]
+
+    def test_first_touches_omitted(self):
+        records = [record(i, i, 1, i * 1000) for i in range(5)]
+        assert reuse_distances(records) == []
+
+    def test_repeated_scan_has_constant_distance(self):
+        loop = [record(i, i, 1, (i % 4) * 1000) for i in range(12)]
+        distances = reuse_distances(loop, block_granularity=16)
+        assert distances == [3] * 8
+
+
+class TestSpaceAccounting:
+    def test_trace_space_is_linear(self):
+        assert trace_space_bytes(0) == 8
+        assert trace_space_bytes(1000) - trace_space_bytes(0) == 40_000
+
+    def test_histogram_space_is_constant(self):
+        """The paper's O(m) claim: collector footprint is independent
+        of how many commands it has observed."""
+        small = VscsiStatsCollector()
+        small.on_issue(0, True, 0, 8, 0)
+        big = VscsiStatsCollector()
+        for index in range(10_000):
+            big.on_issue(index * 1000, True, index * 8, 8, 0)
+        assert histogram_space_bytes(small) == histogram_space_bytes(big)
+
+    def test_crossover_is_tiny(self):
+        """Histograms win over traces after a few hundred commands."""
+        collector = VscsiStatsCollector()
+        budget = histogram_space_bytes(collector)
+        crossover = next(
+            n for n in range(1, 100_000)
+            if trace_space_bytes(n) > budget
+        )
+        assert crossover < 1000
+
+
+class TestJointHistogram:
+    def test_counts_conserved(self):
+        from repro.analysis.offline import seek_latency_histogram2d
+        records = [record(i, i * 1000, 100 + i, i * 5000) for i in range(50)]
+        matrix = seek_latency_histogram2d(records)
+        total = sum(sum(row) for row in matrix)
+        assert total == 49  # first record has no previous position
+
+    def test_correlated_stream_fills_diagonalish_cells(self):
+        from repro.analysis.offline import seek_latency_histogram2d
+        records = []
+        position = 0
+        for index in range(100):
+            # alternate short cheap seeks and long expensive ones
+            if index % 2:
+                position += 10
+                latency = 200
+            else:
+                position += 10_000_000
+                latency = 20_000
+            records.append(record(index, index * 1000, latency, position))
+        matrix = seek_latency_histogram2d(records)
+        from repro.core.bins import LATENCY_US_BINS, SEEK_DISTANCE_BINS
+        # Records span 8 blocks, so a +10 hop is a distance of 3 from
+        # the previous record's last block.
+        short_row = SEEK_DISTANCE_BINS.index_for(10 - 7)
+        long_row = SEEK_DISTANCE_BINS.index_for(10_000_000 - 7)
+        fast_col = LATENCY_US_BINS.index_for(200)
+        slow_col = LATENCY_US_BINS.index_for(20_000)
+        assert matrix[short_row][fast_col] > 0
+        assert matrix[long_row][slow_col] > 0
+        assert matrix[short_row][slow_col] == 0
+        assert matrix[long_row][fast_col] == 0

@@ -1,0 +1,147 @@
+"""Unit tests for the PostgreSQL storage engine model."""
+
+import pytest
+
+from repro.guest.ext3 import Ext3
+from repro.sim.engine import seconds, us
+from repro.workloads.postgres import PAGE_BYTES, PostgresConfig, PostgresEngine
+
+
+@pytest.fixture
+def fs(harness):
+    return Ext3(harness.guest, commit_interval_ns=seconds(1))
+
+
+@pytest.fixture
+def database(harness, fs):
+    engine = PostgresEngine(harness.engine, fs, PostgresConfig())
+    engine.create_table("t", 64 << 20)
+    engine.initialize_wal()
+    return engine
+
+
+def wait(harness, database, action):
+    done = []
+    action(lambda: done.append(True))
+    harness.run(until=harness.engine.now + seconds(5))
+    assert done == [True]
+
+
+class TestSchema:
+    def test_create_table_and_pages(self, database):
+        assert database.pages_in("t") == (64 << 20) // PAGE_BYTES
+
+    def test_missing_table(self, database):
+        with pytest.raises(KeyError):
+            database.table("nope")
+
+    def test_double_wal_init_rejected(self, database):
+        with pytest.raises(RuntimeError):
+            database.initialize_wal()
+
+    def test_wal_sized_by_checkpoint_segments(self, harness, fs):
+        config = PostgresConfig(checkpoint_segments=3)
+        engine = PostgresEngine(harness.engine, fs, config)
+        engine.initialize_wal()
+        assert engine._wal.size_bytes == 2 * 3 * config.wal_segment_bytes
+
+
+class TestBufferPool:
+    def test_first_read_misses_second_hits(self, harness, database):
+        wait(harness, database, lambda cb: database.read_page("t", 5, cb))
+        wait(harness, database, lambda cb: database.read_page("t", 5, cb))
+        assert database.page_reads == 2
+        assert database.buffer_hits == 1
+        assert database.buffer_hit_rate == pytest.approx(0.5)
+
+    def test_modify_dirties_and_writes_back(self, harness, database):
+        wait(harness, database, lambda cb: database.modify_page("t", 3, cb))
+        # The background writer picked the dirty page up (instantly,
+        # since the filesystem buffers the write) or it is still dirty.
+        assert database.pages_written + database.dirty_pages >= 1
+
+    def test_eviction_writes_back_dirty_page(self, harness, fs):
+        config = PostgresConfig(shared_buffers=4)
+        database = PostgresEngine(harness.engine, fs, config)
+        database.create_table("t", 64 << 20)
+        database.initialize_wal()
+        for page in range(10):
+            wait(harness, database,
+                 lambda cb, p=page: database.modify_page("t", p, cb))
+        assert database.pages_written > 0
+
+
+class TestWal:
+    def test_commit_flushes_wal_in_8k_blocks(self, harness, database):
+        wait(harness, database, lambda cb: database.modify_page("t", 1, cb))
+        trace = harness.device.start_trace()
+        wait(harness, database, database.commit)
+        wal = database._wal
+        wal_start = wal.blocks.lba_of(0)
+        wal_end = wal_start + wal.blocks.nblocks_fs * (
+            wal.block_bytes // 512
+        )
+        wal_writes = [
+            r for r in trace
+            if not r.is_read and wal_start <= r.lba < wal_end
+        ]
+        assert wal_writes
+        assert all(r.length_bytes == PAGE_BYTES for r in wal_writes)
+
+    def test_wal_appends_sequential(self, harness, database):
+        first = database._wal_cursor
+        wait(harness, database, database.commit)
+        second = database._wal_cursor
+        wait(harness, database, database.commit)
+        assert first < second < database._wal_cursor
+
+    def test_wal_wraps(self, harness, fs):
+        config = PostgresConfig(checkpoint_segments=1,
+                                wal_segment_bytes=64 * 1024)
+        database = PostgresEngine(harness.engine, fs, config)
+        database.create_table("t", 1 << 20)
+        database.initialize_wal()
+        for _ in range(40):
+            wait(harness, database, database.commit)
+        assert database._wal_cursor <= database._wal.size_bytes
+
+    def test_large_transaction_grows_flush(self, harness, database):
+        for page in range(30):
+            wait(harness, database,
+                 lambda cb, p=page: database.modify_page("t", p, cb))
+        trace = harness.device.start_trace()
+        wait(harness, database, database.commit)
+        wal_blocks = [r for r in trace if not r.is_read]
+        # 30 updates x 2000 B of WAL ~ 60 KB -> several 8 KB blocks.
+        assert len(wal_blocks) >= 4
+
+
+class TestBackgroundWriter:
+    def test_window_never_exceeded(self, harness, database):
+        config = database.config
+        for page in range(200):
+            database.modify_page("t", page, lambda: None)
+        assert database._bgwriter_inflight <= config.bgwriter_window
+        harness.run(until=seconds(10))
+        assert database._bgwriter_inflight == 0
+
+    def test_dirty_pages_eventually_written(self, harness, database):
+        for page in range(50):
+            wait(harness, database,
+                 lambda cb, p=page: database.modify_page("t", p, cb))
+        harness.run(until=harness.engine.now + seconds(10))
+        assert database.pages_written >= 50 - database.config.bgwriter_window
+
+
+class TestCheckpoints:
+    def test_wal_volume_triggers_checkpoint(self, harness, fs):
+        config = PostgresConfig(checkpoint_segments=1,
+                                wal_segment_bytes=32 * 1024)
+        database = PostgresEngine(harness.engine, fs, config)
+        database.create_table("t", 1 << 20)
+        database.initialize_wal()
+        for _ in range(10):
+            wait(harness, database,
+                 lambda cb: database.modify_page("t", 0, cb))
+            wait(harness, database, database.commit)
+        assert database.checkpoints >= 1

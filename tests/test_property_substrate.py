@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for the substrate layers:
+RAID mapping, block maps, queues, caches, and the engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guest.filesystem import BlockMap
+from repro.guest.pagecache import PageCache
+from repro.scsi.queue import PendingQueue
+from repro.scsi.request import ScsiRequest
+from repro.sim.engine import Engine
+from repro.storage.raid import Raid0, Raid5
+
+
+class TestRaidProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),      # ndisks
+        st.integers(min_value=1, max_value=256),    # stripe
+        st.integers(min_value=0, max_value=10**7),  # lba
+        st.integers(min_value=1, max_value=4096),   # nblocks
+    )
+    def test_raid0_maps_every_block_exactly_once(self, ndisks, stripe,
+                                                 lba, nblocks):
+        layout = Raid0(ndisks=ndisks, stripe_blocks=stripe)
+        ops = layout.map(lba, nblocks, True)
+        assert sum(op.nblocks for op in ops) == nblocks
+        assert all(0 <= op.disk_index < ndisks for op in ops)
+        assert all(op.nblocks >= 1 for op in ops)
+
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=1, max_value=128),
+        st.integers(min_value=0, max_value=10**7),
+        st.integers(min_value=1, max_value=2048),
+    )
+    def test_raid5_read_coverage_and_write_expansion(self, ndisks, stripe,
+                                                     lba, nblocks):
+        layout = Raid5(ndisks=ndisks, stripe_blocks=stripe)
+        reads = layout.map(lba, nblocks, True)
+        assert sum(op.nblocks for op in reads) == nblocks
+        writes = layout.map(lba, nblocks, False)
+        # RMW: 2 reads + 2 writes per chunk; data written == requested.
+        written = sum(op.nblocks for op in writes if not op.is_read)
+        read_back = sum(op.nblocks for op in writes if op.is_read)
+        assert written == read_back == 2 * nblocks
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_raid0_distinct_ranges_never_alias(self, ndisks, lba, nblocks):
+        """Two disjoint logical extents must map to disjoint physical
+        sectors on every spindle."""
+        layout = Raid0(ndisks=ndisks, stripe_blocks=64)
+        first = layout.map(lba, nblocks, True)
+        second = layout.map(lba + nblocks, nblocks, True)
+
+        def cells(ops):
+            owned = set()
+            for op in ops:
+                for block in range(op.lba, op.lba + op.nblocks):
+                    owned.add((op.disk_index, block))
+            return owned
+
+        assert not (cells(first) & cells(second))
+
+
+class TestBlockMapProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**6),   # base lba
+        st.integers(min_value=1, max_value=64),      # nblocks_fs
+        st.integers(min_value=1, max_value=16),      # sectors per block
+        st.lists(                                    # remaps
+            st.tuples(st.integers(min_value=0, max_value=63),
+                      st.integers(min_value=0, max_value=10**7)),
+            max_size=16,
+        ),
+    )
+    def test_runs_cover_exactly_the_mapped_sectors(self, base, nblocks_fs,
+                                                   spb, remaps):
+        block_map = BlockMap(base, nblocks_fs, spb)
+        for index, lba in remaps:
+            if index < nblocks_fs:
+                block_map.remap(index, lba)
+        runs = list(block_map.runs(0, nblocks_fs))
+        assert sum(nsectors for _lba, nsectors in runs) == nblocks_fs * spb
+        # Expanding the runs reproduces the per-block mapping in order.
+        expanded = []
+        for run_lba, nsectors in runs:
+            expanded.extend(range(run_lba, run_lba + nsectors))
+        expected = []
+        for index in range(nblocks_fs):
+            start = block_map.lba_of(index)
+            expected.extend(range(start, start + spb))
+        assert expanded == expected
+
+
+class TestQueueProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.booleans(), min_size=1, max_size=40),
+    )
+    def test_depth_never_exceeded_and_all_complete(self, depth, plan):
+        """Randomly interleave submits (True) and completions (False);
+        the in-flight set never exceeds the limit, and draining
+        everything empties the queue."""
+        queue = PendingQueue(depth_limit=depth)
+        inflight = []
+        queue.set_dispatcher(inflight.append)
+        submitted = 0
+        for do_submit in plan:
+            if do_submit or not inflight:
+                queue.submit(ScsiRequest(True, submitted, 1))
+                submitted += 1
+            else:
+                queue.complete(inflight.pop(0))
+            assert queue.outstanding <= depth
+        while inflight:
+            queue.complete(inflight.pop(0))
+        assert queue.drain_check()
+        assert queue.completed == queue.dispatched == submitted
+
+
+class TestPageCacheProperties:
+    @given(
+        st.integers(min_value=1, max_value=16),      # capacity pages
+        st.lists(
+            st.tuples(st.booleans(),                 # write?
+                      st.integers(min_value=0, max_value=31)),
+            max_size=60,
+        ),
+    )
+    def test_residency_never_exceeds_capacity(self, capacity, ops):
+        cache = PageCache(capacity * 4096)
+        for is_write, page in ops:
+            if is_write:
+                cache.write(1, page * 4096, 4096)
+            else:
+                cache.fill(1, [page])
+            assert cache.resident_pages <= capacity
+        # Dirty pages are always a subset of resident pages.
+        assert len(cache.dirty_pages()) <= cache.resident_pages
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15),
+                 min_size=1, max_size=40)
+    )
+    def test_lookup_after_fill_always_hits(self, pages):
+        cache = PageCache(64 * 4096)
+        for page in pages:
+            cache.fill(1, [page])
+            assert cache.lookup(1, page * 4096, 4096) == []
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6),
+                 min_size=1, max_size=60)
+    )
+    def test_events_always_fire_in_nondecreasing_time(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.schedule(delay, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000),
+                 min_size=2, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=50)
+    def test_cancellation_removes_exactly_the_cancelled(self, delays, data):
+        engine = Engine()
+        fired = []
+        handles = [
+            engine.schedule(delay, lambda i=index: fired.append(i))
+            for index, delay in enumerate(delays)
+        ]
+        doomed = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(delays) - 1))
+        )
+        for index in doomed:
+            handles[index].cancel()
+        engine.run()
+        assert sorted(fired) == sorted(
+            set(range(len(delays))) - doomed
+        )

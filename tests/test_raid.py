@@ -1,0 +1,124 @@
+"""Unit tests for the RAID layouts."""
+
+import pytest
+
+from repro.storage.raid import PhysicalOp, Raid0, Raid5
+
+
+class TestChunking:
+    def test_small_access_single_chunk(self):
+        layout = Raid0(ndisks=4, stripe_blocks=128)
+        ops = layout.map(0, 16, True)
+        assert ops == [PhysicalOp(0, 0, 16, True)]
+
+    def test_access_splits_at_chunk_boundary(self):
+        layout = Raid0(ndisks=4, stripe_blocks=128)
+        ops = layout.map(120, 16, True)
+        assert len(ops) == 2
+        assert ops[0].nblocks + ops[1].nblocks == 16
+        assert ops[0].disk_index != ops[1].disk_index
+
+    def test_large_access_spans_disks(self):
+        layout = Raid0(ndisks=4, stripe_blocks=128)
+        ops = layout.map(0, 512, True)
+        assert sorted(op.disk_index for op in ops) == [0, 1, 2, 3]
+
+
+class TestRaid0:
+    def test_round_robin_placement(self):
+        layout = Raid0(ndisks=3, stripe_blocks=128)
+        disks = [layout.map(chunk * 128, 1, True)[0].disk_index
+                 for chunk in range(6)]
+        assert disks == [0, 1, 2, 0, 1, 2]
+
+    def test_second_row_advances_disk_lba(self):
+        layout = Raid0(ndisks=2, stripe_blocks=128)
+        op = layout.map(2 * 128, 1, True)[0]  # row 1, disk 0
+        assert op.disk_index == 0
+        assert op.lba == 128
+
+    def test_offset_within_chunk_preserved(self):
+        layout = Raid0(ndisks=2, stripe_blocks=128)
+        op = layout.map(130, 1, True)[0]  # chunk 1, offset 2
+        assert op.disk_index == 1
+        assert op.lba == 2
+
+    def test_capacity_uses_all_disks(self):
+        assert Raid0(ndisks=4).capacity_blocks(1000) == 4000
+
+    def test_distinct_logical_chunks_never_collide(self):
+        """Different logical chunks map to distinct (disk, lba)."""
+        layout = Raid0(ndisks=3, stripe_blocks=4)
+        seen = set()
+        for chunk in range(300):
+            op = layout.map(chunk * 4, 4, True)[0]
+            key = (op.disk_index, op.lba)
+            assert key not in seen
+            seen.add(key)
+
+    def test_writes_map_like_reads(self):
+        layout = Raid0(ndisks=4)
+        reads = layout.map(1000, 64, True)
+        writes = layout.map(1000, 64, False)
+        assert [(o.disk_index, o.lba, o.nblocks) for o in reads] == [
+            (o.disk_index, o.lba, o.nblocks) for o in writes
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Raid0(ndisks=0)
+        with pytest.raises(ValueError):
+            Raid0(ndisks=2, stripe_blocks=0)
+
+
+class TestRaid5:
+    def test_needs_three_disks(self):
+        with pytest.raises(ValueError):
+            Raid5(ndisks=2)
+
+    def test_capacity_excludes_parity(self):
+        assert Raid5(ndisks=5).capacity_blocks(1000) == 4000
+
+    def test_read_is_single_op(self):
+        layout = Raid5(ndisks=4)
+        ops = layout.map(0, 16, True)
+        assert len(ops) == 1
+        assert ops[0].is_read
+
+    def test_small_write_is_read_modify_write(self):
+        """The classic small-write penalty: 2 reads + 2 writes."""
+        layout = Raid5(ndisks=4)
+        ops = layout.map(0, 16, False)
+        assert len(ops) == 4
+        assert sum(1 for op in ops if op.is_read) == 2
+        assert sum(1 for op in ops if not op.is_read) == 2
+
+    def test_rmw_touches_data_and_parity_disks(self):
+        layout = Raid5(ndisks=4)
+        ops = layout.map(0, 16, False)
+        assert len({op.disk_index for op in ops}) == 2
+
+    def test_parity_rotates_across_rows(self):
+        layout = Raid5(ndisks=4, stripe_blocks=128)
+        data_disks = layout.data_disks
+        parity_by_row = []
+        for row in range(4):
+            chunk_lba = row * data_disks * 128
+            ops = layout.map(chunk_lba, 1, False)
+            parity_writes = [op for op in ops if not op.is_read]
+            # data disk and parity disk differ; find parity via the
+            # second write's disk.
+            parity_by_row.append(parity_writes[1].disk_index)
+        assert len(set(parity_by_row)) > 1
+
+    def test_parity_disk_never_equals_data_disk(self):
+        layout = Raid5(ndisks=5, stripe_blocks=8)
+        for chunk in range(40):
+            ops = layout.map(chunk * 8, 8, False)
+            writes = [op for op in ops if not op.is_read]
+            assert writes[0].disk_index != writes[1].disk_index
+
+    def test_reads_cover_whole_logical_range(self):
+        layout = Raid5(ndisks=4, stripe_blocks=8)
+        ops = layout.map(0, 64, True)
+        assert sum(op.nblocks for op in ops) == 64

@@ -1,0 +1,84 @@
+"""Unit tests for bin compression post-processing (§4)."""
+
+import pytest
+
+from repro.analysis.rebin import power_of_two_scheme, rebin
+from repro.core.bins import (
+    BinScheme,
+    IO_LENGTH_BINS,
+    SEEK_DISTANCE_BINS,
+)
+from repro.core.histogram import Histogram
+
+
+class TestPowerOfTwoScheme:
+    def test_io_length_compression(self):
+        scheme = power_of_two_scheme(IO_LENGTH_BINS)
+        assert all(
+            edge > 0 and (edge & (edge - 1)) == 0 for edge in scheme.edges
+        )
+        assert scheme.edges[0] == 512
+        assert scheme.edges[-1] >= 524288
+
+    def test_signed_scheme_mirrors(self):
+        scheme = power_of_two_scheme(SEEK_DISTANCE_BINS)
+        positives = [e for e in scheme.edges if e > 0]
+        negatives = [-e for e in scheme.edges if e < 0]
+        assert sorted(negatives) == positives
+        assert 0 in scheme.edges
+
+    def test_unit_preserved(self):
+        assert power_of_two_scheme(IO_LENGTH_BINS).unit == "bytes"
+
+
+class TestRebin:
+    def test_counts_preserved(self):
+        hist = Histogram(IO_LENGTH_BINS)
+        for value in (512, 4095, 4096, 8192, 81920, 600_000):
+            hist.insert(value)
+        result = rebin(hist, power_of_two_scheme(IO_LENGTH_BINS))
+        assert result.count == hist.count
+        assert sum(result.counts) == sum(hist.counts)
+
+    def test_special_bins_fold_into_powers(self):
+        """The paper's example: 4095 and 4096 merge back into the
+        4096 power-of-two bucket after compression."""
+        hist = Histogram(IO_LENGTH_BINS)
+        hist.insert(4000)   # the '4095' bin
+        hist.insert(4096)   # the '4096' bin
+        result = rebin(hist, power_of_two_scheme(IO_LENGTH_BINS))
+        target_index = result.scheme.index_for(4096)
+        assert result.counts[target_index] == 2
+
+    def test_scalar_stats_carried_over(self):
+        hist = Histogram(IO_LENGTH_BINS)
+        hist.insert(4096)
+        hist.insert(8192)
+        result = rebin(hist, power_of_two_scheme(IO_LENGTH_BINS))
+        assert result.mean == hist.mean
+        assert (result.min, result.max) == (hist.min, hist.max)
+
+    def test_lossy_mapping_rejected(self):
+        source = Histogram(BinScheme("s", (3, 10)))
+        source.insert(5)  # bin (3, 10] straddles target bins (.,4],(4,8]
+        target = BinScheme("t", (4, 8, 16))
+        with pytest.raises(ValueError):
+            rebin(source, target)
+
+    def test_force_allows_lossy(self):
+        source = Histogram(BinScheme("s", (3, 10)))
+        source.insert(5)
+        target = BinScheme("t", (4, 8, 16))
+        result = rebin(source, target, force=True)
+        assert result.count == 1
+
+    def test_overflow_bin_maps_to_overflow(self):
+        hist = Histogram(IO_LENGTH_BINS)
+        hist.insert(10**9)
+        result = rebin(hist, power_of_two_scheme(IO_LENGTH_BINS))
+        assert result.counts[-1] == 1
+
+    def test_empty_histogram(self):
+        hist = Histogram(IO_LENGTH_BINS)
+        result = rebin(hist, power_of_two_scheme(IO_LENGTH_BINS))
+        assert result.count == 0

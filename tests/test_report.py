@@ -1,0 +1,71 @@
+"""Unit tests for the text rendering of histograms."""
+
+from repro.core.bins import LATENCY_US_BINS, OUTSTANDING_IO_BINS
+from repro.core.collector import VscsiStatsCollector
+from repro.core.histogram import Histogram
+from repro.core.histogram2d import TimeSeriesHistogram
+from repro.core.report import (
+    render_collector,
+    render_histogram,
+    render_timeseries,
+)
+from repro.sim.engine import seconds, us
+
+
+class TestRenderHistogram:
+    def test_contains_labels_and_counts(self):
+        hist = Histogram(OUTSTANDING_IO_BINS)
+        hist.insert(1)
+        hist.insert(32)
+        text = render_histogram(hist, title="OIO")
+        assert text.startswith("OIO")
+        assert "count=2" in text
+        assert ">64" in text
+
+    def test_bars_scale_to_peak(self):
+        hist = Histogram(OUTSTANDING_IO_BINS)
+        for _ in range(10):
+            hist.insert(1)
+        hist.insert(32)
+        text = render_histogram(hist, bar_width=10)
+        assert "#" * 10 in text       # the peak bin gets the full bar
+        assert "#" * 11 not in text   # nothing exceeds the bar width
+
+    def test_empty_histogram_renders(self):
+        text = render_histogram(Histogram(LATENCY_US_BINS))
+        assert "count=0" in text
+
+
+class TestRenderTimeseries:
+    def test_slot_rows(self):
+        series = TimeSeriesHistogram(LATENCY_US_BINS, seconds(6))
+        series.insert(seconds(1), 200)
+        series.insert(seconds(8), 20_000)
+        text = render_timeseries(series, title="over time")
+        assert "S1" in text
+        assert "S2" in text
+
+
+class TestRenderCollector:
+    def make_collector(self):
+        collector = VscsiStatsCollector()
+        collector.on_issue(0, True, 0, 8, 0)
+        collector.on_issue(us(100), False, 100, 16, 1)
+        collector.on_complete(us(500), True, us(500))
+        return collector
+
+    def test_all_families_present(self):
+        text = render_collector(self.make_collector(), heading="demo")
+        for metric in ("io_length", "seek_distance", "interarrival_us",
+                       "outstanding", "latency_us"):
+            assert metric in text
+
+    def test_summary_line(self):
+        text = render_collector(self.make_collector())
+        assert "commands=2" in text
+        assert "read_fraction=0.50" in text
+
+    def test_time_series_included_on_request(self):
+        text = render_collector(self.make_collector(),
+                                include_time_series=True)
+        assert "outstanding_over_time" in text

@@ -1,0 +1,182 @@
+"""Unit tests for the SCSI protocol substrate."""
+
+import pytest
+
+from repro.scsi.commands import OpCode, build_rw_cdb, parse_cdb
+from repro.scsi.queue import PendingQueue
+from repro.scsi.request import ScsiRequest
+
+
+class TestCdb:
+    def test_small_transfer_uses_6_byte(self):
+        cdb = build_rw_cdb(True, lba=100, nblocks=8)
+        assert len(cdb) == 6
+        parsed = parse_cdb(cdb)
+        assert parsed.opcode == OpCode.READ_6
+        assert (parsed.lba, parsed.nblocks) == (100, 8)
+
+    def test_write_direction(self):
+        parsed = parse_cdb(build_rw_cdb(False, 100, 8))
+        assert parsed.opcode == OpCode.WRITE_6
+        assert not parsed.is_read
+
+    def test_large_lba_uses_10_byte(self):
+        cdb = build_rw_cdb(True, lba=1 << 24, nblocks=8)
+        assert len(cdb) == 10
+        parsed = parse_cdb(cdb)
+        assert parsed.lba == 1 << 24
+
+    def test_large_transfer_uses_10_byte(self):
+        cdb = build_rw_cdb(True, lba=0, nblocks=1024)
+        assert len(cdb) == 10
+        assert parse_cdb(cdb).nblocks == 1024
+
+    def test_huge_lba_uses_16_byte(self):
+        cdb = build_rw_cdb(False, lba=1 << 40, nblocks=8)
+        assert len(cdb) == 16
+        parsed = parse_cdb(cdb)
+        assert (parsed.lba, parsed.nblocks) == (1 << 40, 8)
+
+    def test_6_byte_nblocks_zero_means_256(self):
+        cdb = bytearray(build_rw_cdb(True, 0, 8))
+        cdb[4] = 0
+        assert parse_cdb(bytes(cdb)).nblocks == 256
+
+    def test_length_bytes(self):
+        assert parse_cdb(build_rw_cdb(True, 0, 16)).length_bytes == 8192
+
+    @pytest.mark.parametrize("lba,nblocks", [(-1, 8), (0, 0)])
+    def test_invalid_parameters_rejected(self, lba, nblocks):
+        with pytest.raises(ValueError):
+            build_rw_cdb(True, lba, nblocks)
+
+    def test_roundtrip_across_families(self):
+        for lba, nblocks in [(0, 1), (2**20, 255), (2**31, 65535),
+                             (2**40, 2**20)]:
+            parsed = parse_cdb(build_rw_cdb(True, lba, nblocks))
+            assert (parsed.lba, parsed.nblocks) == (lba, nblocks)
+
+    def test_empty_cdb_rejected(self):
+        with pytest.raises(ValueError):
+            parse_cdb(b"")
+
+    def test_wrong_length_rejected(self):
+        cdb = build_rw_cdb(True, 0, 8)
+        with pytest.raises(ValueError):
+            parse_cdb(cdb + b"\x00")
+
+
+class TestScsiRequest:
+    def test_properties(self):
+        request = ScsiRequest(True, lba=100, nblocks=16)
+        assert request.length_bytes == 8192
+        assert request.last_block == 115
+        assert not request.completed
+
+    def test_serials_unique_and_increasing(self):
+        a, b = ScsiRequest(True, 0, 1), ScsiRequest(True, 0, 1)
+        assert b.serial > a.serial
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScsiRequest(True, -1, 1)
+        with pytest.raises(ValueError):
+            ScsiRequest(True, 0, 0)
+
+    def test_lifecycle_and_latency(self):
+        request = ScsiRequest(True, 0, 8)
+        request.mark_issued(1_000)
+        request.mark_completed(5_000)
+        assert request.completed
+        assert request.latency_ns == 4_000
+
+    def test_latency_before_completion_rejected(self):
+        request = ScsiRequest(True, 0, 8)
+        with pytest.raises(ValueError):
+            _ = request.latency_ns
+
+    def test_double_issue_rejected(self):
+        request = ScsiRequest(True, 0, 8)
+        request.mark_issued(0)
+        with pytest.raises(ValueError):
+            request.mark_issued(1)
+
+    def test_complete_before_issue_rejected(self):
+        with pytest.raises(ValueError):
+            ScsiRequest(True, 0, 8).mark_completed(1)
+
+    def test_callbacks_fire_in_order(self):
+        request = ScsiRequest(True, 0, 8)
+        order = []
+        request.on_complete(lambda r: order.append("a"))
+        request.on_complete(lambda r: order.append("b"))
+        request.mark_issued(0)
+        request.mark_completed(1)
+        assert order == ["a", "b"]
+
+    def test_callback_after_completion_rejected(self):
+        request = ScsiRequest(True, 0, 8)
+        request.mark_issued(0)
+        request.mark_completed(1)
+        with pytest.raises(ValueError):
+            request.on_complete(lambda r: None)
+
+
+class TestPendingQueue:
+    def make(self, depth=None):
+        queue = PendingQueue(depth_limit=depth)
+        dispatched = []
+        queue.set_dispatcher(dispatched.append)
+        return queue, dispatched
+
+    def test_unlimited_dispatches_everything(self):
+        queue, dispatched = self.make()
+        requests = [ScsiRequest(True, i, 1) for i in range(5)]
+        for request in requests:
+            queue.submit(request)
+        assert dispatched == requests
+        assert queue.outstanding == 5
+
+    def test_depth_limit_queues_excess(self):
+        queue, dispatched = self.make(depth=2)
+        requests = [ScsiRequest(True, i, 1) for i in range(4)]
+        for request in requests:
+            queue.submit(request)
+        assert len(dispatched) == 2
+        assert queue.queued == 2
+
+    def test_completion_refills_slot(self):
+        queue, dispatched = self.make(depth=1)
+        a, b = ScsiRequest(True, 0, 1), ScsiRequest(True, 1, 1)
+        queue.submit(a)
+        queue.submit(b)
+        queue.complete(a)
+        assert dispatched == [a, b]
+        assert queue.outstanding == 1
+
+    def test_completion_of_unknown_rejected(self):
+        queue, _ = self.make()
+        with pytest.raises(KeyError):
+            queue.complete(ScsiRequest(True, 0, 1))
+
+    def test_counters(self):
+        queue, _ = self.make(depth=1)
+        a, b = ScsiRequest(True, 0, 1), ScsiRequest(True, 1, 1)
+        queue.submit(a)
+        queue.submit(b)
+        queue.complete(a)
+        queue.complete(b)
+        assert queue.submitted == 2
+        assert queue.dispatched == 2
+        assert queue.completed == 2
+        assert queue.max_outstanding == 1
+        assert queue.drain_check()
+
+    def test_no_dispatcher_rejected(self):
+        queue = PendingQueue()
+        with pytest.raises(RuntimeError):
+            queue.submit(ScsiRequest(True, 0, 1))
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            PendingQueue(depth_limit=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the histogram service (enable/disable registry)."""
+
+import json
+
+import pytest
+
+from repro.core.service import HistogramService
+
+
+@pytest.fixture
+def service():
+    return HistogramService()
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self, service):
+        assert not service.enabled
+        assert not service.is_enabled_for("vm", "d")
+
+    def test_disabled_hooks_are_noops(self, service):
+        service.record_issue("vm", "d", 0, True, 0, 8, 0)
+        service.record_complete("vm", "d", 1, True, 1000)
+        assert service.collector("vm", "d") is None
+
+    def test_global_enable(self, service):
+        service.enable()
+        assert service.is_enabled_for("any", "disk")
+
+    def test_per_disk_enable(self, service):
+        service.enable("vm1", "d0")
+        assert service.is_enabled_for("vm1", "d0")
+        assert not service.is_enabled_for("vm1", "d1")
+        assert not service.is_enabled_for("vm2", "d0")
+
+    def test_per_disk_enable_requires_vdisk(self, service):
+        with pytest.raises(ValueError):
+            service.enable("vm1")
+
+    def test_disable_per_disk(self, service):
+        service.enable("vm1", "d0")
+        service.disable("vm1", "d0")
+        assert not service.is_enabled_for("vm1", "d0")
+
+    def test_global_disable_clears_per_disk(self, service):
+        service.enable("vm1", "d0")
+        service.disable()
+        assert not service.is_enabled_for("vm1", "d0")
+
+    def test_data_survives_disable(self, service):
+        """§3: disabling stops collection; prior data stays readable."""
+        service.enable()
+        service.record_issue("vm", "d", 0, True, 0, 8, 0)
+        service.disable()
+        service.record_issue("vm", "d", 1, True, 8, 8, 0)
+        assert service.collector("vm", "d").commands == 1
+
+
+class TestLazyAllocation:
+    def test_collector_created_on_first_command(self, service):
+        """§5.2: data structures are dynamically created as needed."""
+        service.enable()
+        assert service.collector("vm", "d") is None
+        service.record_issue("vm", "d", 0, True, 0, 8, 0)
+        assert service.collector("vm", "d") is not None
+
+    def test_one_collector_per_disk(self, service):
+        service.enable()
+        service.record_issue("vm", "d0", 0, True, 0, 8, 0)
+        service.record_issue("vm", "d1", 0, True, 0, 8, 0)
+        service.record_issue("vm", "d0", 1, True, 8, 8, 0)
+        assert service.collector("vm", "d0").commands == 2
+        assert service.collector("vm", "d1").commands == 1
+        assert len(list(service.collectors())) == 2
+
+
+class TestRecording:
+    def test_issue_and_complete_route_to_collector(self, service):
+        service.enable()
+        service.record_issue("vm", "d", 0, True, 0, 8, 3)
+        service.record_complete("vm", "d", 1000, True, 500_000)
+        collector = service.collector("vm", "d")
+        assert collector.outstanding.all.nonzero_items() == [("4", 1)]
+        assert collector.latency_us.all.nonzero_items() == [("500", 1)]
+
+    def test_reset_all(self, service):
+        service.enable()
+        service.record_issue("vm", "d", 0, True, 0, 8, 0)
+        service.reset()
+        assert service.collector("vm", "d").commands == 0
+
+    def test_reset_one(self, service):
+        service.enable()
+        service.record_issue("vm", "a", 0, True, 0, 8, 0)
+        service.record_issue("vm", "b", 0, True, 0, 8, 0)
+        service.reset("vm", "a")
+        assert service.collector("vm", "a").commands == 0
+        assert service.collector("vm", "b").commands == 1
+
+
+class TestExport:
+    def test_export_json_parses(self, service):
+        service.enable()
+        service.record_issue("vm", "d", 0, True, 0, 8, 0)
+        payload = json.loads(service.export_json())
+        assert payload["vm/d"]["commands"] == 1
+
+    def test_export_empty(self, service):
+        assert json.loads(service.export_json()) == {}

@@ -1,0 +1,45 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.randomness import RandomSource
+
+
+class TestRandomSource:
+    def test_same_name_same_stream_object(self):
+        source = RandomSource(1)
+        assert source.stream("a") is source.stream("a")
+
+    def test_same_seed_reproduces_sequence(self):
+        first = [RandomSource(7).stream("x").random() for _ in range(5)]
+        second = [RandomSource(7).stream("x").random() for _ in range(5)]
+        assert first == second
+
+    def test_different_names_are_independent(self):
+        source = RandomSource(7)
+        a = [source.stream("a").random() for _ in range(5)]
+        b = [source.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1).stream("x").random()
+        b = RandomSource(2).stream("x").random()
+        assert a != b
+
+    def test_draws_on_one_stream_do_not_perturb_another(self):
+        baseline = RandomSource(3)
+        expected = [baseline.stream("b").random() for _ in range(3)]
+
+        perturbed = RandomSource(3)
+        for _ in range(100):
+            perturbed.stream("a").random()
+        actual = [perturbed.stream("b").random() for _ in range(3)]
+        assert actual == expected
+
+    def test_fork_is_deterministic(self):
+        a = RandomSource(5).fork("child").stream("s").random()
+        b = RandomSource(5).fork("child").stream("s").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RandomSource(5)
+        child = parent.fork("child")
+        assert parent.stream("s").random() != child.stream("s").random()

@@ -1,0 +1,150 @@
+"""Unit tests for the vSCSI command tracing framework."""
+
+import io
+
+import pytest
+
+from repro.core.collector import VscsiStatsCollector
+from repro.core.tracing import (
+    TraceBuffer,
+    TraceRecord,
+    read_binary,
+    read_csv,
+    replay_into_collector,
+    write_binary,
+    write_csv,
+)
+from repro.sim.engine import us
+
+
+def record(serial=0, issue=0, complete=1000, lba=0, nblocks=8, is_read=True):
+    return TraceRecord(serial, issue, complete, lba, nblocks, is_read)
+
+
+class TestTraceRecord:
+    def test_latency(self):
+        assert record(issue=us(5), complete=us(12)).latency_ns == us(7)
+
+    def test_length_bytes(self):
+        assert record(nblocks=16).length_bytes == 8192
+
+    def test_last_block(self):
+        assert record(lba=100, nblocks=8).last_block == 107
+
+    def test_op_letter(self):
+        assert record(is_read=True).op == "R"
+        assert record(is_read=False).op == "W"
+
+
+class TestTraceBuffer:
+    def test_append_assigns_serials(self):
+        buffer = TraceBuffer()
+        first = buffer.append(0, 10, 0, 8, True)
+        second = buffer.append(5, 15, 8, 8, False)
+        assert first.serial == 0
+        assert second.serial == 1
+        assert len(buffer) == 2
+
+    def test_cap_stops_tracing_and_counts_drops(self):
+        buffer = TraceBuffer(max_records=2)
+        buffer.append(0, 1, 0, 8, True)
+        buffer.append(1, 2, 8, 8, True)
+        dropped = buffer.append(2, 3, 16, 8, True)
+        assert dropped is None
+        assert len(buffer) == 2
+        assert buffer.dropped == 1
+
+    def test_sorted_by_issue(self):
+        buffer = TraceBuffer()
+        buffer.append(100, 200, 0, 8, True)   # completes first, issued later
+        buffer.append(50, 300, 8, 8, True)
+        ordered = buffer.sorted_by_issue()
+        assert [r.issue_ns for r in ordered] == [50, 100]
+
+
+class TestCsvFormat:
+    def test_roundtrip(self):
+        records = [record(i, i * 10, i * 10 + 5, i * 100, 8, i % 2 == 0)
+                   for i in range(5)]
+        text = io.StringIO()
+        assert write_csv(records, text) == 5
+        text.seek(0)
+        assert read_csv(text) == records
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_csv(io.StringIO("nope,nope\n"))
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self):
+        records = [record(i, i * 10, i * 10 + 5, i * 100, 8, i % 2 == 0)
+                   for i in range(5)]
+        blob = io.BytesIO()
+        assert write_binary(records, blob) == 5
+        blob.seek(0)
+        assert read_binary(blob) == records
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            read_binary(io.BytesIO(b"GARBAGE!"))
+
+    def test_truncation_detected(self):
+        blob = io.BytesIO()
+        write_binary([record()], blob)
+        truncated = io.BytesIO(blob.getvalue()[:-3])
+        with pytest.raises(ValueError):
+            read_binary(truncated)
+
+    def test_fixed_record_size(self):
+        blob = io.BytesIO()
+        write_binary([record(), record(serial=1)], blob)
+        body = len(blob.getvalue()) - 8  # minus magic
+        assert body == 2 * 40
+
+
+class TestReplay:
+    def test_replay_rebuilds_histograms(self):
+        """The core correctness argument: replaying a trace offline
+        produces the same histograms the online service built."""
+        online = VscsiStatsCollector()
+        buffer = TraceBuffer()
+        stream = [
+            (True, 0, 8),
+            (True, 8, 8),
+            (False, 5_000, 16),
+            (True, 16, 8),
+        ]
+        time_ns = 0
+        for is_read, lba, nblocks in stream:
+            online.on_issue(time_ns, is_read, lba, nblocks, 0)
+            complete = time_ns + us(400)
+            online.on_complete(complete, is_read, us(400))
+            buffer.append(time_ns, complete, lba, nblocks, is_read)
+            time_ns += us(1000)
+
+        replayed = replay_into_collector(buffer)
+        for metric, family in online.families().items():
+            replayed_family = replayed.families()[metric]
+            assert family.all.counts == replayed_family.all.counts, metric
+            assert family.reads.counts == replayed_family.reads.counts
+            assert family.writes.counts == replayed_family.writes.counts
+
+    def test_replay_recomputes_outstanding(self):
+        """Overlapping commands: replay reconstructs queue depth from
+        the timestamps alone."""
+        buffer = TraceBuffer()
+        # Three commands all issued before any completes.
+        buffer.append(0, us(100), 0, 8, True)
+        buffer.append(us(1), us(110), 8, 8, True)
+        buffer.append(us(2), us(120), 16, 8, True)
+        collector = replay_into_collector(buffer)
+        assert collector.outstanding.all.nonzero_items() == [
+            ("1", 2), ("2", 1),
+        ]
+
+    def test_replay_into_existing_collector(self):
+        collector = VscsiStatsCollector(window_size=4)
+        result = replay_into_collector([record()], collector)
+        assert result is collector
+        assert collector.commands == 1

@@ -1,0 +1,109 @@
+"""Unit tests for the UFS model (Figure 2's filesystem)."""
+
+import pytest
+
+from repro.guest.ufs import UFS
+from repro.sim.engine import seconds
+
+
+@pytest.fixture
+def fs(harness):
+    return UFS(harness.guest)
+
+
+@pytest.fixture
+def datafile(fs):
+    return fs.create_file("data", 64 << 20)
+
+
+class TestSizing:
+    def test_4k_read_comes_out_as_8k_block(self, harness, fs, datafile):
+        """UFS reads whole 8 KB blocks — the 8 KB half of Fig. 2(a)."""
+        fs.read(datafile, 8192, 4096)
+        harness.run()
+        items = harness.collector.io_length.reads.nonzero_items()
+        assert items == [("8192", 1)]
+
+    def test_4k_write_stays_4k(self, harness, fs, datafile):
+        """...while page-aligned writes go out at 4 KB, directly."""
+        fs.write(datafile, 8192, 4096)
+        harness.run()
+        writes = harness.collector.io_length.writes.nonzero_items()
+        assert writes == [("4096", 1)]
+        assert fs.rmw_reads == 0
+
+    def test_unaligned_write_reads_block_first(self, harness, fs, datafile):
+        fs.write(datafile, 8192 + 512, 1024)
+        harness.run()
+        # An 8 KB RMW read accompanies the sub-page write.
+        reads = harness.collector.io_length.reads.nonzero_items()
+        assert reads == [("8192", 1)]
+        assert fs.rmw_reads == 1
+
+    def test_page_aligned_write_skips_rmw(self, harness, fs, datafile):
+        fs.write(datafile, 8192, 8192)
+        harness.run()
+        assert fs.rmw_reads == 0
+        assert harness.collector.read_commands == 0
+
+    def test_in_place_no_remapping(self, fs, datafile):
+        fs.write(datafile, 0, 8192)
+        assert datafile.blocks.is_contiguous
+
+
+class TestWriterLock:
+    def test_writers_to_one_file_serialize(self, harness, fs, datafile):
+        done_at = []
+        for index in range(4):
+            fs.write(datafile, index * 8192, 8192,
+                     on_done=lambda: done_at.append(harness.engine.now))
+        harness.run()
+        assert len(done_at) == 4
+        assert done_at == sorted(done_at)
+        gaps = [b - a for a, b in zip(done_at, done_at[1:])]
+        # Strictly one at a time: each completion is separated by at
+        # least a device round trip.
+        assert all(gap > 0 for gap in gaps)
+
+    def test_different_files_proceed_in_parallel(self, harness, fs):
+        a = fs.create_file("a", 1 << 20)
+        b = fs.create_file("b", 1 << 20)
+        done_at = []
+        fs.write(a, 0, 8192, on_done=lambda: done_at.append(("a", harness.engine.now)))
+        fs.write(b, 0, 8192, on_done=lambda: done_at.append(("b", harness.engine.now)))
+        harness.run()
+        times = dict(done_at)
+        # Independent locks: both complete at (nearly) the same time.
+        assert abs(times["a"] - times["b"]) < 1_000_000
+
+    def test_lock_released_on_completion(self, harness, fs, datafile):
+        fs.write(datafile, 0, 8192)
+        harness.run()
+        fs.write(datafile, 8192, 8192)
+        harness.run()
+        assert fs._write_locks == {}
+
+    def test_reads_not_serialized(self, harness, fs, datafile):
+        done_at = []
+        for index in range(4):
+            fs.read(datafile, index * 8192, 8192,
+                    on_done=lambda: done_at.append(harness.engine.now))
+        harness.run()
+        # Reads overlap: the span is much less than 4 serial round trips.
+        assert len(done_at) == 4
+
+
+class TestRandomnessPreserved:
+    def test_random_stream_stays_random(self, harness, fs, datafile):
+        """UFS 'isn't doing anything special': application randomness
+        survives to the virtual disk."""
+        import random
+        rng = random.Random(0)
+        slots = datafile.size_bytes // 8192
+        for _ in range(200):
+            fs.read(datafile, rng.randrange(slots) * 8192, 4096)
+        harness.run(until=seconds(60))
+        from repro.analysis.characterize import sequential_fraction
+        seek = harness.collector.seek_distance.reads
+        assert seek.count > 100
+        assert sequential_fraction(seek) < 0.1

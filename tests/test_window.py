@@ -1,0 +1,91 @@
+"""Unit tests for the look-behind window (§3.1's min-of-last-N)."""
+
+import pytest
+
+from repro.core.window import DEFAULT_WINDOW_SIZE, LookBehindWindow
+
+
+class TestLookBehind:
+    def test_default_size_is_papers_16(self):
+        assert DEFAULT_WINDOW_SIZE == 16
+        assert LookBehindWindow().size == 16
+
+    def test_first_observation_has_no_distance(self):
+        window = LookBehindWindow(4)
+        assert window.observe(100, 107) is None
+
+    def test_distance_measured_to_closest_entry(self):
+        window = LookBehindWindow(4)
+        window.observe(0, 9)        # remembers 9
+        window.observe(1000, 1009)  # remembers 1009
+        # 1012 is closest to 1009 (distance 3), not 9.
+        assert window.observe(1012, 1019) == 3
+
+    def test_sign_preserved_for_reverse_scan(self):
+        window = LookBehindWindow(4)
+        window.observe(1000, 1009)
+        assert window.observe(1000, 1007) == -9
+
+    def test_interleaved_streams_both_tracked(self):
+        """Two interleaved sequential streams: the window finds each
+        stream's continuation, the single-entry view cannot."""
+        window = LookBehindWindow(4)
+        window.observe(0, 7)        # stream A
+        window.observe(10_000, 10_007)  # stream B
+        assert window.observe(8, 15) == 1          # A continues
+        assert window.observe(10_008, 10_015) == 1  # B continues
+
+    def test_window_of_one_behaves_like_single_record(self):
+        window = LookBehindWindow(1)
+        window.observe(0, 7)
+        window.observe(10_000, 10_007)
+        # The 0..7 record was overwritten: distance is to 10_007.
+        assert window.observe(8, 15) == 8 - 10_007
+
+    def test_eviction_order_is_fifo(self):
+        window = LookBehindWindow(2)
+        window.observe(0, 0)      # will be evicted
+        window.observe(100, 100)
+        window.observe(200, 200)  # evicts the 0 record
+        # Closest to 1 among {100, 200} is 100.
+        assert window.observe(1, 1) == 1 - 100
+
+    def test_filled_tracks_occupancy(self):
+        window = LookBehindWindow(3)
+        assert window.filled == 0
+        window.observe(0, 0)
+        window.observe(1, 1)
+        assert window.filled == 2
+        window.observe(2, 2)
+        window.observe(3, 3)
+        assert window.filled == 3
+
+    def test_min_distance_does_not_mutate(self):
+        window = LookBehindWindow(3)
+        window.observe(0, 9)
+        assert window.min_distance(11) == 2
+        assert window.min_distance(11) == 2
+        assert window.filled == 1
+
+    def test_tie_prefers_first_found(self):
+        window = LookBehindWindow(3)
+        window.observe(0, 8)    # distance from 10 is +2
+        window.observe(0, 12)   # distance from 10 is -2
+        result = window.min_distance(10)
+        assert abs(result) == 2
+
+    def test_reset(self):
+        window = LookBehindWindow(3)
+        window.observe(0, 9)
+        window.reset()
+        assert window.filled == 0
+        assert window.min_distance(5) is None
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            LookBehindWindow(0)
+
+    def test_exact_same_position_distance_zero(self):
+        window = LookBehindWindow(2)
+        window.observe(100, 107)
+        assert window.observe(107, 114) == 0

@@ -1,0 +1,187 @@
+"""Unit tests for the ZFS model (Figure 3's filesystem)."""
+
+import pytest
+
+from repro.analysis.characterize import sequential_fraction
+from repro.guest.zfs import ZFS
+from repro.sim.engine import seconds, us
+
+
+@pytest.fixture
+def harness(harness_factory):
+    return harness_factory(vdisk_bytes=8 * 1024**3)
+
+
+@pytest.fixture
+def fs(harness):
+    return ZFS(harness.guest, txg_interval_ns=seconds(1))
+
+
+@pytest.fixture
+def datafile(fs):
+    return fs.create_file("data", 64 << 20)
+
+
+class TestTxgAggregation:
+    def test_async_write_completes_without_io(self, harness, fs, datafile):
+        done = []
+        fs.write(datafile, 0, 8192, on_done=lambda: done.append(True),
+                 sync=False)
+        harness.run(until=us(100))
+        assert done == [True]
+        assert harness.collector is None or harness.collector.commands == 0
+
+    def test_txg_flush_emits_aggregated_writes(self, harness, fs, datafile):
+        import random
+        rng = random.Random(0)
+        slots = datafile.size_bytes // 8192
+        for _ in range(64):
+            fs.write(datafile, rng.randrange(slots) * 8192, 8192, sync=False)
+        harness.run(until=seconds(3))
+        writes = harness.collector.io_length.writes
+        assert writes.count > 0
+        # Aggregation: 64 dirty 8 KB blocks go out as 128 KB commands.
+        assert writes.mode_label() == "131072"
+
+    def test_random_writes_become_sequential(self, harness, fs, datafile):
+        """The COW signature: random dirtying, sequential block I/O."""
+        import random
+        rng = random.Random(1)
+        slots = datafile.size_bytes // 8192
+        for round_index in range(4):
+            for _ in range(32):
+                fs.write(datafile, rng.randrange(slots) * 8192, 8192,
+                         sync=False)
+            harness.run(until=seconds(2 * (round_index + 1)))
+        seek_writes = harness.collector.seek_distance_windowed.writes
+        assert sequential_fraction(seek_writes) > 0.8
+
+    def test_cow_remaps_blocks(self, harness, fs, datafile):
+        original = datafile.blocks.lba_of(0)
+        fs.write(datafile, 0, 8192, sync=False)
+        harness.run(until=seconds(3))
+        assert datafile.blocks.lba_of(0) != original
+
+    def test_rewrites_dedup_within_txg(self, harness, fs, datafile):
+        for _ in range(10):
+            fs.write(datafile, 0, 8192, sync=False)
+        assert fs.dirty_bytes == 8192
+
+    def test_dirty_ceiling_forces_flush(self, harness):
+        fs = ZFS(harness.guest, txg_interval_ns=seconds(100),
+                 dirty_max_bytes=64 * 1024)
+        datafile = fs.create_file("d", 1 << 20)
+        for index in range(10):
+            fs.write(datafile, index * 8192, 8192, sync=False)
+        assert fs.txg_flushes >= 1
+
+    def test_explicit_sync_flushes(self, harness, fs, datafile):
+        fs.write(datafile, 0, 8192, sync=False)
+        done = []
+        fs.sync(on_done=lambda: done.append(True))
+        harness.run(until=seconds(1))
+        assert done == [True]
+        assert fs.dirty_bytes == 0
+
+    def test_cow_frontier_wraps(self, harness):
+        fs = ZFS(harness.guest, txg_interval_ns=seconds(100))
+        datafile = fs.create_file("d", 1 << 20)
+        # Flush repeatedly until the frontier must wrap at least once.
+        pool_sectors = fs.region_blocks
+        writes_needed = pool_sectors // 16 + 10
+        per_round = 128
+        rounds = min(writes_needed // per_round + 1, 50)
+        for _ in range(rounds):
+            for index in range(per_round):
+                fs.write(datafile, (index % 128) * 8192, 8192, sync=False)
+            fs.sync()
+            harness.run(until=harness.engine.now + seconds(1))
+        # Either it wrapped, or the pool was big enough that it never
+        # needed to; assert the mechanism at least kept the frontier
+        # inside the pool.
+        assert fs._cow_cursor <= fs.region_blocks
+
+
+class TestZil:
+    def test_sync_write_commits_via_log(self, harness, fs, datafile):
+        done = []
+        fs.write(datafile, 0, 4096, on_done=lambda: done.append(True),
+                 sync=True)
+        harness.run(until=seconds(1))
+        assert done == [True]
+        assert fs.zil_writes == 1
+        # The data block still goes out with the next txg.
+        assert harness.collector.write_commands >= 2
+
+    def test_group_commit_batches_concurrent_writers(self, harness, fs,
+                                                     datafile):
+        done = []
+        for index in range(10):
+            fs.write(datafile, index * 8192, 4096,
+                     on_done=lambda: done.append(True), sync=True)
+        harness.run(until=seconds(1))
+        assert len(done) == 10
+        # Ten concurrent sync writes share one (or two) log commits.
+        assert fs.zil_writes <= 2
+
+    def test_zil_writes_are_sequential(self, harness, fs, datafile):
+        for index in range(20):
+            fs.write(datafile, index * 8192, 4096, sync=True)
+            harness.run(until=harness.engine.now + us(50_000))
+        # ZIL appends advance monotonically within the log region.
+        assert fs._zil_cursor > 0
+
+    def test_zil_region_reserved_from_pool(self, harness):
+        fs = ZFS(harness.guest, zil_bytes=32 * 1024 * 1024)
+        capacity = harness.device.vdisk.capacity_blocks
+        assert fs.region_blocks == capacity - (32 * 1024 * 1024) // 512
+
+    def test_oversized_zil_rejected(self, harness):
+        with pytest.raises(ValueError):
+            ZFS(harness.guest, zil_bytes=8 * 1024**3)
+
+
+class TestReadPath:
+    def test_small_read_inflated_to_128k(self, harness, fs, datafile):
+        fs.read(datafile, 0, 8192, direct=True)
+        harness.run()
+        reads = harness.collector.io_length.reads.nonzero_items()
+        assert reads == [("131072", 1)]
+
+    def test_large_read_not_inflated(self, harness, fs, datafile):
+        fs.read(datafile, 0, 131072, direct=True)
+        harness.run()
+        assert harness.collector.io_length.reads.mode_label() == "131072"
+
+    def test_cache_absorbs_nearby_reads(self, harness, fs, datafile):
+        fs.read(datafile, 0, 8192)   # buffered by default
+        harness.run()
+        first = harness.collector.read_commands
+        # Within the same inflated 128 KB region: a cache hit.
+        fs.read(datafile, 65536, 8192)
+        harness.run()
+        assert harness.collector.read_commands == first
+
+    def test_cache_hit_completes_callback(self, harness, fs, datafile):
+        fs.read(datafile, 0, 8192)
+        harness.run()
+        done = []
+        fs.read(datafile, 0, 8192, on_done=lambda: done.append(True))
+        harness.run()
+        assert done == [True]
+
+    def test_reads_keep_random_placement(self, harness, fs, datafile):
+        """Inflation grows the transfer, not the locality: reads stay
+        as random as the application issued them (Fig. 3(d))."""
+        import random
+        rng = random.Random(2)
+        slots = datafile.size_bytes // 8192
+        for _ in range(100):
+            fs.read(datafile, rng.randrange(slots) * 8192, 8192, direct=True)
+        harness.run(until=seconds(30))
+        seek_reads = harness.collector.seek_distance.reads
+        assert sequential_fraction(seek_reads) < 0.2
+
+    def test_plan_write_is_not_usable_directly(self, harness, fs, datafile):
+        with pytest.raises(NotImplementedError):
+            fs._plan_write(datafile, 0, 8192, True)
