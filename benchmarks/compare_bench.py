@@ -1,0 +1,79 @@
+"""Throughput regression gate for the hot-path benchmark.
+
+Re-measures the replay throughput of every ingestion mode and compares
+it against the committed ``BENCH_hotpath.json`` record.  Exits non-zero
+when any mode regresses by more than ``TOLERANCE`` (20%), so CI can
+gate merges on ingestion throughput the same way it gates on tests.
+
+Usage::
+
+    python benchmarks/compare_bench.py             # gate vs committed record
+    python benchmarks/compare_bench.py --n 200000  # quicker, scaled run
+    python benchmarks/compare_bench.py --update    # re-measure and commit
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_hotpath import BENCH_JSON, FULL_N, measure
+
+#: Maximum tolerated drop in commands/sec relative to the committed
+#: record before the gate fails.
+TOLERANCE = 0.20
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--n", type=int, default=None,
+        help="trace length to measure (default: the committed record's)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-measure at the full length and rewrite the record",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        record = measure(FULL_N)
+        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        print(json.dumps(record, indent=2))
+        print(f"updated {BENCH_JSON}")
+        return 0
+
+    if not BENCH_JSON.exists():
+        print(f"no committed record at {BENCH_JSON}; run with --update")
+        return 1
+    committed = json.loads(BENCH_JSON.read_text())
+    n = args.n if args.n is not None else committed["commands"]
+    current = measure(n)
+
+    failed = False
+    print(f"{'mode':<8} {'committed':>12} {'current':>12} {'ratio':>7}")
+    for mode, base in committed["modes"].items():
+        now = current["modes"].get(mode)
+        if now is None:
+            print(f"{mode:<8} {base['commands_per_sec']:>12} {'missing':>12}")
+            continue
+        ratio = now["commands_per_sec"] / base["commands_per_sec"]
+        verdict = ""
+        if ratio < 1.0 - TOLERANCE:
+            verdict = "  REGRESSION"
+            failed = True
+        print(
+            f"{mode:<8} {base['commands_per_sec']:>12} "
+            f"{now['commands_per_sec']:>12} {ratio:>6.2f}x{verdict}"
+        )
+    if failed:
+        print(f"FAIL: throughput regressed more than {TOLERANCE:.0%}")
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

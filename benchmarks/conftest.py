@@ -12,6 +12,15 @@ from repro.core.histogram import Histogram
 __all__ = ["print_panel", "print_series"]
 
 
+def pytest_configure(config):
+    """Autosave pytest-benchmark results for every benchmark run, so
+    ``pytest-benchmark compare`` has a local history to diff against
+    (the committed gate lives in ``BENCH_hotpath.json`` +
+    ``compare_bench.py``)."""
+    if hasattr(config.option, "benchmark_autosave"):
+        config.option.benchmark_autosave = True
+
+
 def print_panel(title: str, hist: Histogram) -> None:
     """Print one figure panel as label/count rows (the paper's bars)."""
     print(f"\n--- {title} ---")

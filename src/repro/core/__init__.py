@@ -17,6 +17,7 @@ from .bins import (
     INTERARRIVAL_US_BINS,
     IO_LENGTH_BINS,
     LATENCY_US_BINS,
+    LUT_MAX_SPAN,
     OUTSTANDING_IO_BINS,
     SEEK_DISTANCE_BINS,
     scheme_for_metric,
@@ -27,7 +28,7 @@ from .collector import (
     SECTOR_BYTES,
     VscsiStatsCollector,
 )
-from .histogram import Histogram
+from .histogram import Histogram, NUMPY_MIN_BATCH
 from .histogram2d import TimeSeriesHistogram
 from .report import render_collector, render_histogram, render_timeseries
 from .sampler import IntervalSample, IntervalSampler
@@ -48,6 +49,7 @@ __all__ = [
     "INTERARRIVAL_US_BINS",
     "IO_LENGTH_BINS",
     "LATENCY_US_BINS",
+    "LUT_MAX_SPAN",
     "OUTSTANDING_IO_BINS",
     "SEEK_DISTANCE_BINS",
     "scheme_for_metric",
@@ -56,6 +58,7 @@ __all__ = [
     "SECTOR_BYTES",
     "VscsiStatsCollector",
     "Histogram",
+    "NUMPY_MIN_BATCH",
     "TimeSeriesHistogram",
     "render_collector",
     "render_histogram",

@@ -20,7 +20,7 @@ an implicit underflow-inclusive first bin (``<= first_edge``).
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 __all__ = [
     "BinScheme",
@@ -30,7 +30,14 @@ __all__ = [
     "INTERARRIVAL_US_BINS",
     "OUTSTANDING_IO_BINS",
     "scheme_for_metric",
+    "LUT_MAX_SPAN",
 ]
+
+#: Maximum ``edges[-1] - edges[0]`` span for which a direct-index
+#: lookup table is built.  Small dense domains (outstanding I/Os span
+#: 63 values) get an O(1) table lookup on the hot path; wide schemes
+#: (seek distance spans a million sectors) keep the O(log m) bisect.
+LUT_MAX_SPAN = 4096
 
 
 class BinScheme:
@@ -41,7 +48,7 @@ class BinScheme:
     ``<= edges[0]``); the final bin holds values ``> edges[-1]``.
     """
 
-    __slots__ = ("name", "edges", "unit")
+    __slots__ = ("name", "edges", "unit", "_labels", "_lut", "_edges_array")
 
     def __init__(self, name: str, edges: Iterable[int], unit: str = ""):
         edge_tuple: Tuple[int, ...] = tuple(int(e) for e in edges)
@@ -55,6 +62,10 @@ class BinScheme:
         self.name = name
         self.edges = edge_tuple
         self.unit = unit
+        # Lazily built, immutable caches (the scheme itself never changes).
+        self._labels: Optional[List[str]] = None
+        self._lut: Optional[List[int]] = None
+        self._edges_array = None  # numpy mirror of ``edges``, built on demand
 
     # ------------------------------------------------------------------
     @property
@@ -65,6 +76,41 @@ class BinScheme:
     def index_for(self, value: float) -> int:
         """Index of the bin holding ``value`` (O(log m))."""
         return bisect_left(self.edges, value)
+
+    def index_lut(self) -> Optional[List[int]]:
+        """Direct-index bin lookup table for small dense domains.
+
+        For a scheme whose total edge span is at most :data:`LUT_MAX_SPAN`,
+        returns a list ``lut`` such that for any integer value ``v`` with
+        ``edges[0] <= v <= edges[-1]``, ``lut[v - edges[0]]`` equals
+        :meth:`index_for`\\ ``(v)``.  Values below the span map to bin 0
+        and values above it to the overflow bin, so callers clamp with two
+        comparisons instead of a bisect.  Returns ``None`` for schemes too
+        wide to tabulate; the table is built once and cached.
+        """
+        lut = self._lut
+        if lut is None:
+            edges = self.edges
+            span = edges[-1] - edges[0]
+            if span > LUT_MAX_SPAN:
+                return None
+            lo = edges[0]
+            lut = [bisect_left(edges, v) for v in range(lo, edges[-1] + 1)]
+            self._lut = lut
+        return lut
+
+    def edges_array(self):
+        """The edges as a cached numpy ``int64`` array (``None`` when
+        numpy is unavailable) — shared by the vectorized kernels."""
+        arr = self._edges_array
+        if arr is None:
+            try:
+                import numpy
+            except ImportError:  # pragma: no cover - numpy is optional
+                return None
+            arr = numpy.asarray(self.edges, dtype=numpy.int64)
+            self._edges_array = arr
+        return arr
 
     def bounds(self, index: int) -> Tuple[float, float]:
         """``(low_exclusive, high_inclusive)`` bounds of bin ``index``.
@@ -79,9 +125,17 @@ class BinScheme:
         return (low, high)
 
     def labels(self) -> List[str]:
-        """Axis labels exactly as the paper prints them."""
-        labels = [str(edge) for edge in self.edges]
-        labels.append(f">{self.edges[-1]}")
+        """Axis labels exactly as the paper prints them.
+
+        The list is computed once and cached (report rendering and
+        ``Histogram.nonzero_items`` call this on every refresh); treat
+        the returned list as read-only.
+        """
+        labels = self._labels
+        if labels is None:
+            labels = [str(edge) for edge in self.edges]
+            labels.append(f">{self.edges[-1]}")
+            self._labels = labels
         return labels
 
     def __len__(self) -> int:

@@ -15,11 +15,20 @@ distribution.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .bins import BinScheme
 
-__all__ = ["Histogram"]
+try:  # numpy is an optional dependency; every kernel has a pure fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via backend="python"
+    _np = None
+
+__all__ = ["Histogram", "NUMPY_MIN_BATCH"]
+
+#: Below this batch size the numpy kernel's array-conversion overhead
+#: outweighs the vectorized search, so ``backend="auto"`` stays pure.
+NUMPY_MIN_BATCH = 512
 
 
 class Histogram:
@@ -33,7 +42,8 @@ class Histogram:
         Optional display name (defaults to the scheme's name).
     """
 
-    __slots__ = ("scheme", "name", "counts", "count", "total", "min", "max")
+    __slots__ = ("scheme", "name", "counts", "count", "total", "min", "max",
+                 "_lut", "_lut_lo", "_lut_hi")
 
     def __init__(self, scheme: BinScheme, name: Optional[str] = None):
         self.scheme = scheme
@@ -43,13 +53,23 @@ class Histogram:
         self.total = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        # Direct-index bin lookup (None for wide schemes): turns the
+        # per-insert bisect into a list index for dense domains.
+        self._lut = scheme.index_lut()
+        self._lut_lo = scheme.edges[0]
+        self._lut_hi = scheme.edges[-1]
 
     # ------------------------------------------------------------------
     # Hot path
     # ------------------------------------------------------------------
     def insert(self, value: int) -> None:
         """Record one observation.  O(log m) time, O(1) extra space."""
-        self.counts[bisect_left(self.scheme.edges, value)] += 1
+        lut = self._lut
+        if (lut is not None and type(value) is int
+                and self._lut_lo <= value <= self._lut_hi):
+            self.counts[lut[value - self._lut_lo]] += 1
+        else:
+            self.counts[bisect_left(self.scheme.edges, value)] += 1
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -57,10 +77,114 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
-    def insert_many(self, values: Iterable[int]) -> None:
-        """Record a batch of observations."""
-        for value in values:
-            self.insert(value)
+    def insert_many(self, values: Iterable[int],
+                    backend: Optional[str] = None) -> None:
+        """Record a batch of observations in one pass.
+
+        ``backend`` selects the kernel: ``"python"`` forces the pure
+        loop, ``"numpy"`` forces the vectorized
+        ``searchsorted``/``bincount`` kernel (falls back to pure when
+        numpy is missing or the values overflow int64), and ``None`` /
+        ``"auto"`` picks numpy for large batches when available.  All
+        kernels produce byte-identical state to a scalar
+        :meth:`insert` loop.
+        """
+        if not isinstance(values, (list, tuple)) and not (
+            _np is not None and isinstance(values, _np.ndarray)
+        ):
+            values = list(values)
+        n = len(values)
+        if not n:
+            return
+        if backend is None or backend == "auto":
+            use_numpy = _np is not None and n >= NUMPY_MIN_BATCH
+        elif backend == "numpy":
+            use_numpy = True
+        elif backend == "python":
+            use_numpy = False
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        if use_numpy and self._insert_many_numpy(values):
+            return
+        self._insert_many_python(values)
+
+    def _insert_many_python(self, values: Sequence[int]) -> None:
+        """Pure-Python batch kernel: locals-bound counting pass plus a
+        single scalar-stat update for the whole batch."""
+        if _np is not None and isinstance(values, _np.ndarray):
+            # Python-int semantics (no silent int64 wrap in sum()).
+            values = values.tolist()
+        counts = self.counts
+        delta: Optional[List[int]] = None
+        lut = self._lut
+        if lut is not None:
+            # Count into a scratch list so a stray non-int value (which
+            # cannot index the LUT) leaves no partial state behind.
+            delta = [0] * len(counts)
+            lo = self._lut_lo
+            hi = self._lut_hi
+            last = len(counts) - 1
+            try:
+                for v in values:
+                    if lo <= v <= hi:
+                        delta[lut[v - lo]] += 1
+                    elif v < lo:
+                        delta[0] += 1
+                    else:
+                        delta[last] += 1
+            except TypeError:
+                delta = None
+        if delta is None:
+            delta = [0] * len(counts)
+            edges = self.scheme.edges
+            bl = bisect_left
+            for v in values:
+                delta[bl(edges, v)] += 1
+        for i, c in enumerate(delta):
+            if c:
+                counts[i] += c
+        self._bump_scalars(len(values), sum(values), min(values), max(values))
+
+    def _insert_many_numpy(self, values: Sequence[int]) -> bool:
+        """Vectorized batch kernel; returns False when the values do not
+        fit the int64 fast path (caller then uses the pure kernel)."""
+        if _np is None:
+            return False
+        try:
+            arr = _np.asarray(values)
+        except (OverflowError, TypeError, ValueError):
+            return False
+        kind = arr.dtype.kind
+        if not (kind == "i" and arr.dtype.itemsize <= 8
+                or kind == "u" and arr.dtype.itemsize <= 4):
+            return False  # floats / big ints: keep exact bisect semantics
+        arr = arr.astype(_np.int64, copy=False)
+        edges = self.scheme.edges_array()
+        idx = _np.searchsorted(edges, arr, side="left")
+        binned = _np.bincount(idx, minlength=len(self.counts))
+        counts = self.counts
+        for i, c in enumerate(binned.tolist()):
+            if c:
+                counts[i] += c
+        n = int(arr.shape[0])
+        mn = int(arr.min())
+        mx = int(arr.max())
+        # int64 summation is exact only while it cannot wrap.
+        if n * max(abs(mn), abs(mx)) < (1 << 62):
+            total = int(arr.sum())
+        else:  # pragma: no cover - extreme magnitudes
+            total = sum(values)
+        self._bump_scalars(n, total, mn, mx)
+        return True
+
+    def _bump_scalars(self, n: int, total: int, mn: int, mx: int) -> None:
+        """Fold one batch's scalar statistics into the running state."""
+        self.count += n
+        self.total += total
+        if self.min is None or mn < self.min:
+            self.min = mn
+        if self.max is None or mx > self.max:
+            self.max = mx
 
     # ------------------------------------------------------------------
     # Derived statistics

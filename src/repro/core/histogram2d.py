@@ -64,6 +64,52 @@ class TimeSeriesHistogram:
         if slot > self._max_slot:
             self._max_slot = slot
 
+    def insert_many(self, times_ns, values,
+                    backend: Optional[str] = None) -> None:
+        """Record a batch of ``(time, value)`` observations.
+
+        Values are grouped by time slot and handed to the slot
+        histogram's batch kernel; a batch that lands in a single slot
+        (the common case — collector batches are short relative to the
+        6-second intervals) pays one dict lookup total.
+        """
+        n = len(times_ns)
+        if not n:
+            return
+        if hasattr(values, "tolist"):  # numpy array: back to python ints
+            values = values.tolist()
+        if hasattr(times_ns, "tolist"):
+            times_ns = times_ns.tolist()
+        interval = self.interval_ns
+        slots = [t // interval for t in times_ns]
+        lo_slot = min(slots)
+        if lo_slot < 0:
+            bad = min(times_ns)
+            raise ValueError(f"negative time {bad}")
+        hi_slot = max(slots)
+        if lo_slot == hi_slot:
+            self._slot_histogram(lo_slot).insert_many(values, backend=backend)
+        else:
+            grouped: Dict[int, List[int]] = {}
+            for slot, value in zip(slots, values):
+                bucket = grouped.get(slot)
+                if bucket is None:
+                    grouped[slot] = [value]
+                else:
+                    bucket.append(value)
+            for slot, bucket in grouped.items():
+                self._slot_histogram(slot).insert_many(bucket, backend=backend)
+        if hi_slot > self._max_slot:
+            self._max_slot = hi_slot
+
+    def _slot_histogram(self, slot: int) -> Histogram:
+        """The live histogram for ``slot``, creating it if needed."""
+        hist = self._slots.get(slot)
+        if hist is None:
+            hist = Histogram(self.scheme, name=f"{self.name}[{slot}]")
+            self._slots[slot] = hist
+        return hist
+
     # ------------------------------------------------------------------
     @property
     def num_slots(self) -> int:

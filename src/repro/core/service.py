@@ -98,6 +98,30 @@ class HistogramService:
             return
         self._collector_for(vm, vdisk).on_complete(time_ns, is_read, latency_ns)
 
+    def record_issue_batch(self, vm: str, vdisk: str, times_ns, is_read,
+                           lbas, nblocks, outstanding,
+                           backend: Optional[str] = None) -> None:
+        """Observe a run of command arrivals as parallel columns.
+
+        One enabled-check and one collector lookup for the whole run —
+        equivalent to a :meth:`record_issue` loop, no-op when disabled.
+        """
+        if not (self.enabled or self._per_disk_enabled.get((vm, vdisk), False)):
+            return
+        self._collector_for(vm, vdisk).on_issue_batch(
+            times_ns, is_read, lbas, nblocks, outstanding, backend=backend
+        )
+
+    def record_complete_batch(self, vm: str, vdisk: str, times_ns, is_read,
+                              latencies_ns,
+                              backend: Optional[str] = None) -> None:
+        """Observe a run of command completions as parallel columns."""
+        if not (self.enabled or self._per_disk_enabled.get((vm, vdisk), False)):
+            return
+        self._collector_for(vm, vdisk).on_complete_batch(
+            times_ns, is_read, latencies_ns, backend=backend
+        )
+
     def _collector_for(self, vm: str, vdisk: str) -> VscsiStatsCollector:
         """Lazily allocate the collector for a disk (§5.2)."""
         key = (vm, vdisk)

@@ -11,7 +11,8 @@ preserved).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from bisect import bisect_left, insort
+from typing import List, Optional, Sequence
 
 __all__ = ["LookBehindWindow", "DEFAULT_WINDOW_SIZE"]
 
@@ -71,6 +72,65 @@ class LookBehindWindow:
                 best = d
                 best_abs = d_abs
         return best
+
+    def observe_many(self, first_blocks: Sequence[int],
+                     last_blocks: Sequence[int]) -> List[Optional[int]]:
+        """Batch :meth:`observe`: one result per input command.
+
+        Produces exactly the same distances and final ring state as a
+        scalar :meth:`observe` loop, but queries a sorted mirror of the
+        window so each command costs one bisect plus a neighbor
+        comparison instead of an N-entry scan.  Only the very first
+        result can be ``None`` (empty window); ties in absolute
+        distance fall back to the scalar ring-order scan rule.
+        """
+        size = self.size
+        ring = self._ring
+        nxt = self._next
+        filled = self._filled
+        win = sorted(ring[:filled])
+        out: List[Optional[int]] = []
+        append = out.append
+        bl = bisect_left
+        ins = insort
+        for fb, e in zip(first_blocks, last_blocks):
+            if filled:
+                j = bl(win, fb)
+                if j == 0:
+                    best = fb - win[0]
+                elif j == filled:
+                    best = fb - win[filled - 1]
+                else:
+                    lo = win[j - 1]
+                    hi = win[j]
+                    dlo = fb - lo   # >= 0 by bisect invariant
+                    dhi = fb - hi   # <= 0
+                    if dlo < -dhi:
+                        best = dlo
+                    elif -dhi < dlo:
+                        best = dhi
+                    else:
+                        # Equidistant: the scalar scan keeps whichever
+                        # remembered position appears first in the ring.
+                        live = ring if filled == size else ring[:filled]
+                        best = dlo if live.index(lo) < live.index(hi) else dhi
+                append(best)
+                if filled == size:
+                    win.remove(ring[nxt])
+                else:
+                    filled += 1
+                ins(win, e)
+            else:
+                append(None)
+                filled = 1
+                win.append(e)
+            ring[nxt] = e
+            nxt += 1
+            if nxt == size:
+                nxt = 0
+        self._next = nxt
+        self._filled = filled
+        return out
 
     def reset(self) -> None:
         """Forget all remembered positions."""

@@ -82,13 +82,18 @@ class ExternalInitiator(Workload):
         if self._running:
             raise RuntimeError("initiator already started")
         self._running = True
-        for _ in range(self.outstanding):
-            self._issue_next()
+        # The initial outstanding-I/O budget goes out as one burst;
+        # the pattern (RNG draw order included) is identical to a
+        # scalar submit loop.
+        self.array.submit_batch(
+            [self._next_op() for _ in range(self.outstanding)]
+        )
 
     def stop(self) -> None:
         self._running = False
 
-    def _issue_next(self) -> None:
+    def _next_op(self) -> tuple:
+        """Draw the next ``(lba, nblocks, is_read, on_done)`` access."""
         span = self.region_blocks - self.io_sectors
         if self.random_fraction and self.rng.random() < self.random_fraction:
             offset = self.rng.randrange(0, span + 1)
@@ -102,12 +107,15 @@ class ExternalInitiator(Workload):
             self.read_fraction >= 1.0
             or self.rng.random() < self.read_fraction
         )
-        self.array.submit(
+        return (
             self.region_start + offset,
             self.io_sectors,
             is_read,
             self._on_complete,
         )
+
+    def _issue_next(self) -> None:
+        self.array.submit(*self._next_op())
 
     def _on_complete(self) -> None:
         self.completed += 1

@@ -1,0 +1,441 @@
+"""Property tests for the batched hot path.
+
+The batched ingestion machinery (``Histogram.insert_many`` kernels,
+the bin-lookup table, ``LookBehindWindow.observe_many``, the columnar
+collector/service hooks and the vSCSI burst path) is only admissible
+because it is *exactly* equivalent to the scalar path.  These tests
+state that equivalence as properties: for arbitrary inputs and
+arbitrary batch boundaries, batched and scalar ingestion must leave
+byte-identical state behind.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bins import (
+    IO_LENGTH_BINS,
+    LATENCY_US_BINS,
+    LUT_MAX_SPAN,
+    OUTSTANDING_IO_BINS,
+    SEEK_DISTANCE_BINS,
+    BinScheme,
+)
+from repro.core.collector import VscsiStatsCollector
+from repro.core.histogram import Histogram
+from repro.core.histogram2d import TimeSeriesHistogram
+from repro.core.service import HistogramService
+from repro.core.tracing import TraceRecord, replay_into_collector
+from repro.core.window import LookBehindWindow
+from repro.hypervisor.esx import EsxServer
+from repro.scsi.request import ScsiRequest
+from repro.sim.engine import Engine
+from repro.storage.array import clariion_cx3
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    numpy = None
+
+GIB = 1024**3
+
+ALL_SCHEMES = [IO_LENGTH_BINS, SEEK_DISTANCE_BINS, LATENCY_US_BINS,
+               OUTSTANDING_IO_BINS]
+
+# Values beyond int64 range included deliberately: the numpy kernel
+# must detect them and fall back to the exact pure path.
+wild_values = st.integers(min_value=-(10**25), max_value=10**25)
+sane_values = st.integers(min_value=-(10**12), max_value=10**12)
+
+
+def canon(obj):
+    """Canonical JSON form — 'byte-identical' comparison."""
+    return json.dumps(obj, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Histogram kernels
+# ----------------------------------------------------------------------
+class TestInsertManyKernels:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES,
+                             ids=lambda s: s.name)
+    @given(data=st.lists(wild_values, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_backends_match_scalar_insert(self, scheme, data):
+        scalar = Histogram(scheme)
+        pure = Histogram(scheme)
+        vec = Histogram(scheme)
+        for value in data:
+            scalar.insert(value)
+        pure.insert_many(data, backend="python")
+        vec.insert_many(data, backend="numpy")
+        assert canon(pure.to_dict()) == canon(scalar.to_dict())
+        assert canon(vec.to_dict()) == canon(scalar.to_dict())
+
+    @given(data=st.lists(sane_values, max_size=200),
+           cuts=st.lists(st.integers(min_value=0, max_value=200),
+                         max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_chunked_insertion_is_associative(self, data, cuts):
+        whole = Histogram(SEEK_DISTANCE_BINS)
+        chunked = Histogram(SEEK_DISTANCE_BINS)
+        whole.insert_many(data, backend="python")
+        bounds = sorted({c for c in cuts if c < len(data)})
+        start = 0
+        for cut in bounds + [len(data)]:
+            chunked.insert_many(data[start:cut], backend="auto")
+            start = cut
+        assert canon(chunked.to_dict()) == canon(whole.to_dict())
+
+    @given(data=st.lists(st.integers(min_value=-5, max_value=200),
+                         max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_lut_path_matches_bisect(self, data):
+        # OUTSTANDING_IO_BINS spans 63 values, so it gets a LUT;
+        # confirm, then compare against a bisect-only twin scheme.
+        assert OUTSTANDING_IO_BINS.index_lut() is not None
+        wide = BinScheme("wide_twin",
+                         OUTSTANDING_IO_BINS.edges + (LUT_MAX_SPAN * 4,))
+        assert wide.index_lut() is None
+        lut_hist = Histogram(OUTSTANDING_IO_BINS)
+        ref_hist = Histogram(wide)
+        for value in data:
+            lut_hist.insert(value)
+            ref_hist.insert(value)
+        # The twin has one extra (empty) bin; counts must agree on the
+        # shared prefix and the overflow tail.
+        assert lut_hist.counts[:-1] == ref_hist.counts[:len(lut_hist.counts) - 1]
+        assert lut_hist.counts[-1] == sum(ref_hist.counts[len(lut_hist.counts) - 1:])
+        assert lut_hist.count == ref_hist.count
+
+    def test_lut_rejects_floats_exactly(self):
+        # Floats cannot index the LUT; both paths must fall back to
+        # bisect semantics, scalar and batched alike.
+        a = Histogram(OUTSTANDING_IO_BINS)
+        b = Histogram(OUTSTANDING_IO_BINS)
+        data = [1, 2.5, 64, 3.0, -1.5, 100]
+        for value in data:
+            a.insert(value)
+        b.insert_many(data, backend="python")
+        assert a.counts == b.counts
+        assert a.count == b.count
+        assert a.total == b.total
+
+    @pytest.mark.skipif(numpy is None, reason="numpy not installed")
+    def test_numpy_array_input_matches_list_input(self):
+        data = list(range(-100, 4000, 7))
+        from_list = Histogram(IO_LENGTH_BINS)
+        from_array = Histogram(IO_LENGTH_BINS)
+        from_list.insert_many(data, backend="python")
+        from_array.insert_many(numpy.asarray(data), backend="numpy")
+        assert canon(from_array.to_dict()) == canon(from_list.to_dict())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(IO_LENGTH_BINS).insert_many([1], backend="fortran")
+
+
+# ----------------------------------------------------------------------
+# Look-behind window
+# ----------------------------------------------------------------------
+class TestObserveMany:
+    @given(
+        commands=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=500),
+                      st.integers(min_value=1, max_value=64)),
+            max_size=120,
+        ),
+        size=st.integers(min_value=1, max_value=20),
+        cut=st.integers(min_value=0, max_value=120),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scalar_observe_including_state(self, commands, size,
+                                                    cut):
+        # Small LBA range forces frequent exact-abs-distance ties, the
+        # hardest case for the sorted-mirror fast path.
+        pairs = [(lba, lba + nb - 1) for lba, nb in commands]
+        scalar = LookBehindWindow(size)
+        batched = LookBehindWindow(size)
+        expected = [scalar.observe(fb, lb) for fb, lb in pairs]
+        cut = min(cut, len(pairs))
+        got = batched.observe_many([p[0] for p in pairs[:cut]],
+                                   [p[1] for p in pairs[:cut]])
+        got += batched.observe_many([p[0] for p in pairs[cut:]],
+                                    [p[1] for p in pairs[cut:]])
+        assert got == expected
+        # Ring state must match too, so scalar and batched observation
+        # can be freely interleaved.
+        assert batched._ring == scalar._ring
+        assert batched._next == scalar._next
+        assert batched._filled == scalar._filled
+
+
+# ----------------------------------------------------------------------
+# Collector batch hooks
+# ----------------------------------------------------------------------
+issue_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2_000_000),   # arrival gap ns
+        st.booleans(),                                   # is_read
+        st.integers(min_value=0, max_value=1 << 30),     # lba
+        st.integers(min_value=1, max_value=2048),        # nblocks
+        st.integers(min_value=0, max_value=100),         # outstanding
+    ),
+    max_size=120,
+)
+
+
+def absolute_rows(rows):
+    """Convert arrival gaps to absolute non-decreasing timestamps."""
+    out = []
+    t = 0
+    for gap, is_read, lba, nblocks, outstanding in rows:
+        t += gap
+        out.append((t, is_read, lba, nblocks, outstanding))
+    return out
+
+
+class TestCollectorBatchHooks:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @given(rows=issue_rows,
+           cuts=st.lists(st.integers(min_value=0, max_value=120),
+                         max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_issue_batch_matches_scalar_loop(self, backend, rows, cuts):
+        rows = absolute_rows(rows)
+        scalar = VscsiStatsCollector()
+        batched = VscsiStatsCollector()
+        for row in rows:
+            scalar.on_issue(*row)
+        cols = list(zip(*rows)) if rows else [[], [], [], [], []]
+        bounds = sorted({c for c in cuts if c < len(rows)})
+        start = 0
+        for cut in bounds + [len(rows)]:
+            batched.on_issue_batch(*[list(col[start:cut]) for col in cols],
+                                   backend=backend)
+            start = cut
+        assert canon(batched.to_dict()) == canon(scalar.to_dict())
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @given(rows=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10**12),
+                  st.booleans(),
+                  st.integers(min_value=0, max_value=10**11)),
+        max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_complete_batch_matches_scalar_loop(self, backend, rows):
+        scalar = VscsiStatsCollector()
+        batched = VscsiStatsCollector()
+        for time_ns, is_read, latency_ns in rows:
+            scalar.on_complete(time_ns, is_read, latency_ns)
+        cols = list(zip(*rows)) if rows else [[], [], []]
+        batched.on_complete_batch(*[list(col) for col in cols],
+                                  backend=backend)
+        assert canon(batched.to_dict()) == canon(scalar.to_dict())
+
+    @given(rows=issue_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_and_batch_interleave_freely(self, rows):
+        rows = absolute_rows(rows)
+        scalar = VscsiStatsCollector()
+        mixed = VscsiStatsCollector()
+        for row in rows:
+            scalar.on_issue(*row)
+        half = len(rows) // 2
+        for row in rows[:half]:
+            mixed.on_issue(*row)
+        tail = rows[half:]
+        cols = list(zip(*tail)) if tail else [[], [], [], [], []]
+        mixed.on_issue_batch(*[list(col) for col in cols])
+        assert canon(mixed.to_dict()) == canon(scalar.to_dict())
+
+    def test_batch_rejects_ragged_columns(self):
+        collector = VscsiStatsCollector()
+        with pytest.raises(ValueError):
+            collector.on_issue_batch([1, 2], [True], [0, 0], [8, 8], [0, 0])
+        with pytest.raises(ValueError):
+            collector.on_complete_batch([1, 2], [True, False], [10])
+
+    def test_derived_all_equals_explicit_insert(self):
+        # 'all' is no longer maintained online; it must still be what a
+        # third per-command insert would have produced.
+        family_view = VscsiStatsCollector().io_length
+        reference = Histogram(IO_LENGTH_BINS)
+        for value, is_read in [(4096, True), (512, False), (8192, True)]:
+            family_view.insert(value, is_read)
+            reference.insert(value)
+        assert family_view.all == reference
+
+
+# ----------------------------------------------------------------------
+# Offline replay and service hooks
+# ----------------------------------------------------------------------
+trace_records = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10**9),     # issue_ns
+              st.integers(min_value=1, max_value=10**8),     # latency_ns
+              st.integers(min_value=0, max_value=1 << 30),   # lba
+              st.integers(min_value=1, max_value=1024),      # nblocks
+              st.booleans()),
+    max_size=80,
+)
+
+
+class TestBatchedReplay:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @given(raw=trace_records)
+    @settings(max_examples=40, deadline=None)
+    def test_batched_replay_matches_event_merge(self, backend, raw):
+        records = [
+            TraceRecord(serial=i, issue_ns=issue, complete_ns=issue + lat,
+                        lba=lba, nblocks=nb, is_read=is_read)
+            for i, (issue, lat, lba, nb, is_read) in enumerate(raw)
+        ]
+        scalar = replay_into_collector(records)
+        batched = replay_into_collector(records, batch=True, backend=backend)
+        assert canon(batched.to_dict()) == canon(scalar.to_dict())
+
+    def test_service_batch_hooks_noop_when_disabled(self):
+        service = HistogramService()
+        service.record_issue_batch("vm", "d", [1], [True], [0], [8], [0])
+        service.record_complete_batch("vm", "d", [1], [True], [100])
+        assert service.collector("vm", "d") is None
+
+    def test_service_batch_hooks_match_scalar_hooks(self):
+        scalar = HistogramService()
+        batched = HistogramService()
+        scalar.enable()
+        batched.enable()
+        rows = [(1000 * i, i % 3 != 0, 64 * i, 8, i % 4)
+                for i in range(50)]
+        for row in rows:
+            scalar.record_issue("vm", "d", *row)
+            scalar.record_complete("vm", "d", row[0] + 500, row[1], 500)
+        cols = list(zip(*rows))
+        batched.record_issue_batch("vm", "d", *cols)
+        batched.record_complete_batch(
+            "vm", "d", [t + 500 for t in cols[0]], list(cols[1]), [500] * 50
+        )
+        assert canon(batched.collector("vm", "d").to_dict()) == \
+            canon(scalar.collector("vm", "d").to_dict())
+
+
+# ----------------------------------------------------------------------
+# Engine pending-event accounting and batch scheduling
+# ----------------------------------------------------------------------
+class TestEngineAccounting:
+    def brute_pending(self, engine):
+        return sum(1 for h in engine._heap if not h.cancelled and not h.fired)
+
+    @given(ops=st.lists(st.tuples(st.sampled_from(["schedule", "cancel",
+                                                   "step", "batch"]),
+                                  st.integers(min_value=0, max_value=50)),
+                        max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_pending_events_counter_matches_heap_scan(self, ops):
+        engine = Engine()
+        handles = []
+        for op, arg in ops:
+            if op == "schedule":
+                handles.append(engine.schedule(arg, lambda: None))
+            elif op == "batch":
+                now = engine.now
+                handles.extend(engine.schedule_at_batch(
+                    [(now + arg + i, lambda: None) for i in range(3)]
+                ))
+            elif op == "cancel" and handles:
+                handles[arg % len(handles)].cancel()
+            elif op == "step":
+                engine.step()
+            assert engine.pending_events() == self.brute_pending(engine)
+        engine.run()
+        assert engine.pending_events() == 0
+
+    def test_cancel_after_fire_keeps_counter_sane(self):
+        engine = Engine()
+        handle = engine.schedule(5, lambda: None)
+        engine.run()
+        assert engine.pending_events() == 0
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending_events() == 0
+
+    def test_batch_scheduling_fires_in_time_then_seq_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at_batch([
+            (10, lambda: fired.append("a")),
+            (5, lambda: fired.append("b")),
+            (10, lambda: fired.append("c")),
+        ])
+        engine.schedule_at(10, lambda: fired.append("d"))
+        engine.run()
+        assert fired == ["b", "a", "c", "d"]
+
+    def test_batch_scheduling_rejects_past_times(self):
+        engine = Engine()
+        engine.schedule_at(5, engine.stop)
+        engine.run()
+        from repro.sim.engine import SimulationError
+        with pytest.raises(SimulationError):
+            engine.schedule_at_batch([(0, lambda: None)])
+
+    def test_same_time_run_drains_in_one_pass(self):
+        engine = Engine()
+        fired = []
+        for i in range(5):
+            engine.schedule_at(7, lambda i=i: fired.append(i))
+        # A same-time event scheduled *during* the run must still fire
+        # within the run, after the already-queued ones.
+        engine.schedule_at(7, lambda: engine.schedule_at(
+            7, lambda: fired.append("late")))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4, "late"]
+
+
+# ----------------------------------------------------------------------
+# vSCSI burst issue
+# ----------------------------------------------------------------------
+def _fresh_device(queue_depth=None):
+    engine = Engine()
+    esx = EsxServer(engine)
+    esx.add_array(clariion_cx3(engine, read_cache=False))
+    vm = esx.create_vm("vm1")
+    device = esx.create_vdisk(vm, "scsi0:0", esx.array("cx3"), 2 * GIB)
+    if queue_depth is not None:
+        device.queue.depth_limit = queue_depth
+    esx.stats.enable()
+    return engine, esx, device
+
+
+class TestIssueBurst:
+    @pytest.mark.parametrize("queue_depth", [None, 4])
+    def test_burst_equals_issue_loop(self, queue_depth):
+        specs = [(i % 2 == 0, 16 * i, 16) for i in range(32)]
+
+        engine_a, esx_a, dev_a = _fresh_device(queue_depth)
+        for is_read, lba, nb in specs:
+            dev_a.issue(ScsiRequest(is_read, lba, nb))
+        engine_a.run()
+
+        engine_b, esx_b, dev_b = _fresh_device(queue_depth)
+        dev_b.issue_burst([ScsiRequest(is_read, lba, nb)
+                           for is_read, lba, nb in specs])
+        engine_b.run()
+
+        snap_a = esx_a.collector_for("vm1", "scsi0:0").to_dict()
+        snap_b = esx_b.collector_for("vm1", "scsi0:0").to_dict()
+        assert canon(snap_b) == canon(snap_a)
+        assert dev_b.commands == dev_a.commands == len(specs)
+
+    def test_burst_cols_cleared_after_failure(self):
+        engine, esx, device = _fresh_device()
+        bad = [ScsiRequest(True, 0, 16), None]  # None explodes in submit
+        with pytest.raises(AttributeError):
+            device.issue_burst(bad)
+        assert device._burst_cols is None
+        # The device must still work scalar-style afterwards.
+        device.issue(ScsiRequest(True, 64, 16))
+        engine.run()
+        assert esx.collector_for("vm1", "scsi0:0").commands >= 1
