@@ -1,0 +1,288 @@
+"""Sharded parallel replay throughput: serial vs zero-copy vs jobs=N.
+
+PR 1 made the per-command kernels fast; this benchmark measures the
+scale-out layer on top of them.  A synthetic multi-vdisk corpus
+(``FULL_N`` commands spread over ``VDISKS`` virtual disks, the same
+70%-sequential/bursty mix as ``bench_hotpath``) is written as a
+sharded trace directory and replayed through:
+
+* ``jobs=1`` — the single-process baseline: the record-based reader
+  (``read_binary``: one ``struct.unpack`` + one dataclass per record)
+  feeding ``replay_into_collector(batch=True)`` per vdisk, collectors
+  merged at the end.  This is exactly what the repo did before the
+  ``repro.parallel`` subsystem existed.
+* ``jobs=1-zerocopy`` — :class:`repro.parallel.ShardedReplay` inline
+  (no pool): ``np.memmap`` columns straight into the numpy batch
+  kernels, no per-record Python objects.
+* ``jobs=2`` / ``jobs=4`` / ``jobs=<ncpu>`` — the same zero-copy
+  replay fanned out over worker processes (fork where available, else
+  spawn), per-worker collectors recombined through the merge API.
+
+Every mode must produce byte-identical per-disk and aggregate
+snapshots — the benchmark asserts it before reporting a single number,
+so the speedup is pure mechanics, not changed semantics.  The
+acceptance gate is ``jobs=4`` >= ``MIN_SPEEDUP`` x ``jobs=1``; the
+committed record (``BENCH_parallel.json``) notes the host CPU count,
+since on a single-core container the whole win is the zero-copy I/O
+layer while multi-core hosts add near-linear scaling on top.
+
+Run styles:
+
+* ``pytest benchmarks/bench_parallel.py --benchmark-only`` — small
+  corpus, wall time measured by pytest-benchmark (autosaved).
+* ``python benchmarks/bench_parallel.py [N]`` — the full corpus;
+  writes ``BENCH_parallel.json`` and exits 1 unless the gate holds.
+"""
+
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.collector import VscsiStatsCollector
+from repro.core.service import HistogramService
+from repro.core.tracing import TraceRecord, read_binary, replay_into_collector
+from repro.parallel import ShardedReplay, TraceColumns, write_shards
+from repro.parallel.trace_io import load_manifest
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_parallel.json"
+
+#: Total commands across the corpus (the gate's "4M-command corpus").
+FULL_N = 4_000_000
+
+#: Virtual disks the corpus is spread over (two VMs x four disks).
+VDISKS = 8
+
+#: jobs=4 must beat the serial jobs=1 baseline by this factor.
+MIN_SPEEDUP = 3.0
+
+
+# ----------------------------------------------------------------------
+# Synthetic multi-vdisk corpus
+# ----------------------------------------------------------------------
+def _disk_key(index):
+    return (f"vm{index // 4}", f"scsi0:{index % 4}")
+
+
+def _make_stream_numpy(n, seed):
+    """One vdisk's columns, vectorized: 70% sequential, bursty."""
+    rng = _np.random.default_rng(seed)
+    sizes = _np.array([8, 8, 8, 16, 64, 128], dtype=_np.int64)
+    nblocks = sizes[rng.integers(0, len(sizes), n)]
+    gaps = rng.integers(1, 200_000, n, dtype=_np.int64)
+    gaps[rng.random(n) < 0.25] = 0  # same-timestamp bursts
+    times = _np.cumsum(gaps)
+    # Sequential runs: each random jump starts a segment at a fresh
+    # LBA; within a segment each command continues where the previous
+    # one ended.
+    jump = rng.random(n) >= 0.7
+    jump[0] = True
+    segment = _np.cumsum(jump) - 1
+    bases = rng.integers(0, 1 << 28, int(segment[-1]) + 1, dtype=_np.int64)
+    before = _np.concatenate(
+        [_np.zeros(1, dtype=_np.int64), _np.cumsum(nblocks)[:-1]]
+    )
+    seg_origin = before[jump][segment]
+    lbas = bases[segment] + (before - seg_origin)
+    latencies = rng.integers(100_000, 20_000_000, n, dtype=_np.int64)
+    return TraceColumns(
+        _np.arange(n, dtype=_np.uint64),
+        times,
+        times + latencies,
+        lbas,
+        nblocks.astype(_np.uint32),
+        rng.random(n) < 0.67,
+    )
+
+
+def _make_stream_python(n, seed):
+    """Pure fallback for numpy-less hosts (small n only)."""
+    rng = random.Random(seed)
+    sizes = (8, 8, 8, 16, 64, 128)
+    records = []
+    t = 0
+    lba = rng.randrange(0, 1 << 28)
+    nb = 8
+    for i in range(n):
+        if rng.random() < 0.7:
+            lba += nb
+        else:
+            lba = rng.randrange(0, 1 << 28)
+        nb = sizes[rng.randrange(0, len(sizes))]
+        if rng.random() >= 0.25:
+            t += rng.randrange(1, 200_000)
+        lat = rng.randrange(100_000, 20_000_000)
+        records.append(TraceRecord(i, t, t + lat, lba, nb,
+                                   rng.random() < 0.67))
+    return records
+
+
+def make_corpus(directory, n=FULL_N, vdisks=VDISKS, seed=20070927):
+    """Write an n-command, ``vdisks``-disk sharded corpus; returns the
+    manifest."""
+    per_disk = n // vdisks
+    streams = {}
+    for index in range(vdisks):
+        if _np is not None:
+            stream = _make_stream_numpy(per_disk, seed + index)
+        else:
+            stream = _make_stream_python(per_disk, seed + index)
+        streams[_disk_key(index)] = stream
+    return write_shards(streams, directory)
+
+
+# ----------------------------------------------------------------------
+# Replay paths under test
+# ----------------------------------------------------------------------
+def run_serial(directory):
+    """jobs=1 baseline: record-based reader + batched replay per vdisk,
+    merged through the same service API the parallel path uses."""
+    manifest = load_manifest(directory)
+    service = HistogramService()
+    backend = None if _np is None else "numpy"
+    for segment in manifest["segments"]:
+        with open(Path(directory) / segment["file"], "rb") as fileobj:
+            records = read_binary(fileobj)
+        collector = VscsiStatsCollector()
+        replay_into_collector(records, collector, batch=True, backend=backend)
+        service.adopt((segment["vm"], segment["vdisk"]), collector)
+    return service
+
+
+def run_sharded(directory, jobs):
+    """Zero-copy sharded replay at a given worker count."""
+    return ShardedReplay(directory, jobs=jobs).run().service
+
+
+def snapshot(service):
+    return {f"{vm}/{vdisk}": collector.to_dict()
+            for (vm, vdisk), collector in service.collectors()}
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (small corpus; autosaved)
+# ----------------------------------------------------------------------
+# Defined only under a live pytest run: keeps script mode (and any
+# spawn-started worker that re-imports this module) from paying the
+# pytest import.
+if "pytest" in sys.modules:
+    import pytest
+
+    PYTEST_N = 80_000
+    PYTEST_VDISKS = 4
+
+    @pytest.fixture(scope="module")
+    def corpus_dir(tmp_path_factory):
+        directory = tmp_path_factory.mktemp("corpus")
+        make_corpus(directory, n=PYTEST_N, vdisks=PYTEST_VDISKS)
+        return directory
+
+    @pytest.mark.benchmark(group="parallel")
+    def test_parallel_serial_baseline(benchmark, corpus_dir):
+        service = benchmark.pedantic(
+            run_serial, args=(corpus_dir,), rounds=1, iterations=1
+        )
+        assert sum(c.commands for _k, c in service.collectors()) == PYTEST_N
+
+    @pytest.mark.benchmark(group="parallel")
+    def test_parallel_zerocopy_inline(benchmark, corpus_dir):
+        service = benchmark.pedantic(
+            run_sharded, args=(corpus_dir, 1), rounds=1, iterations=1
+        )
+        assert snapshot(service) == snapshot(run_serial(corpus_dir))
+
+    @pytest.mark.benchmark(group="parallel")
+    def test_parallel_two_workers(benchmark, corpus_dir):
+        service = benchmark.pedantic(
+            run_sharded, args=(corpus_dir, 2), rounds=1, iterations=1
+        )
+        assert snapshot(service) == snapshot(run_serial(corpus_dir))
+
+
+# ----------------------------------------------------------------------
+# Full-run script mode: measure, verify, record
+# ----------------------------------------------------------------------
+def measure(n=FULL_N, vdisks=VDISKS, verify=True):
+    """Replay an n-command corpus through every mode; return the record."""
+    ncpu = os.cpu_count() or 1
+    jobs_list = sorted({2, 4, ncpu} - {1})
+    with tempfile.TemporaryDirectory(prefix="bench_parallel_") as directory:
+        make_corpus(directory, n=n, vdisks=vdisks)
+        results = {}
+        reference = None
+
+        def timed(label, runner):
+            nonlocal reference
+            start = time.perf_counter()
+            service = runner()
+            elapsed = time.perf_counter() - start
+            results[label] = {
+                "seconds": round(elapsed, 3),
+                "commands_per_sec": round(n / elapsed, 1),
+            }
+            if verify:
+                snap = snapshot(service)
+                if reference is None:
+                    reference = snap
+                else:
+                    assert snap == reference, (
+                        f"{label} snapshot diverged from jobs=1"
+                    )
+
+        timed("jobs=1", lambda: run_serial(directory))
+        timed("jobs=1-zerocopy", lambda: run_sharded(directory, 1))
+        for jobs in jobs_list:
+            timed(f"jobs={jobs}", lambda jobs=jobs: run_sharded(directory,
+                                                                jobs))
+    base_cps = results["jobs=1"]["commands_per_sec"]
+    for label in results:
+        results[label]["speedup_vs_jobs1"] = round(
+            results[label]["commands_per_sec"] / base_cps, 2
+        )
+    return {
+        "benchmark": "parallel_replay",
+        "commands": n,
+        "vdisks": vdisks,
+        "cpus": ncpu,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "numpy": getattr(_np, "__version__", None),
+        "modes": results,
+    }
+
+
+def main(argv):
+    n = FULL_N
+    if len(argv) > 1:
+        n = int(argv[1])
+    record = measure(n)
+    print(json.dumps(record, indent=2))
+    if n == FULL_N:
+        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {BENCH_JSON}")
+    gate = record["modes"].get("jobs=4")
+    if gate is None:  # pragma: no cover - jobs_list always includes 4
+        print("FAIL: no jobs=4 mode measured")
+        return 1
+    if gate["speedup_vs_jobs1"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: jobs=4 speedup {gate['speedup_vs_jobs1']}x < "
+            f"{MIN_SPEEDUP}x vs jobs=1"
+        )
+        return 1
+    print(f"OK: jobs=4 speedup {gate['speedup_vs_jobs1']}x >= {MIN_SPEEDUP}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

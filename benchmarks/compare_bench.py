@@ -1,15 +1,21 @@
-"""Throughput regression gate for the hot-path benchmark.
+"""Throughput regression gate for the committed benchmark records.
 
-Re-measures the replay throughput of every ingestion mode and compares
-it against the committed ``BENCH_hotpath.json`` record.  Exits non-zero
-when any mode regresses by more than ``TOLERANCE`` (20%), so CI can
-gate merges on ingestion throughput the same way it gates on tests.
+Re-measures the replay throughput of every registered benchmark (the
+PR 1 hot-path ingestion modes and the sharded parallel replay modes)
+and compares it against the committed ``BENCH_*.json`` records.  Exits
+non-zero when any mode regresses by more than ``TOLERANCE`` (20%), so
+CI can gate merges on throughput the same way it gates on tests.
+
+Both records share a schema — ``{"commands": N, "modes": {label:
+{"commands_per_sec": ...}}}`` — so one comparison loop covers every
+benchmark and any future ``bench_*.py`` only needs a registry entry.
 
 Usage::
 
-    python benchmarks/compare_bench.py             # gate vs committed record
-    python benchmarks/compare_bench.py --n 200000  # quicker, scaled run
-    python benchmarks/compare_bench.py --update    # re-measure and commit
+    python benchmarks/compare_bench.py                 # gate every record
+    python benchmarks/compare_bench.py --only parallel # one benchmark
+    python benchmarks/compare_bench.py --n 200000      # quicker, scaled run
+    python benchmarks/compare_bench.py --update        # re-measure and commit
 """
 
 import argparse
@@ -19,57 +25,94 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_hotpath import BENCH_JSON, FULL_N, measure
+import bench_hotpath
+import bench_parallel
 
 #: Maximum tolerated drop in commands/sec relative to the committed
 #: record before the gate fails.
 TOLERANCE = 0.20
 
+#: name -> (measure(n) callable, committed record path, full-run n).
+BENCHMARKS = {
+    "hotpath": (bench_hotpath.measure, bench_hotpath.BENCH_JSON,
+                bench_hotpath.FULL_N),
+    "parallel": (bench_parallel.measure, bench_parallel.BENCH_JSON,
+                 bench_parallel.FULL_N),
+}
 
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--n", type=int, default=None,
-        help="trace length to measure (default: the committed record's)",
-    )
-    parser.add_argument(
-        "--update", action="store_true",
-        help="re-measure at the full length and rewrite the record",
-    )
-    args = parser.parse_args(argv)
 
-    if args.update:
-        record = measure(FULL_N)
-        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
-        print(json.dumps(record, indent=2))
-        print(f"updated {BENCH_JSON}")
-        return 0
+def compare(name, measure, bench_json, n=None):
+    """Gate one benchmark against its committed record.
 
-    if not BENCH_JSON.exists():
-        print(f"no committed record at {BENCH_JSON}; run with --update")
-        return 1
-    committed = json.loads(BENCH_JSON.read_text())
-    n = args.n if args.n is not None else committed["commands"]
+    Returns True when every mode stays within ``TOLERANCE`` of the
+    record's commands/sec.
+    """
+    if not bench_json.exists():
+        print(f"[{name}] no committed record at {bench_json}; "
+              "run with --update")
+        return False
+    committed = json.loads(bench_json.read_text())
+    if n is None:
+        n = committed["commands"]
     current = measure(n)
 
-    failed = False
-    print(f"{'mode':<8} {'committed':>12} {'current':>12} {'ratio':>7}")
+    ok = True
+    width = max(len(mode) for mode in committed["modes"])
+    print(f"[{name}] {'mode':<{width}} {'committed':>12} "
+          f"{'current':>12} {'ratio':>7}")
     for mode, base in committed["modes"].items():
         now = current["modes"].get(mode)
         if now is None:
-            print(f"{mode:<8} {base['commands_per_sec']:>12} {'missing':>12}")
+            print(f"[{name}] {mode:<{width}} "
+                  f"{base['commands_per_sec']:>12} {'missing':>12}")
+            ok = False
             continue
         ratio = now["commands_per_sec"] / base["commands_per_sec"]
         verdict = ""
         if ratio < 1.0 - TOLERANCE:
             verdict = "  REGRESSION"
-            failed = True
+            ok = False
         print(
-            f"{mode:<8} {base['commands_per_sec']:>12} "
+            f"[{name}] {mode:<{width}} {base['commands_per_sec']:>12} "
             f"{now['commands_per_sec']:>12} {ratio:>6.2f}x{verdict}"
         )
+    return ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only", choices=sorted(BENCHMARKS), default=None,
+        help="gate a single benchmark (default: all of them)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None,
+        help="trace length to measure (default: each committed record's)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-measure at the full length and rewrite the record(s)",
+    )
+    args = parser.parse_args(argv)
+
+    names = [args.only] if args.only else sorted(BENCHMARKS)
+
+    if args.update:
+        for name in names:
+            measure, bench_json, full_n = BENCHMARKS[name]
+            record = measure(full_n)
+            bench_json.write_text(json.dumps(record, indent=2) + "\n")
+            print(json.dumps(record, indent=2))
+            print(f"updated {bench_json}")
+        return 0
+
+    failed = [
+        name for name in names
+        if not compare(name, *BENCHMARKS[name][:2], n=args.n)
+    ]
     if failed:
-        print(f"FAIL: throughput regressed more than {TOLERANCE:.0%}")
+        print(f"FAIL: {', '.join(failed)} regressed more than "
+              f"{TOLERANCE:.0%} (or missing a record)")
         return 1
     print("OK: within tolerance")
     return 0

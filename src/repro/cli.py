@@ -4,7 +4,10 @@ Subcommands:
 
 * ``list`` — enumerate the reproducible paper artifacts.
 * ``run <experiment>`` — regenerate one figure/table and print it in
-  the paper's layout (``--quick`` for scaled-down parameters).
+  the paper's layout (``--quick`` for scaled-down parameters); or
+  ``run --all [--jobs N]`` to regenerate the whole registry, fanned
+  out over worker processes.  ``--output json`` prints a machine-
+  readable document instead of rendered panels.
 * ``demo`` — the 30-second tour: a small mixed workload, its
   histograms, and its characterization.
 """
@@ -29,51 +32,123 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _result_fields(result: object):
+    """``(attr, value)`` pairs of a result object, slots or dict."""
+    try:
+        items = vars(result).items()
+    except TypeError:  # __slots__-only result objects
+        items = (
+            (attr, getattr(result, attr))
+            for attr in getattr(type(result), "__slots__", ())
+        )
+    return [(attr, value) for attr, value in items
+            if not attr.startswith("_")]
+
+
 def _print_result(exp_id: str, result: object) -> None:
+    """Render a result: histograms as panels, everything else as
+    labelled lines — no field is silently skipped."""
     if isinstance(result, Table2Result):
         print(render_table2(result))
         return
-    # Figure results: render every histogram attribute they carry.
-    from .core.histogram import Histogram
-
-    for attr in vars(result):
-        value = getattr(result, attr)
-        if isinstance(value, Histogram):
-            print(render_histogram(value, title=f"{exp_id}: {attr}"))
-            print()
-        elif isinstance(value, (int, float, str)) and not attr.startswith("_"):
-            print(f"{exp_id}: {attr} = {value}")
-
-
-def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, quick=args.quick)
-    _print_result(args.experiment, result)
-    if args.export is not None:
-        _export_result(args.experiment, result, args.export)
-        print(f"\nwrote {args.export}")
-    return 0
-
-
-def _export_result(exp_id: str, result: object, path: str) -> None:
-    """Serialize every histogram/collector the result carries to JSON."""
-    import json
-
     from .core.collector import VscsiStatsCollector
     from .core.histogram import Histogram
     from .core.histogram2d import TimeSeriesHistogram
 
-    payload = {"experiment": exp_id, "fields": {}}
-    for attr, value in vars(result).items():
+    for attr, value in _result_fields(result):
         if isinstance(value, Histogram):
-            payload["fields"][attr] = value.to_dict()
+            print(render_histogram(value, title=f"{exp_id}: {attr}"))
+            print()
         elif isinstance(value, TimeSeriesHistogram):
-            payload["fields"][attr] = value.to_dict()
+            print(f"{exp_id}: {attr} = <time series {value.name!r}: "
+                  f"{value.num_slots} slots, {value.count} observations>")
         elif isinstance(value, VscsiStatsCollector):
-            payload["fields"][attr] = value.to_dict()
-        elif isinstance(value, (int, float, str, bool)):
-            payload["fields"][attr] = value
-    with open(path, "w") as fileobj:
-        json.dump(payload, fileobj, indent=2, sort_keys=True)
+            print(f"{exp_id}: {attr} = <collector: {value.commands} commands, "
+                  f"{value.read_commands}R/{value.write_commands}W, "
+                  f"{value.total_bytes} bytes>")
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            print(f"{exp_id}: {attr} = {value}")
+        elif isinstance(value, (list, tuple, set, frozenset, dict)):
+            print(f"{exp_id}: {attr} = <{type(value).__name__} of "
+                  f"{len(value)} items>")
+        else:
+            print(f"{exp_id}: {attr} = {value!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    if args.all and args.experiment is not None:
+        print("run: give either one experiment id or --all, not both",
+              file=sys.stderr)
+        return 2
+    if not args.all and args.experiment is None:
+        print("run: an experiment id (or --all) is required",
+              file=sys.stderr)
+        return 2
+
+    if args.all:
+        from .experiments.runner import run_all_experiments
+
+        results = run_all_experiments(quick=args.quick, jobs=args.jobs)
+    else:
+        results = {args.experiment: run_experiment(args.experiment,
+                                                   quick=args.quick)}
+
+    if args.output == "json":
+        payload = {exp_id: _result_payload(exp_id, result)
+                   for exp_id, result in results.items()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for index, (exp_id, result) in enumerate(results.items()):
+            if index:
+                print()
+            _print_result(exp_id, result)
+    if args.export is not None:
+        payload = {exp_id: _result_payload(exp_id, result)
+                   for exp_id, result in results.items()}
+        if not args.all:
+            payload = payload[args.experiment]
+        with open(args.export, "w") as fileobj:
+            json.dump(payload, fileobj, indent=2, sort_keys=True)
+        if args.output != "json":
+            print(f"\nwrote {args.export}")
+    return 0
+
+
+def _jsonable(value: object):
+    """Recursively convert a result value to JSON-encodable form.
+
+    Anything exporting ``to_dict`` uses it; dataclasses and containers
+    recurse (so a dict of collectors serializes, unlike a plain
+    ``dataclasses.asdict``); everything else degrades to ``repr`` —
+    no field is ever dropped from the document.
+    """
+    import dataclasses
+
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+def _result_payload(exp_id: str, result: object) -> dict:
+    """JSON-exportable form of every field a result carries."""
+    return {
+        "experiment": exp_id,
+        "fields": {attr: _jsonable(value)
+                   for attr, value in _result_fields(result)},
+    }
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -115,13 +190,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     subparsers.add_parser("list", help="list reproducible artifacts")
 
-    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment (or --all)"
+    )
     run_parser.add_argument(
-        "experiment", choices=[e.exp_id for e in EXPERIMENTS]
+        "experiment", nargs="?", default=None,
+        choices=[e.exp_id for e in EXPERIMENTS],
+    )
+    run_parser.add_argument(
+        "--all", action="store_true",
+        help="run every experiment in the registry",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="with --all: fan experiments out over N worker processes",
     )
     run_parser.add_argument(
         "--quick", action="store_true",
         help="scaled-down parameters (seconds instead of minutes)",
+    )
+    run_parser.add_argument(
+        "--output", choices=["text", "json"], default="text",
+        help="print rendered panels (text) or a JSON document (json)",
     )
     run_parser.add_argument(
         "--export", metavar="FILE", default=None,

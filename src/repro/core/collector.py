@@ -73,21 +73,23 @@ class MetricFamily:
     @property
     def all(self) -> Histogram:
         """Merged all-commands view (computed on access, O(m))."""
-        r = self.reads
-        w = self.writes
-        merged = Histogram(self.scheme, name=self.name)
-        merged.counts = [a + b for a, b in zip(r.counts, w.counts)]
-        merged.count = r.count + w.count
-        merged.total = r.total + w.total
-        if r.min is None:
-            merged.min = w.min
-            merged.max = w.max
-        elif w.min is None:
-            merged.min = r.min
-            merged.max = r.max
-        else:
-            merged.min = r.min if r.min < w.min else w.min
-            merged.max = r.max if r.max > w.max else w.max
+        return self.reads.merge(self.writes, name=self.name)
+
+    def merge(self, other: "MetricFamily") -> "MetricFamily":
+        """Return a new family combining this one and ``other``.
+
+        Exact, associative and commutative (see :meth:`Histogram.merge`)
+        — per-shard families from parallel replay recombine to
+        byte-identical :meth:`to_dict` output.
+        """
+        if self.scheme != other.scheme:
+            raise ValueError(
+                f"cannot merge families over schemes {self.scheme.name!r} "
+                f"and {other.scheme.name!r}"
+            )
+        merged = MetricFamily(self.scheme, self.name)
+        merged.reads = self.reads.merge(other.reads)
+        merged.writes = self.writes.merge(other.writes)
         return merged
 
     def insert(self, value: int, is_read: bool) -> None:
@@ -493,6 +495,70 @@ class VscsiStatsCollector:
             "outstanding": self.outstanding,
             "latency_us": self.latency_us,
         }
+
+    @property
+    def window_size(self) -> int:
+        """Look-behind depth N of the windowed-seek ring."""
+        return self._window.size
+
+    def merge(self, other: "VscsiStatsCollector") -> "VscsiStatsCollector":
+        """Return a new collector aggregating this one and ``other``.
+
+        Every exported statistic — the six metric families, the
+        time-resolved histograms and the scalar counters — is additive,
+        so the merge is exact, associative and commutative: partition a
+        set of per-vdisk command streams across shards however you
+        like (each stream kept whole), replay each shard into its own
+        collector, and the merged ``to_dict()`` is byte-identical to
+        merging the per-vdisk collectors directly.
+
+        The merged collector is an *aggregate snapshot*: the stream
+        coupling state (previous end block, look-behind ring, last
+        arrival) is deliberately left empty because two distinct
+        streams have no common predecessor command — feed further
+        commands to the per-stream collectors, not to the merge.
+        """
+        if self.window_size != other.window_size:
+            raise ValueError(
+                f"cannot merge window sizes {self.window_size} and "
+                f"{other.window_size}"
+            )
+        if self.time_slot_ns != other.time_slot_ns:
+            raise ValueError(
+                f"cannot merge time slots {self.time_slot_ns} and "
+                f"{other.time_slot_ns}"
+            )
+        merged = VscsiStatsCollector(window_size=self.window_size,
+                                     time_slot_ns=self.time_slot_ns)
+        for name in self.families():
+            setattr(merged, name,
+                    getattr(self, name).merge(getattr(other, name)))
+        if self.outstanding_over_time is not None:
+            merged.outstanding_over_time = self.outstanding_over_time.merge(
+                other.outstanding_over_time
+            )
+            merged.latency_over_time = self.latency_over_time.merge(
+                other.latency_over_time
+            )
+        merged.commands = self.commands + other.commands
+        merged.read_commands = self.read_commands + other.read_commands
+        merged.write_commands = self.write_commands + other.write_commands
+        merged.bytes_read = self.bytes_read + other.bytes_read
+        merged.bytes_written = self.bytes_written + other.bytes_written
+        firsts = [t for t in (self.first_arrival_ns, other.first_arrival_ns)
+                  if t is not None]
+        lasts = [t for t in (self.last_arrival_ns, other.last_arrival_ns)
+                 if t is not None]
+        merged.first_arrival_ns = min(firsts) if firsts else None
+        merged.last_arrival_ns = max(lasts) if lasts else None
+        return merged
+
+    def copy(self) -> "VscsiStatsCollector":
+        """Independent aggregate-snapshot copy (see :meth:`merge` for
+        what happens to the stream coupling state)."""
+        return self.merge(VscsiStatsCollector(
+            window_size=self.window_size, time_slot_ns=self.time_slot_ns
+        ))
 
     def reset(self) -> None:
         """Zero everything (the CLI's reset operation)."""

@@ -256,18 +256,28 @@ class Histogram:
     # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------
-    def merge(self, other: "Histogram") -> "Histogram":
+    def merge(self, other: "Histogram",
+              name: Optional[str] = None) -> "Histogram":
         """Return a new histogram combining this one and ``other``.
 
-        Both must share a bin scheme.  Merging is how per-interval
-        histograms (the time-resolved figures) roll up to a whole run.
+        Both must share a bin scheme.  Every statistic the histogram
+        keeps (bin counts, count, total, min, max) is additive, so
+        merging is exact, associative and commutative: any partition of
+        an observation stream recombines to byte-identical
+        :meth:`to_dict` output.  Merging is how per-interval histograms
+        roll up to a whole run and how per-shard histograms from
+        parallel replay (:mod:`repro.parallel`) recombine.
+
+        ``name`` overrides the merged histogram's display name
+        (defaults to this histogram's name).
         """
         if self.scheme != other.scheme:
             raise ValueError(
                 f"cannot merge schemes {self.scheme.name!r} and "
                 f"{other.scheme.name!r}"
             )
-        merged = Histogram(self.scheme, name=self.name)
+        merged = Histogram(self.scheme,
+                           name=self.name if name is None else name)
         merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
         merged.count = self.count + other.count
         merged.total = self.total + other.total

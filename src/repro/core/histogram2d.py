@@ -143,6 +143,47 @@ class TimeSeriesHistogram:
             merged = merged.merge(hist)
         return merged
 
+    def copy(self) -> "TimeSeriesHistogram":
+        """Independent deep copy (snapshots for merge/reporting)."""
+        dup = TimeSeriesHistogram(self.scheme, self.interval_ns,
+                                  name=self.name)
+        dup._slots = {slot: hist.copy() for slot, hist in self._slots.items()}
+        dup._max_slot = self._max_slot
+        return dup
+
+    def merge(self, other: "TimeSeriesHistogram") -> "TimeSeriesHistogram":
+        """Return a new time series combining this one and ``other``.
+
+        Both must share the value bin scheme and the interval width.
+        Slots are merged pair-wise (union of populated slots), so the
+        merge is exact, associative and commutative — any partition of
+        an observation stream by source (e.g. per virtual disk)
+        recombines to byte-identical :meth:`to_dict` output.  The
+        merged series keeps this series' display name.
+        """
+        if self.scheme != other.scheme:
+            raise ValueError(
+                f"cannot merge schemes {self.scheme.name!r} and "
+                f"{other.scheme.name!r}"
+            )
+        if self.interval_ns != other.interval_ns:
+            raise ValueError(
+                f"cannot merge interval {self.interval_ns} with "
+                f"{other.interval_ns}"
+            )
+        merged = self.copy()
+        for slot, hist in other._slots.items():
+            mine = merged._slots.get(slot)
+            if mine is None:
+                dup = hist.copy()
+                dup.name = f"{self.name}[{slot}]"
+                merged._slots[slot] = dup
+            else:
+                merged._slots[slot] = mine.merge(hist)
+        if other._max_slot > merged._max_slot:
+            merged._max_slot = other._max_slot
+        return merged
+
     def matrix(self) -> List[List[int]]:
         """Rows = time slots, columns = value bins (the paper's surface)."""
         return [list(self.slot(index).counts) for index in range(self.num_slots)]

@@ -134,6 +134,57 @@ class HistogramService:
         return collector
 
     # ------------------------------------------------------------------
+    # Merging (shard recombination for parallel replay)
+    # ------------------------------------------------------------------
+    def merge(self, other: "HistogramService") -> "HistogramService":
+        """Return a new service combining this one and ``other``.
+
+        Collectors sharing a ``(vm, vdisk)`` key are merged
+        (:meth:`VscsiStatsCollector.merge`); keys present on only one
+        side are copied.  Exact, associative and commutative — shard a
+        fleet of virtual disks across worker processes however you
+        like and the merged :meth:`export_json` is byte-identical.
+        """
+        if (self.window_size != other.window_size
+                or self.time_slot_ns != other.time_slot_ns):
+            raise ValueError(
+                "cannot merge services with different collector "
+                f"configuration ({self.window_size}/{self.time_slot_ns} vs "
+                f"{other.window_size}/{other.time_slot_ns})"
+            )
+        merged = HistogramService(window_size=self.window_size,
+                                  time_slot_ns=self.time_slot_ns)
+        merged.enabled = self.enabled or other.enabled
+        for key, collector in self._collectors.items():
+            peer = other._collectors.get(key)
+            merged._collectors[key] = (
+                collector.copy() if peer is None else collector.merge(peer)
+            )
+        for key, collector in other._collectors.items():
+            if key not in self._collectors:
+                merged._collectors[key] = collector.copy()
+        return merged
+
+    def adopt(self, key: DiskKey, collector: VscsiStatsCollector) -> None:
+        """Install (or merge in) an externally built collector.
+
+        This is how parallel replay hands a worker's per-vdisk
+        collector back to a host-side service.
+        """
+        mine = self._collectors.get(key)
+        self._collectors[key] = (
+            collector if mine is None else mine.merge(collector)
+        )
+
+    def aggregate(self) -> VscsiStatsCollector:
+        """Merge every collector into one host-wide aggregate view."""
+        total = VscsiStatsCollector(window_size=self.window_size,
+                                    time_slot_ns=self.time_slot_ns)
+        for _key, collector in self.collectors():
+            total = total.merge(collector)
+        return total
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def collector(self, vm: str, vdisk: str) -> Optional[VscsiStatsCollector]:

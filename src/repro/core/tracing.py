@@ -177,10 +177,23 @@ def read_csv(fileobj: TextIO) -> List[TraceRecord]:
 # Compact binary format
 # ----------------------------------------------------------------------
 def write_binary(records: Iterable[TraceRecord], fileobj: BinaryIO) -> int:
-    """Write records in the compact fixed-size binary format."""
+    """Write records in the compact fixed-size binary format.
+
+    Field ranges are enforced by the ``struct`` format itself
+    (``serial`` u64, timestamps and ``lba`` i64, ``nblocks`` u32 —
+    out-of-range values raise :class:`struct.error`); on top of that a
+    record whose completion precedes its issue (a negative latency,
+    which no real vSCSI capture can produce) is rejected with
+    :class:`ValueError`.
+    """
     fileobj.write(_BINARY_MAGIC)
     count = 0
     for record in records:
+        if record.complete_ns < record.issue_ns:
+            raise ValueError(
+                f"record {record.serial}: complete_ns {record.complete_ns} "
+                f"precedes issue_ns {record.issue_ns} (negative latency)"
+            )
         fileobj.write(
             _RECORD_STRUCT.pack(
                 record.serial,
@@ -196,7 +209,11 @@ def write_binary(records: Iterable[TraceRecord], fileobj: BinaryIO) -> int:
 
 
 def read_binary(fileobj: BinaryIO) -> List[TraceRecord]:
-    """Read records written by :func:`write_binary`."""
+    """Read records written by :func:`write_binary`.
+
+    Rejects corrupt input: a bad magic, a truncated tail record, or a
+    record whose completion precedes its issue (negative latency).
+    """
     magic = fileobj.read(len(_BINARY_MAGIC))
     if magic != _BINARY_MAGIC:
         raise ValueError(f"not a vSCSI binary trace (magic {magic!r})")
@@ -210,6 +227,11 @@ def read_binary(fileobj: BinaryIO) -> List[TraceRecord]:
         serial, issue_ns, complete_ns, lba, nblocks, flags = _RECORD_STRUCT.unpack(
             chunk
         )
+        if complete_ns < issue_ns:
+            raise ValueError(
+                f"record {serial}: complete_ns {complete_ns} precedes "
+                f"issue_ns {issue_ns} (negative latency)"
+            )
         records.append(
             TraceRecord(
                 serial=serial,

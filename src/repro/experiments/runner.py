@@ -8,7 +8,8 @@ harness and EXPERIMENTS.md all enumerate the same set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from multiprocessing import get_context
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from .figure2 import run_figure2
 from .figure3 import run_figure3
@@ -17,7 +18,8 @@ from .figure5 import run_figure5
 from .figure6 import run_figure6, run_symmetrix_control
 from .table2 import run_table2
 
-__all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment",
+           "run_all_experiments"]
 
 
 @dataclass(frozen=True)
@@ -89,3 +91,48 @@ def run_experiment(exp_id: str, quick: bool = False, **kwargs):
     call_kwargs = dict(experiment.quick_kwargs) if quick else {}
     call_kwargs.update(kwargs)
     return experiment.run(**call_kwargs)
+
+
+def _run_for_pool(args: Tuple[str, bool]):
+    """Worker body for :func:`run_all_experiments` — module-level so the
+    spawn start method can pickle it."""
+    exp_id, quick = args
+    return exp_id, run_experiment(exp_id, quick=quick)
+
+
+def run_all_experiments(quick: bool = False, jobs: int = 1,
+                        exp_ids: Optional[Sequence[str]] = None) -> Dict[str, object]:
+    """Run every registered experiment; returns ``{exp_id: result}``.
+
+    Experiments are independent simulations, so with ``jobs > 1`` they
+    fan out across worker processes (start method from
+    :func:`repro.parallel.pick_start_method`: ``fork`` where the
+    platform offers it, else ``spawn``).  Results come back in
+    registry order regardless of completion order, so the output is
+    deterministic.
+
+    ``exp_ids`` restricts the run to a subset (defaults to the whole
+    registry).
+    """
+    if exp_ids is None:
+        ids = [experiment.exp_id for experiment in EXPERIMENTS]
+    else:
+        ids = list(exp_ids)
+        for exp_id in ids:
+            if exp_id not in _BY_ID:
+                raise KeyError(
+                    f"unknown experiment {exp_id!r}; known: {sorted(_BY_ID)}"
+                )
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, len(ids)) if ids else 1
+    if jobs <= 1:
+        return {exp_id: run_experiment(exp_id, quick=quick)
+                for exp_id in ids}
+    from ..parallel import pick_start_method
+
+    ctx = get_context(pick_start_method())
+    with ctx.Pool(processes=jobs) as pool:
+        pairs = pool.map(_run_for_pool, [(exp_id, quick) for exp_id in ids])
+    by_id = dict(pairs)
+    return {exp_id: by_id[exp_id] for exp_id in ids}

@@ -1,0 +1,50 @@
+"""Multi-core scale-out: sharded parallel replay of vSCSI traces.
+
+The paper's efficiency argument (§3) is that per-vdisk histograms are
+O(m)-space and *additive* — which makes them shard-and-merge friendly.
+This package exploits that:
+
+* :mod:`repro.parallel.trace_io` — zero-copy columnar reader/writer
+  for the ``VSCSITR1`` binary trace format plus a sharded writer that
+  splits multi-vdisk captures into per-vdisk segment files.
+* :mod:`repro.parallel.sharded` — the :class:`ShardedReplay` driver:
+  whole per-vdisk command streams are assigned to worker processes
+  (streams are never split, so seek-distance and look-behind state
+  stay exact) and the per-worker collectors recombine through the
+  public merge API (:meth:`repro.core.VscsiStatsCollector.merge`) to
+  byte-identical snapshots.
+"""
+
+from .sharded import (
+    ShardedReplay,
+    ShardedReplayResult,
+    partition_segments,
+    pick_start_method,
+    replay_sharded,
+)
+from .trace_io import (
+    TraceColumns,
+    columns_to_records,
+    load_manifest,
+    read_binary_columns,
+    records_to_columns,
+    replay_columns,
+    write_binary_columns,
+    write_shards,
+)
+
+__all__ = [
+    "ShardedReplay",
+    "ShardedReplayResult",
+    "TraceColumns",
+    "columns_to_records",
+    "load_manifest",
+    "partition_segments",
+    "pick_start_method",
+    "read_binary_columns",
+    "records_to_columns",
+    "replay_columns",
+    "replay_sharded",
+    "write_binary_columns",
+    "write_shards",
+]

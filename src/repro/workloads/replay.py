@@ -50,6 +50,10 @@ class TraceReplayWorkload(Workload):
             raise ValueError(f"outstanding must be >= 1, got {outstanding}")
         self.engine = engine
         self.device = device
+        from ..parallel.trace_io import TraceColumns, columns_to_records
+
+        if isinstance(records, TraceColumns):
+            records = columns_to_records(records)
         self.records: List[TraceRecord] = sorted(
             records, key=lambda r: (r.issue_ns, r.serial)
         )
@@ -59,6 +63,20 @@ class TraceReplayWorkload(Workload):
         self._next_index = 0
         self._running = False
         self.completed = 0
+
+    @classmethod
+    def from_trace_file(cls, engine: Engine, device: VScsiDevice,
+                        path, **kwargs) -> "TraceReplayWorkload":
+        """Replay a captured ``VSCSITR1`` binary trace file.
+
+        Loads through the zero-copy columnar reader
+        (:func:`repro.parallel.read_binary_columns`), so the per-record
+        cost is one batch conversion rather than a ``struct.unpack``
+        per command.
+        """
+        from ..parallel.trace_io import read_binary_columns
+
+        return cls(engine, device, read_binary_columns(path), **kwargs)
 
     # ------------------------------------------------------------------
     def start(self) -> None:

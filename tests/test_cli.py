@@ -44,3 +44,136 @@ class TestExport:
         assert payload["experiment"] == "figure2"
         assert "io_length" in payload["fields"]
         assert payload["fields"]["io_length"]["count"] > 0
+
+
+class FakeResult:
+    """A result with no histogram fields — exercises the fallback
+    rendering paths."""
+
+    def __init__(self):
+        self.answer = 42
+        self.note = "done"
+        self.ratio = 1.5
+        self.missing = None
+        self.items = [1, 2, 3]
+        self.blob = object()
+        self._hidden = "never printed"
+
+
+class TestRunAll:
+    def test_all_conflicts_with_experiment_id(self, capsys):
+        assert main(["run", "table2", "--all"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_requires_id_or_all(self, capsys):
+        assert main(["run"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_all_fans_out_with_jobs(self, monkeypatch, capsys):
+        import repro.experiments.runner as runner
+        calls = {}
+
+        def fake_run_all(quick=False, jobs=1, exp_ids=None):
+            calls.update(quick=quick, jobs=jobs)
+            return {"fake": FakeResult()}
+
+        monkeypatch.setattr(runner, "run_all_experiments", fake_run_all)
+        assert main(["run", "--all", "--quick", "--jobs", "3"]) == 0
+        assert calls == {"quick": True, "jobs": 3}
+        out = capsys.readouterr().out
+        assert "fake: answer = 42" in out
+
+    def test_output_json_document(self, capsys):
+        import json
+        assert main(["run", "table2", "--quick", "--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"table2"}
+        assert payload["table2"]["experiment"] == "table2"
+
+
+class TestPrintResult:
+    def test_every_field_rendered(self, capsys):
+        from repro.cli import _print_result
+        _print_result("x", FakeResult())
+        out = capsys.readouterr().out
+        assert "x: answer = 42" in out
+        assert "x: note = done" in out
+        assert "x: ratio = 1.5" in out
+        assert "x: missing = None" in out
+        assert "x: items = <list of 3 items>" in out
+        assert "x: blob = <object object" in out
+        assert "_hidden" not in out
+
+    def test_collector_and_time_series_summarized(self, capsys):
+        from repro.cli import _print_result
+        from repro.core.collector import VscsiStatsCollector
+        from repro.core.tracing import TraceRecord, replay_into_collector
+
+        class Result:
+            pass
+
+        result = Result()
+        collector = VscsiStatsCollector()
+        replay_into_collector(
+            [TraceRecord(0, 0, 1000, 0, 8, True)], collector
+        )
+        result.collector = collector
+        result.series = collector.latency_over_time
+        _print_result("x", result)
+        out = capsys.readouterr().out
+        assert "x: collector = <collector: 1 commands, 1R/0W," in out
+        assert "x: series = <time series 'latency_over_time':" in out
+
+
+class TestRunAllExperiments:
+    def test_subset_serial(self):
+        from repro.experiments.runner import run_all_experiments
+        results = run_all_experiments(quick=True, exp_ids=["table2"])
+        assert list(results) == ["table2"]
+
+    def test_unknown_id_rejected(self):
+        from repro.experiments.runner import run_all_experiments
+        with pytest.raises(KeyError):
+            run_all_experiments(exp_ids=["nope"])
+
+    def test_bad_jobs_rejected(self):
+        from repro.experiments.runner import run_all_experiments
+        with pytest.raises(ValueError):
+            run_all_experiments(jobs=0, exp_ids=["table2"])
+
+    def test_parallel_matches_registry_order(self):
+        from repro.experiments.runner import run_all_experiments
+        results = run_all_experiments(
+            quick=True, jobs=2, exp_ids=["figure5", "table2"]
+        )
+        assert list(results) == ["figure5", "table2"]
+        assert results["table2"] is not None
+
+
+class TestResultPayload:
+    def test_nested_containers_of_histograms_serialize(self):
+        import json
+        from repro.cli import _result_payload
+        from repro.core.collector import VscsiStatsCollector
+        from repro.core.tracing import TraceRecord, replay_into_collector
+
+        collector = VscsiStatsCollector()
+        replay_into_collector(
+            [TraceRecord(0, 0, 1000, 0, 8, True)], collector
+        )
+
+        class Result:
+            pass
+
+        result = Result()
+        # The figure5/figure6 shape: dicts of collectors/histograms.
+        result.profiles = {"xp": collector,
+                           "hist": collector.io_length.all}
+        result.pairs = [(1, collector.latency_us.all)]
+        result.opaque = object()
+        payload = _result_payload("x", result)
+        doc = json.loads(json.dumps(payload))
+        assert doc["fields"]["profiles"]["xp"]["commands"] == 1
+        assert doc["fields"]["profiles"]["hist"]["count"] == 1
+        assert doc["fields"]["pairs"][0][1]["count"] == 1
+        assert doc["fields"]["opaque"].startswith("<object object")

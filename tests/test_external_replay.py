@@ -150,3 +150,40 @@ class TestTraceReplay:
             record.length_bytes for record in trace
         )
         assert original.commands >= replayed.commands
+
+
+class TestColumnarReplayInput:
+    def make_trace(self, n=100, spacing_us=500):
+        return [
+            TraceRecord(index, us(index * spacing_us),
+                        us(index * spacing_us + 300),
+                        lba=index * 16, nblocks=16, is_read=index % 3 != 0)
+            for index in range(n)
+        ]
+
+    def test_accepts_trace_columns(self, harness):
+        from repro.parallel import records_to_columns
+
+        records = self.make_trace()
+        replay = TraceReplayWorkload(harness.engine, harness.device,
+                                     records_to_columns(records))
+        replay.start()
+        harness.run(until=seconds(5))
+        assert replay.finished
+        assert harness.collector.commands == len(records)
+
+    def test_from_trace_file(self, harness, tmp_path):
+        from repro.core.tracing import write_binary
+
+        records = self.make_trace()
+        path = tmp_path / "cap.vscsitrace"
+        with path.open("wb") as fileobj:
+            write_binary(records, fileobj)
+        replay = TraceReplayWorkload.from_trace_file(
+            harness.engine, harness.device, path
+        )
+        assert replay.records == sorted(records,
+                                        key=lambda r: (r.issue_ns, r.serial))
+        replay.start()
+        harness.run(until=seconds(5))
+        assert replay.finished

