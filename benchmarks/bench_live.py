@@ -1,0 +1,237 @@
+"""Live daemon loopback ingest throughput and rotate-stall latency.
+
+The :mod:`repro.live` daemon promises that network ingestion costs
+little over the in-process batch kernels: a ``DATA`` frame body *is*
+the columnar trace dtype, so the server views it with ``np.frombuffer``
+and lands in the same vectorized inserts the offline replay uses.  This
+benchmark measures that claim end to end over a loopback socket:
+
+* ``frames=4096`` / ``frames=32768`` — one publisher streaming a
+  ``FULL_N``-command synthetic stream (the ``bench_parallel`` corpus
+  generator) at two frame sizes.  Small frames stress the per-frame
+  overhead (framing, ack round-trip, queue handoff); large frames
+  amortize it toward raw kernel throughput.
+* ``inprocess`` — the same stream through :class:`repro.live.DiskStream`
+  directly (no socket), isolating the network layer's cost.
+
+Mid-publish, the ``frames=32768`` mode issues periodic ``rotate``
+round-trips; their latencies are reported as ``rotate_ms`` p50/p99 —
+the stall an operator pays for an epoch seal while ingestion runs.
+
+Before any number is reported, the published snapshot is verified
+byte-identical to an offline :func:`repro.parallel.replay_columns` run
+over the same stream — the throughput being gated is provably the same
+computation.
+
+Run styles:
+
+* ``pytest benchmarks/bench_live.py --benchmark-only`` — small stream,
+  wall time measured by pytest-benchmark (autosaved).
+* ``python benchmarks/bench_live.py [N]`` — the full stream; writes
+  ``BENCH_live.json`` and exits 1 unless the gate holds.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_parallel import _make_stream_python, _make_stream_numpy
+
+from repro.live import DiskStream, LiveStatsClient, LiveStatsServer
+from repro.parallel.trace_io import records_to_columns, replay_columns
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_live.json"
+
+#: Commands in the full-run stream.
+FULL_N = 1_000_000
+
+#: Loopback rotates interleaved into the large-frame publish.
+ROTATES = 32
+
+#: The large-frame loopback mode must sustain at least this many
+#: commands/sec (a floor far under healthy throughput, catching
+#: order-of-magnitude regressions like a fallback to per-record
+#: parsing, not scheduler noise).
+MIN_CPS = 200_000
+
+#: p99 rotate stall must stay under this many milliseconds.
+MAX_ROTATE_P99_MS = 250.0
+
+
+def make_stream(n, seed=20070927):
+    """A single-disk stream in ``(issue, serial)`` order."""
+    if _np is not None:
+        return _make_stream_numpy(n, seed)
+    return records_to_columns(_make_stream_python(n, seed))
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return None
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def run_loopback(columns, frame_records, rotates=0):
+    """Publish ``columns`` to a loopback daemon; returns
+    ``(seconds, rotate_seconds, snapshot_dict)``."""
+    rotate_times = []
+    with LiveStatsServer(port=0, shards=1, idle_timeout=None) as server:
+        with LiveStatsClient(*server.address) as client:
+            n = len(columns)
+            bounds = ([round(i * n / (rotates + 1))
+                       for i in range(1, rotates + 1)] + [n]
+                      if rotates else [n])
+            start = time.perf_counter()
+            lo = 0
+            for hi in bounds:
+                if hi > lo:
+                    client.publish_columns("bench-vm", "scsi0:0",
+                                           _slice(columns, lo, hi),
+                                           frame_records=frame_records,
+                                           sort=False)
+                lo = hi
+                if len(rotate_times) < rotates:
+                    t0 = time.perf_counter()
+                    client.rotate()
+                    rotate_times.append(time.perf_counter() - t0)
+            elapsed = time.perf_counter() - start
+            snap = client.snapshot(scope="all")
+    return elapsed, rotate_times, snap["disks"]["bench-vm/scsi0:0"]
+
+
+def _slice(columns, lo, hi):
+    from repro.parallel.trace_io import TraceColumns
+
+    return TraceColumns(*(col[lo:hi] for col in columns.columns()))
+
+
+def run_inprocess(columns, frame_records):
+    """The same stream through DiskStream directly (no socket)."""
+    stream = DiskStream()
+    n = len(columns)
+    start = time.perf_counter()
+    for lo in range(0, n, frame_records):
+        stream.ingest(_slice(columns, lo, min(lo + frame_records, n)))
+    elapsed = time.perf_counter() - start
+    return elapsed, stream.collector.to_dict()
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (small stream; autosaved)
+# ----------------------------------------------------------------------
+if "pytest" in sys.modules:
+    import pytest
+
+    PYTEST_N = 60_000
+
+    @pytest.fixture(scope="module")
+    def stream_columns():
+        return make_stream(PYTEST_N)
+
+    @pytest.mark.benchmark(group="live")
+    def test_live_loopback_ingest(benchmark, stream_columns):
+        _elapsed, _rotates, snap = benchmark.pedantic(
+            run_loopback, args=(stream_columns, 8192), rounds=1,
+            iterations=1,
+        )
+        assert snap["commands"] == PYTEST_N
+
+    @pytest.mark.benchmark(group="live")
+    def test_live_inprocess_ingest(benchmark, stream_columns):
+        _elapsed, snap = benchmark.pedantic(
+            run_inprocess, args=(stream_columns, 8192), rounds=1,
+            iterations=1,
+        )
+        assert snap["commands"] == PYTEST_N
+
+
+# ----------------------------------------------------------------------
+# Full-run script mode: measure, verify, record
+# ----------------------------------------------------------------------
+def measure(n=FULL_N, verify=True):
+    """Stream n commands through every mode; return the record."""
+    columns = make_stream(n)
+    reference = replay_columns(columns).to_dict() if verify else None
+    results = {}
+    rotate_ms = None
+
+    def check(label, snap):
+        if verify:
+            assert snap == reference, (
+                f"{label} snapshot diverged from offline replay"
+            )
+
+    for frame_records in (4096, 32768):
+        rotates = ROTATES if frame_records == 32768 else 0
+        elapsed, rotate_times, snap = run_loopback(
+            columns, frame_records, rotates=rotates
+        )
+        label = f"frames={frame_records}"
+        check(label, snap)
+        results[label] = {
+            "seconds": round(elapsed, 3),
+            "commands_per_sec": round(n / elapsed, 1),
+        }
+        if rotates:
+            stalls = sorted(t * 1000 for t in rotate_times)
+            rotate_ms = {
+                "count": len(stalls),
+                "p50": round(_percentile(stalls, 0.50), 3),
+                "p99": round(_percentile(stalls, 0.99), 3),
+                "max": round(stalls[-1], 3),
+            }
+
+    elapsed, snap = run_inprocess(columns, 32768)
+    check("inprocess", snap)
+    results["inprocess"] = {
+        "seconds": round(elapsed, 3),
+        "commands_per_sec": round(n / elapsed, 1),
+    }
+
+    return {
+        "benchmark": "live_ingest",
+        "commands": n,
+        "rotates": ROTATES,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "numpy": getattr(_np, "__version__", None),
+        "rotate_ms": rotate_ms,
+        "modes": results,
+    }
+
+
+def main(argv):
+    n = FULL_N
+    if len(argv) > 1:
+        n = int(argv[1])
+    record = measure(n)
+    print(json.dumps(record, indent=2))
+    if n == FULL_N:
+        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {BENCH_JSON}")
+    cps = record["modes"]["frames=32768"]["commands_per_sec"]
+    p99 = record["rotate_ms"]["p99"]
+    if cps < MIN_CPS:
+        print(f"FAIL: frames=32768 ingest {cps} commands/sec < {MIN_CPS}")
+        return 1
+    if p99 > MAX_ROTATE_P99_MS:
+        print(f"FAIL: rotate p99 {p99}ms > {MAX_ROTATE_P99_MS}ms")
+        return 1
+    print(f"OK: {cps} commands/sec >= {MIN_CPS}, "
+          f"rotate p99 {p99}ms <= {MAX_ROTATE_P99_MS}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

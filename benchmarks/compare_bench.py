@@ -1,8 +1,9 @@
 """Throughput regression gate for the committed benchmark records.
 
 Re-measures the replay throughput of every registered benchmark (the
-PR 1 hot-path ingestion modes and the sharded parallel replay modes)
-and compares it against the committed ``BENCH_*.json`` records.  Exits
+PR 1 hot-path ingestion modes, the sharded parallel replay modes and
+the live daemon's loopback ingest modes) and compares it against the
+committed ``BENCH_*.json`` records.  Exits
 non-zero when any mode regresses by more than ``TOLERANCE`` (20%), so
 CI can gate merges on throughput the same way it gates on tests.
 
@@ -26,6 +27,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_hotpath
+import bench_live
 import bench_parallel
 
 #: Maximum tolerated drop in commands/sec relative to the committed
@@ -36,6 +38,8 @@ TOLERANCE = 0.20
 BENCHMARKS = {
     "hotpath": (bench_hotpath.measure, bench_hotpath.BENCH_JSON,
                 bench_hotpath.FULL_N),
+    "live": (bench_live.measure, bench_live.BENCH_JSON,
+             bench_live.FULL_N),
     "parallel": (bench_parallel.measure, bench_parallel.BENCH_JSON,
                  bench_parallel.FULL_N),
 }

@@ -10,6 +10,11 @@ Subcommands:
   readable document instead of rendered panels.
 * ``demo`` — the 30-second tour: a small mixed workload, its
   histograms, and its characterization.
+* ``serve`` — run the live characterization daemon
+  (:mod:`repro.live`): network ingestion, epoch rotation, OpenMetrics.
+* ``publish`` — stream an existing trace file, sharded trace
+  directory, or a freshly simulated workload (``demo``) to a running
+  daemon as live traffic.
 """
 
 from __future__ import annotations
@@ -180,6 +185,74 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .live import LiveStatsServer
+
+    server = LiveStatsServer(
+        host=args.host, port=args.port, shards=args.shards,
+        queue_depth=args.queue_depth, backpressure=args.backpressure,
+        idle_timeout=args.idle_timeout, rotate_every=args.rotate_every,
+    )
+    server.start()
+    host, port = server.address
+    print(f"repro.live: listening on {host}:{port} "
+          f"(shards={args.shards}, backpressure={args.backpressure})",
+          flush=True)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive mode
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        server.close()
+        info = server.info()
+        print(f"repro.live: drained; {info['records_total']} records in "
+              f"{info['epochs_sealed']} epochs "
+              f"({info['dropped_records_total']} dropped, "
+              f"{info['rejected_frames_total']} rejected frames)",
+              flush=True)
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from .live import (
+        DEFAULT_FRAME_RECORDS,
+        LiveError,
+        LiveStatsClient,
+        publish_source,
+    )
+
+    frame_records = args.frame_records or DEFAULT_FRAME_RECORDS
+    try:
+        with LiveStatsClient(args.host, args.port,
+                             timeout=args.timeout) as client:
+            result = publish_source(
+                client, args.source, vm=args.vm, vdisk=args.vdisk,
+                frame_records=frame_records,
+                demo_seconds=args.demo_seconds,
+            )
+            print(f"published {result['accepted']}/{result['records']} "
+                  f"records in {result['frames']} frames "
+                  f"(dropped {result['dropped']}, "
+                  f"ignored {result['ignored']})")
+            if args.rotate:
+                rotated = client.rotate()
+                print(f"rotated: epoch {rotated['epoch']} sealed with "
+                      f"{rotated['records']} records over "
+                      f"{rotated['disks']} disks")
+            if args.metrics:
+                print(client.metrics(), end="")
+    except (LiveError, ValueError, OSError) as exc:
+        print(f"publish: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="vscsistats",
@@ -220,8 +293,81 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     subparsers.add_parser("demo", help="30-second live demo")
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the live characterization daemon"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=7077,
+        help="TCP port (0 picks a free port and prints it)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard worker threads (disks hash to shards)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="bounded per-shard queue depth",
+    )
+    serve_parser.add_argument(
+        "--backpressure", choices=["block", "drop"], default="block",
+        help="full-queue policy: stall the sender or shed the frame",
+    )
+    serve_parser.add_argument(
+        "--idle-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="disconnect clients silent for this long",
+    )
+    serve_parser.add_argument(
+        "--rotate-every", type=float, default=None, metavar="SECONDS",
+        help="seal an epoch automatically on this wall-clock period",
+    )
+    serve_parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for a fixed time then drain and exit "
+        "(default: run until interrupted)",
+    )
+
+    publish_parser = subparsers.add_parser(
+        "publish", help="stream a trace source to a running daemon"
+    )
+    publish_parser.add_argument(
+        "source",
+        help="a VSCSITR1 trace file, a sharded trace directory, or "
+        "'demo' to synthesize a short simulated workload",
+    )
+    publish_parser.add_argument("--host", default="127.0.0.1")
+    publish_parser.add_argument("--port", type=int, default=7077)
+    publish_parser.add_argument(
+        "--vm", default=None, help="VM label for single-file sources"
+    )
+    publish_parser.add_argument(
+        "--vdisk", default=None,
+        help="virtual disk label for single-file sources",
+    )
+    publish_parser.add_argument(
+        "--frame-records", type=int, default=None, metavar="N",
+        help="records per data frame",
+    )
+    publish_parser.add_argument(
+        "--demo-seconds", type=float, default=2.0, metavar="SECONDS",
+        help="simulated duration for the 'demo' source",
+    )
+    publish_parser.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="socket timeout",
+    )
+    publish_parser.add_argument(
+        "--rotate", action="store_true",
+        help="seal an epoch after publishing",
+    )
+    publish_parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the OpenMetrics exposition afterwards",
+    )
+
     args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "demo": _cmd_demo}
+    handlers = {"list": _cmd_list, "run": _cmd_run, "demo": _cmd_demo,
+                "serve": _cmd_serve, "publish": _cmd_publish}
     return handlers[args.command](args)
 
 

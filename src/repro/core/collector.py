@@ -560,6 +560,25 @@ class VscsiStatsCollector:
             window_size=self.window_size, time_slot_ns=self.time_slot_ns
         ))
 
+    def fresh_continuation(self) -> "VscsiStatsCollector":
+        """A zero-statistics collector that *continues* this stream.
+
+        The new collector starts with empty histograms and counters but
+        inherits the stream coupling state — previous end block, last
+        arrival timestamp and a copy of the look-behind ring — so
+        feeding it the rest of the command stream inserts exactly the
+        values the original collector would have inserted.  This is the
+        epoch-rotation primitive: because every exported statistic is
+        additive, ``sealed.merge(continuation_after_more_commands)`` is
+        byte-identical to one collector having seen the whole stream.
+        """
+        cont = VscsiStatsCollector(window_size=self.window_size,
+                                   time_slot_ns=self.time_slot_ns)
+        cont._last_end_block = self._last_end_block
+        cont._last_arrival_ns = self._last_arrival_ns
+        cont._window = self._window.copy()
+        return cont
+
     def reset(self) -> None:
         """Zero everything (the CLI's reset operation)."""
         for family in self.families().values():

@@ -56,7 +56,14 @@ class HistogramService:
             self._per_disk_enabled[(vm, vdisk)] = True
 
     def disable(self, vm: Optional[str] = None, vdisk: Optional[str] = None) -> None:
-        """Disable stats globally, or for one ``(vm, vdisk)`` pair."""
+        """Disable stats globally, or for one ``(vm, vdisk)`` pair.
+
+        Per-disk disable *removes* the disk's entry; disabling a disk
+        that was never enabled is a strict no-op.  The registry
+        invariant is that it only ever holds ``True`` entries — a
+        spurious ``False`` entry would be carried (and enumerated, and
+        merged) forever for a disk the service never touched.
+        """
         if vm is None:
             self.enabled = False
             self._per_disk_enabled.clear()

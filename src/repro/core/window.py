@@ -132,6 +132,20 @@ class LookBehindWindow:
         self._filled = filled
         return out
 
+    def copy(self) -> "LookBehindWindow":
+        """Independent copy with identical remembered positions.
+
+        The live epoch-rotation path uses this to let a fresh
+        collector continue an existing command stream: the new
+        window answers the next ``observe`` exactly as the old one
+        would have.
+        """
+        dup = LookBehindWindow(self.size)
+        dup._ring = list(self._ring)
+        dup._next = self._next
+        dup._filled = self._filled
+        return dup
+
     def reset(self) -> None:
         """Forget all remembered positions."""
         self._next = 0

@@ -1,0 +1,184 @@
+"""Client for the live characterization daemon.
+
+:class:`LiveStatsClient` wraps one TCP connection in the frame protocol
+of :mod:`repro.live.protocol`.  Publishing chunks a command stream into
+``DATA`` frames (each a raw run of 40-byte ``VSCSITR1`` records) and
+waits for the per-frame ack, which doubles as flow control against the
+server's bounded shard queues.  Control methods (:meth:`rotate`,
+:meth:`snapshot`, :meth:`enable`, :meth:`disable`, :meth:`metrics`,
+:meth:`info`) mirror the daemon's control plane one to one.
+
+A server-side error arrives as an ``ERROR`` frame and is raised as
+:class:`LiveError`; the connection stays usable unless the transport
+itself failed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterable, Optional
+
+from ..core.tracing import TraceRecord
+from ..parallel.trace_io import TraceColumns, records_to_columns
+from .protocol import (
+    FRAME_ERROR,
+    FRAME_OK,
+    FRAME_TEXT,
+    RECORD_BYTES,
+    ProtocolError,
+    columns_to_bytes,
+    pack_control,
+    pack_data,
+    read_frame,
+    sort_columns_for_stream,
+)
+
+__all__ = ["LiveError", "LiveStatsClient", "DEFAULT_FRAME_RECORDS"]
+
+#: Default records per data frame — big enough to amortize the ack
+#: round-trip and land in the numpy batch kernels, small enough to
+#: bound per-frame latency and memory.
+DEFAULT_FRAME_RECORDS = 32_768
+
+
+class LiveError(RuntimeError):
+    """An ``ERROR`` response from the daemon."""
+
+
+class LiveStatsClient:
+    """One connection to a :class:`~repro.live.server.LiveStatsServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "LiveStatsClient":
+        """Open the connection (idempotent)."""
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._rfile = sock.makefile("rb")
+            self._wfile = sock.makefile("wb")
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._rfile = None
+                self._wfile = None
+
+    def __enter__(self) -> "LiveStatsClient":
+        return self.connect()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, frame: bytes):
+        self.connect()
+        self._wfile.write(frame)
+        self._wfile.flush()
+        response = read_frame(self._rfile)
+        if response is None:
+            raise LiveError("connection closed by server")
+        ftype, payload = response
+        if ftype == FRAME_ERROR:
+            try:
+                message = json.loads(payload.decode("utf-8"))["error"]
+            except Exception:  # pragma: no cover - defensive
+                message = payload.decode("utf-8", "replace")
+            raise LiveError(message)
+        if ftype == FRAME_OK:
+            return json.loads(payload.decode("utf-8"))
+        if ftype == FRAME_TEXT:
+            return payload.decode("utf-8")
+        raise ProtocolError(f"unexpected response type 0x{ftype:02x}")
+
+    def _control(self, op: str, **fields) -> Dict:
+        body = {"op": op}
+        body.update({k: v for k, v in fields.items() if v is not None})
+        return self._roundtrip(pack_control(body))
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def publish_columns(self, vm: str, vdisk: str, columns: TraceColumns,
+                        frame_records: int = DEFAULT_FRAME_RECORDS,
+                        sort: bool = True) -> Dict:
+        """Stream columns to the daemon as chunked data frames.
+
+        ``sort=True`` (default) orders the whole stream by ``(issue,
+        serial)`` first — required unless the caller guarantees stream
+        order.  Returns ``{"records", "frames", "accepted", "dropped",
+        "ignored"}`` totals.
+        """
+        if frame_records < 1:
+            raise ValueError(
+                f"frame_records must be >= 1, got {frame_records}"
+            )
+        if sort:
+            columns = sort_columns_for_stream(columns)
+        body = columns_to_bytes(columns)
+        total = {"records": len(columns), "frames": 0, "accepted": 0,
+                 "dropped": 0, "ignored": 0}
+        step = frame_records * RECORD_BYTES
+        for offset in range(0, len(body) or 1, step):
+            chunk = body[offset:offset + step]
+            if not chunk and total["frames"]:
+                break
+            ack = self._roundtrip(pack_data(vm, vdisk, chunk))
+            total["frames"] += 1
+            total["accepted"] += ack.get("accepted", 0)
+            total["dropped"] += ack.get("dropped", 0)
+            total["ignored"] += ack.get("ignored", 0)
+        return total
+
+    def publish_records(self, vm: str, vdisk: str,
+                        records: Iterable[TraceRecord],
+                        frame_records: int = DEFAULT_FRAME_RECORDS) -> Dict:
+        """Stream trace records (sorted into stream order first)."""
+        return self.publish_columns(vm, vdisk, records_to_columns(records),
+                                    frame_records=frame_records)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict:
+        return self._control("ping")
+
+    def rotate(self) -> Dict:
+        """Seal the current epoch; returns ``{"epoch", "records", ...}``."""
+        return self._control("rotate")
+
+    def snapshot(self, scope: str = "all", epoch: Optional[int] = None,
+                 aggregate: bool = False) -> Dict:
+        """Fetch a snapshot document (see the server's op table)."""
+        return self._control("snapshot", scope=scope, epoch=epoch,
+                             aggregate=aggregate or None)
+
+    def enable(self, vm: Optional[str] = None,
+               vdisk: Optional[str] = None) -> Dict:
+        return self._control("enable", vm=vm, vdisk=vdisk)
+
+    def disable(self, vm: Optional[str] = None,
+                vdisk: Optional[str] = None) -> Dict:
+        return self._control("disable", vm=vm, vdisk=vdisk)
+
+    def metrics(self) -> str:
+        """The OpenMetrics text exposition."""
+        return self._control("metrics")
+
+    def info(self) -> Dict:
+        return self._control("info")

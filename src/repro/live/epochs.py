@@ -1,0 +1,126 @@
+"""Epoch-rotated snapshot ledger for the live daemon.
+
+An *epoch* is the interval between two ``rotate`` operations.  Sealing
+an epoch adopts every disk's collector into a fresh
+:class:`~repro.core.service.HistogramService` (the same merge machinery
+parallel replay uses), so a sealed epoch supports everything a service
+does: per-disk lookup, JSON export, host-wide aggregation.  Rotation
+never blocks queries on ingestion — clients read sealed epochs while
+the current epoch keeps filling.
+
+Because collectors merge exactly (associative, commutative, additive),
+``merged()`` over any set of epochs is byte-identical to a service that
+had seen those epochs' commands in one run — the property the epoch
+tests pin.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.collector import DEFAULT_TIME_SLOT_NS, VscsiStatsCollector
+from ..core.service import DiskKey, HistogramService
+from ..core.window import DEFAULT_WINDOW_SIZE
+
+__all__ = ["Epoch", "EpochLedger"]
+
+
+class Epoch:
+    """One sealed collection interval."""
+
+    __slots__ = ("index", "service", "records", "sealed_unix")
+
+    def __init__(self, index: int, service: HistogramService,
+                 records: int, sealed_unix: float):
+        self.index = index
+        self.service = service
+        self.records = records
+        self.sealed_unix = sealed_unix
+
+    def to_dict(self) -> Dict:
+        """Per-disk snapshot dicts plus epoch metadata."""
+        return {
+            "epoch": self.index,
+            "records": self.records,
+            "sealed_unix": self.sealed_unix,
+            "disks": {
+                f"{vm}/{vdisk}": collector.to_dict()
+                for (vm, vdisk), collector in self.service.collectors()
+            },
+        }
+
+
+class EpochLedger:
+    """Append-only history of sealed epochs."""
+
+    def __init__(self, window_size: int = DEFAULT_WINDOW_SIZE,
+                 time_slot_ns: int = DEFAULT_TIME_SLOT_NS,
+                 max_epochs: Optional[int] = None):
+        self.window_size = window_size
+        self.time_slot_ns = time_slot_ns
+        #: Keep at most this many sealed epochs (older ones are folded
+        #: into ``retired`` rather than discarded, so lifetime totals
+        #: stay exact).  ``None`` keeps everything.
+        self.max_epochs = max_epochs
+        self.epochs: List[Epoch] = []
+        self.retired = HistogramService(window_size=window_size,
+                                        time_slot_ns=time_slot_ns)
+        self.retired_records = 0
+        self._next_index = 0
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def seal(self, pairs: Iterable[Tuple[DiskKey, VscsiStatsCollector]]) -> Epoch:
+        """Seal one epoch from ``(disk key, collector)`` pairs.
+
+        Empty epochs are legal (a rotation with no traffic) and still
+        advance the epoch index, so epoch numbers align with rotation
+        count.
+        """
+        service = HistogramService(window_size=self.window_size,
+                                   time_slot_ns=self.time_slot_ns)
+        records = 0
+        for key, collector in pairs:
+            service.adopt(key, collector)
+            records += collector.commands
+        epoch = Epoch(self._next_index, service, records, time.time())
+        self._next_index += 1
+        self.epochs.append(epoch)
+        if self.max_epochs is not None and len(self.epochs) > self.max_epochs:
+            old = self.epochs.pop(0)
+            self.retired = self.retired.merge(old.service)
+            self.retired_records += old.records
+        return epoch
+
+    def epoch(self, index: int) -> Epoch:
+        """Look up a sealed epoch by its index."""
+        for epoch in self.epochs:
+            if epoch.index == index:
+                return epoch
+        raise KeyError(f"no sealed epoch {index} "
+                       f"(retained: {[e.index for e in self.epochs]})")
+
+    @property
+    def last(self) -> Optional[Epoch]:
+        """The most recently sealed epoch, if any."""
+        return self.epochs[-1] if self.epochs else None
+
+    def merged(self) -> HistogramService:
+        """Exact merge of every sealed (and retired) epoch.
+
+        Always a freshly built service — callers may adopt the current
+        (unsealed) collectors into it without disturbing the ledger.
+        """
+        total = HistogramService(window_size=self.window_size,
+                                 time_slot_ns=self.time_slot_ns)
+        total = total.merge(self.retired)
+        for epoch in self.epochs:
+            total = total.merge(epoch.service)
+        return total
+
+    @property
+    def records(self) -> int:
+        """Records across every sealed (and retired) epoch."""
+        return self.retired_records + sum(e.records for e in self.epochs)

@@ -1,0 +1,116 @@
+"""OpenMetrics text exposition of the live characterization state.
+
+Renders every histogram family of every ``(vm, vdisk)`` collector as an
+OpenMetrics ``histogram`` with cumulative ``_bucket`` samples.  The
+repo's bin convention — bin *i* holds values ``(edges[i-1], edges[i]]``
+with a final overflow bin — is exactly the Prometheus convention of
+inclusive upper bounds, so each ``le`` label is the bin's upper edge
+verbatim and the overflow bin is the ``+Inf`` bucket; bucket values are
+the running sum of bin counts, hence monotone non-decreasing by
+construction.
+
+Scalar counters (commands, bytes) and the daemon's own operational
+counters (frames, records, drops, rejections, epochs, connections)
+follow, and the document terminates with the mandatory ``# EOF``.
+"""
+
+from __future__ import annotations
+
+from itertools import accumulate
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..core.collector import VscsiStatsCollector
+from ..core.histogram import Histogram
+from ..core.service import DiskKey
+
+__all__ = ["render_openmetrics"]
+
+#: (metric suffix, family attribute) in exposition order.
+_FAMILIES = (
+    ("io_length_bytes", "io_length"),
+    ("seek_distance_sectors", "seek_distance"),
+    ("seek_distance_windowed_sectors", "seek_distance_windowed"),
+    ("interarrival_us", "interarrival_us"),
+    ("outstanding_ios", "outstanding"),
+    ("latency_us", "latency_us"),
+)
+
+_OPS = ("read", "write", "all")
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the OpenMetrics text format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(vm: str, vdisk: str, op: str, extra: str = "") -> str:
+    return (f'vm="{_escape(vm)}",vdisk="{_escape(vdisk)}",op="{op}"'
+            + extra)
+
+
+def _histogram_samples(name: str, vm: str, vdisk: str, op: str,
+                       hist: Histogram, out: List[str]) -> None:
+    cumulative = list(accumulate(hist.counts))
+    for edge, running in zip(hist.scheme.edges, cumulative):
+        le = f',le="{edge}"'
+        out.append(f"{name}_bucket{{{_labels(vm, vdisk, op, le)}}} {running}")
+    inf = ',le="+Inf"'
+    out.append(f"{name}_bucket{{{_labels(vm, vdisk, op, inf)}}} {hist.count}")
+    out.append(f"{name}_count{{{_labels(vm, vdisk, op)}}} {hist.count}")
+    out.append(f"{name}_sum{{{_labels(vm, vdisk, op)}}} {hist.total}")
+
+
+def render_openmetrics(
+    disks: Iterable[Tuple[DiskKey, VscsiStatsCollector]],
+    daemon: Mapping[str, float],
+    prefix: str = "vscsi",
+) -> str:
+    """Render collectors plus daemon counters as OpenMetrics text.
+
+    ``disks`` yields ``((vm, vdisk), collector)`` pairs — typically the
+    lifetime merge of every sealed epoch plus the current one, so every
+    sample is a monotone counter from the scrape's point of view.
+    ``daemon`` maps operational metric names (without the ``live_``
+    prefix) to values; ``*_total`` names are typed ``counter``,
+    everything else ``gauge``.
+    """
+    pairs = sorted(disks)
+    out: List[str] = []
+
+    for suffix, attr in _FAMILIES:
+        name = f"{prefix}_{suffix}"
+        out.append(f"# TYPE {name} histogram")
+        for (vm, vdisk), collector in pairs:
+            family = getattr(collector, attr)
+            for op in _OPS:
+                hist = {"read": family.reads, "write": family.writes,
+                        "all": family.all}[op]
+                _histogram_samples(name, vm, vdisk, op, hist, out)
+
+    out.append(f"# TYPE {prefix}_commands counter")
+    for (vm, vdisk), collector in pairs:
+        for op, value in (("read", collector.read_commands),
+                          ("write", collector.write_commands),
+                          ("all", collector.commands)):
+            out.append(
+                f"{prefix}_commands_total{{{_labels(vm, vdisk, op)}}} {value}"
+            )
+    out.append(f"# TYPE {prefix}_bytes counter")
+    for (vm, vdisk), collector in pairs:
+        for op, value in (("read", collector.bytes_read),
+                          ("write", collector.bytes_written),
+                          ("all", collector.total_bytes)):
+            out.append(
+                f"{prefix}_bytes_total{{{_labels(vm, vdisk, op)}}} {value}"
+            )
+
+    for key in sorted(daemon):
+        name = f"live_{key}"
+        kind = "counter" if key.endswith("_total") else "gauge"
+        type_name = name[:-len("_total")] if kind == "counter" else name
+        out.append(f"# TYPE {type_name} {kind}")
+        out.append(f"{name} {daemon[key]}")
+
+    out.append("# EOF")
+    return "\n".join(out) + "\n"

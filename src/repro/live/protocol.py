@@ -1,0 +1,321 @@
+"""Wire protocol of the live characterization daemon.
+
+Every message in both directions is a *frame*::
+
+    +----------------+--------------+------------------+
+    | length (u32 BE)| type (u8)    | payload          |
+    +----------------+--------------+------------------+
+
+``length`` covers the type byte plus the payload.  Request frames:
+
+* ``DATA`` (0x01) — a run of completed SCSI commands for one virtual
+  disk.  Payload: ``u16 BE`` vm-name length, vm name (UTF-8), ``u16
+  BE`` vdisk-name length, vdisk name, then raw 40-byte ``VSCSITR1``
+  records (the exact on-disk layout of
+  :data:`repro.core.tracing.BINARY_RECORD_FORMAT`, no magic).  Because
+  the body *is* the columnar trace dtype, the server views it with
+  ``np.frombuffer`` and lands directly in the batch kernels — zero
+  per-record parsing.
+* ``CONTROL`` (0x02) — a UTF-8 JSON object ``{"op": ...}``; see
+  ``docs/live.md`` for the op table.
+
+Response frames:
+
+* ``OK`` (0x81) — UTF-8 JSON result object.
+* ``TEXT`` (0x82) — raw UTF-8 text (the OpenMetrics exposition).
+* ``ERROR`` (0xEE) — UTF-8 JSON ``{"error": message}``.
+
+Malformed input raises :class:`ProtocolError`, which the server turns
+into an ``ERROR`` response.  Frames above :data:`MAX_FRAME_BYTES` are
+rejected before any allocation, so a corrupt length prefix cannot make
+the daemon balloon.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.tracing import BINARY_RECORD_FORMAT, TraceRecord
+from ..parallel.trace_io import TRACE_DTYPE, TraceColumns
+
+try:  # numpy is optional; every path has a pure fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the pure path
+    _np = None
+
+__all__ = [
+    "FRAME_CONTROL",
+    "FRAME_DATA",
+    "FRAME_ERROR",
+    "FRAME_OK",
+    "FRAME_TEXT",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "RECORD_BYTES",
+    "ProtocolError",
+    "bytes_to_columns",
+    "columns_to_bytes",
+    "pack_control",
+    "pack_data",
+    "pack_error",
+    "pack_frame",
+    "pack_ok",
+    "pack_text",
+    "read_frame",
+    "records_to_bytes",
+    "sort_columns_for_stream",
+    "unpack_control",
+    "unpack_data",
+]
+
+PROTOCOL_VERSION = 1
+
+FRAME_DATA = 0x01
+FRAME_CONTROL = 0x02
+FRAME_OK = 0x81
+FRAME_TEXT = 0x82
+FRAME_ERROR = 0xEE
+
+_REQUEST_TYPES = frozenset({FRAME_DATA, FRAME_CONTROL})
+_RESPONSE_TYPES = frozenset({FRAME_OK, FRAME_TEXT, FRAME_ERROR})
+
+#: Hard ceiling on one frame's (type + payload) size: a corrupt length
+#: prefix must not turn into a multi-gigabyte allocation.  32 MiB is
+#: room for ~800k records per data frame.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_RECORD_STRUCT = struct.Struct(BINARY_RECORD_FORMAT)
+#: Size of one wire record (identical to the trace-file record).
+RECORD_BYTES = _RECORD_STRUCT.size
+
+_LEN = struct.Struct("!I")
+_TYPE = struct.Struct("!B")
+_NAME_LEN = struct.Struct("!H")
+
+
+class ProtocolError(ValueError):
+    """A malformed frame, name, body or command stream."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def pack_frame(ftype: int, payload: bytes = b"") -> bytes:
+    """Serialize one frame (length prefix + type byte + payload)."""
+    if not 0 <= ftype <= 0xFF:
+        raise ProtocolError(f"frame type {ftype} out of range")
+    body = _TYPE.pack(ftype) + payload
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def read_frame(stream) -> Optional[Tuple[int, bytes]]:
+    """Read one frame from a binary file object.
+
+    Returns ``(type, payload)``, or ``None`` on a clean EOF at a frame
+    boundary.  Raises :class:`ProtocolError` on a truncated frame, a
+    zero-length body or an oversized length prefix.
+    """
+    head = stream.read(_LEN.size)
+    if not head:
+        return None
+    if len(head) != _LEN.size:
+        raise ProtocolError("truncated frame length prefix")
+    (length,) = _LEN.unpack(head)
+    if length < 1:
+        raise ProtocolError("frame missing its type byte")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES"
+        )
+    body = stream.read(length)
+    if len(body) != length:
+        raise ProtocolError("truncated frame body")
+    return body[0], body[1:]
+
+
+# ----------------------------------------------------------------------
+# Data frames
+# ----------------------------------------------------------------------
+def _pack_name(name: str) -> bytes:
+    raw = name.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError(f"name of {len(raw)} bytes is too long")
+    return _NAME_LEN.pack(len(raw)) + raw
+
+
+def pack_data(vm: str, vdisk: str, body: bytes) -> bytes:
+    """Build a ``DATA`` frame carrying raw records for one disk."""
+    if len(body) % RECORD_BYTES:
+        raise ProtocolError(
+            f"data body of {len(body)} bytes is not a whole number of "
+            f"{RECORD_BYTES}-byte records"
+        )
+    return pack_frame(FRAME_DATA, _pack_name(vm) + _pack_name(vdisk) + body)
+
+
+def unpack_data(payload: bytes) -> Tuple[str, str, bytes]:
+    """Split a ``DATA`` payload into ``(vm, vdisk, record bytes)``."""
+    view = memoryview(payload)
+    offset = 0
+    names = []
+    for _ in range(2):
+        if len(view) < offset + _NAME_LEN.size:
+            raise ProtocolError("data frame truncated in its name header")
+        (nlen,) = _NAME_LEN.unpack_from(view, offset)
+        offset += _NAME_LEN.size
+        if len(view) < offset + nlen:
+            raise ProtocolError("data frame truncated in a name")
+        try:
+            names.append(bytes(view[offset:offset + nlen]).decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"undecodable name: {exc}") from None
+        offset += nlen
+    body = view[offset:]
+    if len(body) % RECORD_BYTES:
+        raise ProtocolError(
+            f"data body of {len(body)} bytes is not a whole number of "
+            f"{RECORD_BYTES}-byte records"
+        )
+    return names[0], names[1], bytes(body)
+
+
+# ----------------------------------------------------------------------
+# Record body <-> columns
+# ----------------------------------------------------------------------
+def bytes_to_columns(body: bytes) -> TraceColumns:
+    """View a data-frame body as trace columns (zero-copy with numpy).
+
+    Rejects bodies whose length is not a whole number of records and
+    records whose completion precedes their issue (negative latency) —
+    the same corruption the trace readers reject.
+    """
+    if len(body) % RECORD_BYTES:
+        raise ProtocolError(
+            f"data body of {len(body)} bytes is not a whole number of "
+            f"{RECORD_BYTES}-byte records"
+        )
+    if _np is not None:
+        arr = _np.frombuffer(body, dtype=TRACE_DTYPE)
+        columns = TraceColumns(
+            arr["serial"],
+            arr["issue_ns"],
+            arr["complete_ns"],
+            arr["lba"],
+            arr["nblocks"],
+            (arr["flags"] & 1).astype(bool),
+        )
+        bad = _np.nonzero(columns.complete_ns < columns.issue_ns)[0]
+        if bad.size:
+            i = int(bad[0])
+            raise ProtocolError(
+                f"record at index {i}: complete_ns "
+                f"{int(columns.complete_ns[i])} precedes issue_ns "
+                f"{int(columns.issue_ns[i])} (negative latency)"
+            )
+        return columns
+    cols = ([], [], [], [], [], [])
+    for fields in struct.iter_unpack(BINARY_RECORD_FORMAT, body):
+        for column, value in zip(cols, fields):
+            column.append(value)
+    for i, (t0, t1) in enumerate(zip(cols[1], cols[2])):
+        if t1 < t0:
+            raise ProtocolError(
+                f"record at index {i}: complete_ns {t1} precedes "
+                f"issue_ns {t0} (negative latency)"
+            )
+    return TraceColumns(cols[0], cols[1], cols[2], cols[3], cols[4],
+                        [bool(f & 1) for f in cols[5]])
+
+
+def columns_to_bytes(columns: TraceColumns) -> bytes:
+    """Pack trace columns into a data-frame body."""
+    n = len(columns)
+    if _np is not None:
+        arr = _np.zeros(n, dtype=TRACE_DTYPE)
+        arr["serial"] = _np.asarray(columns.serial, dtype=_np.uint64)
+        arr["issue_ns"] = _np.asarray(columns.issue_ns, dtype=_np.int64)
+        arr["complete_ns"] = _np.asarray(columns.complete_ns,
+                                         dtype=_np.int64)
+        arr["lba"] = _np.asarray(columns.lba, dtype=_np.int64)
+        arr["nblocks"] = _np.asarray(columns.nblocks, dtype=_np.uint32)
+        arr["flags"] = _np.asarray(columns.is_read, dtype=bool).astype(
+            _np.uint8
+        )
+        return arr.tobytes()
+    pack = _RECORD_STRUCT.pack
+    return b"".join(
+        pack(serial, issue, complete, lba, nblocks, 1 if is_read else 0)
+        for serial, issue, complete, lba, nblocks, is_read in zip(
+            columns.serial, columns.issue_ns, columns.complete_ns,
+            columns.lba, columns.nblocks, columns.is_read,
+        )
+    )
+
+
+def records_to_bytes(records: Iterable[TraceRecord]) -> bytes:
+    """Pack trace records into a data-frame body."""
+    pack = _RECORD_STRUCT.pack
+    return b"".join(
+        pack(r.serial, r.issue_ns, r.complete_ns, r.lba, r.nblocks,
+             1 if r.is_read else 0)
+        for r in records
+    )
+
+
+def sort_columns_for_stream(columns: TraceColumns) -> TraceColumns:
+    """Order columns by ``(issue_ns, serial)`` — the stream order.
+
+    Live ingestion requires each disk's frames to arrive in
+    non-decreasing ``(issue, serial)`` order (a real vSCSI capture
+    point naturally emits them that way); publishers sort once before
+    chunking so any trace, however stored, replays as a valid stream.
+    """
+    if _np is not None and isinstance(columns.issue_ns, _np.ndarray):
+        order = _np.lexsort((columns.serial, columns.issue_ns))
+        return TraceColumns(*(col[order] for col in columns.columns()))
+    order = sorted(range(len(columns)),
+                   key=lambda i: (columns.issue_ns[i], columns.serial[i]))
+    return TraceColumns(*(
+        [col[i] for i in order] for col in columns.columns()
+    ))
+
+
+# ----------------------------------------------------------------------
+# Control / response frames
+# ----------------------------------------------------------------------
+def pack_control(op: Dict) -> bytes:
+    """Build a ``CONTROL`` frame from an op object."""
+    return pack_frame(FRAME_CONTROL, json.dumps(op).encode("utf-8"))
+
+
+def unpack_control(payload: bytes) -> Dict:
+    """Parse a ``CONTROL`` payload; must be a JSON object with "op"."""
+    try:
+        op = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable control frame: {exc}") from None
+    if not isinstance(op, dict) or not isinstance(op.get("op"), str):
+        raise ProtocolError('control frame must be a JSON object with "op"')
+    return op
+
+
+def pack_ok(result: Dict) -> bytes:
+    """Build an ``OK`` response frame."""
+    return pack_frame(FRAME_OK, json.dumps(result).encode("utf-8"))
+
+
+def pack_text(text: str) -> bytes:
+    """Build a ``TEXT`` response frame (OpenMetrics exposition)."""
+    return pack_frame(FRAME_TEXT, text.encode("utf-8"))
+
+
+def pack_error(message: str) -> bytes:
+    """Build an ``ERROR`` response frame."""
+    return pack_frame(FRAME_ERROR,
+                      json.dumps({"error": message}).encode("utf-8"))

@@ -1,0 +1,141 @@
+"""Replay-to-server publishers: existing traces/workloads as live traffic.
+
+Three sources, one sink:
+
+* :func:`publish_trace_file` — a single ``VSCSITR1`` capture, opened
+  zero-copy and streamed for one ``(vm, vdisk)``.
+* :func:`publish_shard_dir` — a sharded trace directory (the
+  :func:`repro.parallel.write_shards` layout): every segment streams
+  under its manifest identity, so a multi-disk capture becomes
+  multi-disk live traffic.
+* :func:`capture_workload` / :func:`publish_workload` — run one of the
+  repo's simulated workloads against the reference testbed with
+  per-command tracing on, then stream the capture.  This is how "any
+  existing workload" becomes daemon traffic without new plumbing: the
+  simulation already emits the same trace records the wire carries.
+
+Every publisher sorts each disk's stream into ``(issue, serial)``
+order before chunking — the daemon's stream-order requirement.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..parallel.trace_io import (
+    MANIFEST_NAME,
+    load_manifest,
+    read_binary_columns,
+    records_to_columns,
+)
+from .client import DEFAULT_FRAME_RECORDS, LiveStatsClient
+
+__all__ = [
+    "capture_workload",
+    "publish_shard_dir",
+    "publish_source",
+    "publish_trace_file",
+    "publish_workload",
+]
+
+
+def publish_trace_file(client: LiveStatsClient, path, vm: str = "trace",
+                       vdisk: str = "scsi0:0",
+                       frame_records: int = DEFAULT_FRAME_RECORDS) -> Dict:
+    """Stream one binary trace file as live traffic for one disk."""
+    columns = read_binary_columns(path)
+    return client.publish_columns(vm, vdisk, columns,
+                                  frame_records=frame_records)
+
+
+def publish_shard_dir(client: LiveStatsClient, directory,
+                      frame_records: int = DEFAULT_FRAME_RECORDS) -> Dict:
+    """Stream every segment of a sharded trace directory.
+
+    Returns combined totals plus a per-disk breakdown.
+    """
+    directory = Path(directory)
+    manifest = load_manifest(directory)
+    totals = {"records": 0, "frames": 0, "accepted": 0, "dropped": 0,
+              "ignored": 0, "disks": {}}
+    for segment in manifest["segments"]:
+        columns = read_binary_columns(directory / segment["file"])
+        result = client.publish_columns(segment["vm"], segment["vdisk"],
+                                        columns,
+                                        frame_records=frame_records)
+        totals["disks"][f"{segment['vm']}/{segment['vdisk']}"] = result
+        for field in ("records", "frames", "accepted", "dropped", "ignored"):
+            totals[field] += result[field]
+    return totals
+
+
+def capture_workload(seconds: float = 2.0, vm: str = "live-demo",
+                     vdisk: str = "scsi0:0", testbed: str = "cx3",
+                     read_fraction: float = 0.7,
+                     random_fraction: float = 0.6,
+                     io_bytes: int = 8192, outstanding: int = 8):
+    """Run an Iometer-style workload with tracing on; returns columns.
+
+    The capture point is the simulated vSCSI layer — the same place the
+    paper's tool hooks — so the records carry real issue/completion
+    timestamps and queue behavior from the storage model underneath.
+    """
+    from ..experiments.setups import reference_testbed
+    from ..sim.engine import seconds as sim_seconds
+    from ..workloads.iometer import AccessSpec, IometerWorkload
+
+    bed = reference_testbed(testbed)
+    machine = bed.esx.create_vm(vm)
+    device = bed.esx.create_vdisk(machine, vdisk, bed.array, 2 * 1024 ** 3)
+    buffer = device.start_trace()
+    spec = AccessSpec("live capture", io_bytes=io_bytes,
+                      read_fraction=read_fraction,
+                      random_fraction=random_fraction,
+                      outstanding=outstanding)
+    IometerWorkload(bed.engine, device, spec).start()
+    bed.engine.run(until=sim_seconds(seconds))
+    device.stop_trace()
+    return records_to_columns(buffer.sorted_by_issue())
+
+
+def publish_workload(client: LiveStatsClient, seconds: float = 2.0,
+                     vm: str = "live-demo", vdisk: str = "scsi0:0",
+                     frame_records: int = DEFAULT_FRAME_RECORDS,
+                     **workload_kwargs) -> Dict:
+    """Capture a simulated workload and stream it as live traffic."""
+    columns = capture_workload(seconds=seconds, vm=vm, vdisk=vdisk,
+                               **workload_kwargs)
+    return client.publish_columns(vm, vdisk, columns,
+                                  frame_records=frame_records)
+
+
+def publish_source(client: LiveStatsClient, source,
+                   vm: Optional[str] = None, vdisk: Optional[str] = None,
+                   frame_records: int = DEFAULT_FRAME_RECORDS,
+                   demo_seconds: float = 2.0) -> Dict:
+    """Dispatch on a source spec: trace file, shard dir, or ``"demo"``.
+
+    ``source`` may be a path to a ``VSCSITR1`` file, a directory
+    containing a shard manifest, or the literal string ``"demo"`` to
+    synthesize live traffic from a short simulated workload.
+    """
+    if source == "demo":
+        return publish_workload(client, seconds=demo_seconds,
+                                vm=vm or "live-demo",
+                                vdisk=vdisk or "scsi0:0",
+                                frame_records=frame_records)
+    path = Path(source)
+    if path.is_dir():
+        if not (path / MANIFEST_NAME).exists():
+            raise ValueError(
+                f"{path} is a directory without a {MANIFEST_NAME}; "
+                "expected a sharded trace directory"
+            )
+        return publish_shard_dir(client, path, frame_records=frame_records)
+    if not path.exists():
+        raise ValueError(f"no such trace source: {path}")
+    return publish_trace_file(client, path,
+                              vm=vm or path.stem,
+                              vdisk=vdisk or "scsi0:0",
+                              frame_records=frame_records)

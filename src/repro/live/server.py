@@ -1,0 +1,656 @@
+"""``repro.live`` — the online streaming characterization daemon.
+
+:class:`LiveStatsServer` is the live analogue of running ``vscsiStats``
+inside the hypervisor: a long-running service that characterizes I/O
+*while it happens* instead of replaying finished traces.  Clients speak
+the length-prefixed frame protocol of :mod:`repro.live.protocol` over
+TCP:
+
+* ``DATA`` frames carry raw 40-byte ``VSCSITR1`` records for one
+  ``(vm, vdisk)``; the connection handler views the body as numpy
+  columns (zero per-record parsing) and routes it to the shard worker
+  that owns that disk.
+* ``CONTROL`` frames drive the query/control plane: ``snapshot``,
+  ``rotate``, ``enable``/``disable``, ``metrics`` (OpenMetrics text),
+  ``info``, ``ping``, ``reset``.
+
+Architecture::
+
+    client conns (1 thread each)          shard workers (N threads)
+    ───────────────────────────           ──────────────────────────
+    read frame → decode/validate  ──put→  bounded queue → DiskStream
+    ← ack / error                          (per-disk collectors)
+
+Disks are hashed to shard workers (crc32, stable), so each disk's
+stream is mutated by exactly one thread — the same whole-stream
+ownership rule the parallel replay driver uses.  Queues are bounded;
+``backpressure="block"`` makes producers wait (acks double as flow
+control), ``backpressure="drop"`` sheds the batch and counts the
+dropped records, surfaced in ``info`` and the exposition.
+
+``rotate()`` seals the current epoch **atomically**: every worker is
+parked at a barrier, each disk's collector is handed to the epoch
+ledger and replaced by a lazily-created continuation collector
+(:mod:`repro.live.stream`), then the workers resume.  Sealing is O(m)
+per disk — bins, not commands — so rotation stalls ingestion for
+microseconds to milliseconds regardless of traffic.
+
+Shutdown drains: pending queue items are processed, then the partial
+epoch is flushed into the ledger so no acked command is ever lost.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import zlib
+from queue import Empty, Full, Queue
+from typing import Dict, List, Optional, Tuple
+
+from ..core.collector import DEFAULT_TIME_SLOT_NS, VscsiStatsCollector
+from ..core.service import DiskKey, HistogramService
+from ..core.window import DEFAULT_WINDOW_SIZE
+from .epochs import Epoch, EpochLedger
+from .exposition import render_openmetrics
+from .protocol import (
+    FRAME_CONTROL,
+    FRAME_DATA,
+    ProtocolError,
+    bytes_to_columns,
+    pack_error,
+    pack_ok,
+    pack_text,
+    read_frame,
+    unpack_control,
+    unpack_data,
+)
+from .stream import DiskStream
+
+__all__ = ["LiveStatsServer"]
+
+_SHUTDOWN = object()
+
+
+class _DataItem:
+    """One enqueued ingest batch, acked after processing."""
+
+    __slots__ = ("key", "columns", "done", "accepted", "error")
+
+    def __init__(self, key: DiskKey, columns):
+        self.key = key
+        self.columns = columns
+        self.done = threading.Event()
+        self.accepted = 0
+        self.error: Optional[str] = None
+
+
+class _Barrier:
+    """Parks a worker until the control plane finishes a swap."""
+
+    __slots__ = ("paused", "resume")
+
+    def __init__(self):
+        self.paused = threading.Event()
+        self.resume = threading.Event()
+
+
+class _ShardWorker(threading.Thread):
+    """Owns the disk streams hashed to one shard."""
+
+    def __init__(self, index: int, server: "LiveStatsServer",
+                 queue_depth: int):
+        super().__init__(name=f"live-shard-{index}", daemon=True)
+        self.index = index
+        self.server = server
+        self.queue: "Queue" = Queue(maxsize=queue_depth)
+        self.streams: Dict[DiskKey, DiskStream] = {}
+
+    def stream_for(self, key: DiskKey) -> DiskStream:
+        stream = self.streams.get(key)
+        if stream is None:
+            stream = DiskStream(window_size=self.server.window_size,
+                                time_slot_ns=self.server.time_slot_ns,
+                                backend=self.server.backend)
+            self.streams[key] = stream
+        return stream
+
+    def run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is _SHUTDOWN:
+                return
+            if isinstance(item, _Barrier):
+                item.paused.set()
+                item.resume.wait()
+                continue
+            try:
+                item.accepted = self.stream_for(item.key).ingest(item.columns)
+            except ProtocolError as exc:
+                item.error = str(exc)
+            except Exception as exc:  # never kill the worker thread
+                item.error = f"internal error: {exc!r}"
+            finally:
+                item.done.set()
+
+
+class LiveStatsServer:
+    """Long-running network characterization daemon.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    shards:
+        Shard worker threads; each ``(vm, vdisk)`` is owned by one.
+    queue_depth:
+        Bounded depth of each shard's ingest queue (in batches).
+    backpressure:
+        ``"block"`` — a full queue makes the producing connection wait
+        (acks provide flow control).  ``"drop"`` — the batch is shed
+        and its records counted in ``dropped_records_total``.
+    idle_timeout:
+        Seconds a connection may sit silent before it is closed.
+    rotate_every:
+        Optional period in seconds for automatic epoch rotation.
+    max_epochs:
+        Sealed epochs to retain individually (older ones fold into a
+        retired aggregate, keeping lifetime totals exact).
+    start_enabled:
+        The daemon's reason to exist is ingestion, so unlike the
+        in-hypervisor service it starts enabled; pass ``False`` to
+        require an explicit ``enable``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 shards: int = 2, queue_depth: int = 64,
+                 backpressure: str = "block",
+                 idle_timeout: Optional[float] = 60.0,
+                 window_size: int = DEFAULT_WINDOW_SIZE,
+                 time_slot_ns: int = DEFAULT_TIME_SLOT_NS,
+                 backend: Optional[str] = None,
+                 rotate_every: Optional[float] = None,
+                 max_epochs: Optional[int] = None,
+                 start_enabled: bool = True):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if backpressure not in ("block", "drop"):
+            raise ValueError(
+                f'backpressure must be "block" or "drop", '
+                f"got {backpressure!r}"
+            )
+        self.host = host
+        self.port = port
+        self.backpressure = backpressure
+        self.idle_timeout = idle_timeout
+        self.window_size = window_size
+        self.time_slot_ns = time_slot_ns
+        self.backend = backend
+        self.rotate_every = rotate_every
+
+        self.ledger = EpochLedger(window_size=window_size,
+                                  time_slot_ns=time_slot_ns,
+                                  max_epochs=max_epochs)
+        # The enable/disable registry is a HistogramService used purely
+        # for its gating semantics (global flag + per-disk overrides),
+        # so the daemon's surface matches the in-hypervisor tool's.
+        self._gate = HistogramService(window_size=window_size,
+                                      time_slot_ns=time_slot_ns)
+        self._gate.enabled = start_enabled
+
+        self._workers = [
+            _ShardWorker(index, self, queue_depth) for index in range(shards)
+        ]
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._rotate_timer: Optional[threading.Timer] = None
+        self._stopping = threading.Event()
+        self._started = False
+        self._closed = False
+
+        self._control_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._conns: set = set()
+        self.frames_total = 0
+        self.records_total = 0
+        self.ignored_records_total = 0   # disabled-disk data frames
+        self.dropped_records_total = 0   # backpressure sheds
+        self.rejected_frames_total = 0   # malformed / out-of-order
+        self.connections_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "LiveStatsServer":
+        """Bind, listen and start worker/acceptor threads."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(32)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        for worker in self._workers:
+            worker.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="live-accept", daemon=True
+        )
+        self._accept_thread.start()
+        if self.rotate_every:
+            self._schedule_rotate()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return (self.host, self.port)
+
+    def __enter__(self) -> "LiveStatsServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the daemon.
+
+        With ``drain=True`` (default) every queued batch is processed
+        and the partial epoch is flushed into the ledger before
+        workers exit, so all acked data remains queryable in-process
+        (:meth:`snapshot_dict`, :meth:`merged_service`).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        if self._rotate_timer is not None:
+            self._rotate_timer.cancel()
+        if self._listener is not None:
+            # A blocked accept() is not reliably woken by closing the
+            # listener from another thread; a loopback connect is.
+            try:
+                socket.create_connection(self.address, timeout=1.0).close()
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        with self._stats_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for worker in self._workers:
+            if worker.is_alive():
+                if not drain:
+                    # Shed queued work before the sentinel.
+                    try:
+                        while True:
+                            item = worker.queue.get_nowait()
+                            if isinstance(item, _DataItem):
+                                item.error = "server shutting down"
+                                item.done.set()
+                    except Empty:
+                        pass
+                worker.queue.put(_SHUTDOWN)
+                worker.join(timeout=10.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        if drain:
+            # Flush the partial epoch so acked commands stay queryable.
+            pairs = self._seal_all_streams()
+            if pairs:
+                self.ledger.seal(pairs)
+
+    def _schedule_rotate(self) -> None:
+        if self._stopping.is_set():
+            return
+        timer = threading.Timer(self.rotate_every, self._timed_rotate)
+        timer.daemon = True
+        self._rotate_timer = timer
+        timer.start()
+
+    def _timed_rotate(self) -> None:
+        if self._stopping.is_set():
+            return
+        try:
+            self.rotate()
+        finally:
+            self._schedule_rotate()
+
+    # ------------------------------------------------------------------
+    # Accept / connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._stats_lock:
+                self._conns.add(conn)
+                self.connections_total += 1
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="live-conn", daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            if self.idle_timeout is not None:
+                conn.settimeout(self.idle_timeout)
+            rfile = conn.makefile("rb")
+            wfile = conn.makefile("wb")
+            while not self._stopping.is_set():
+                try:
+                    frame = read_frame(rfile)
+                except ProtocolError as exc:
+                    # Framing is broken; report and drop the link
+                    # (there is no way to resynchronize a byte stream
+                    # with a corrupt length prefix).
+                    self._count_rejected()
+                    self._send(wfile, pack_error(str(exc)))
+                    return
+                except (socket.timeout, TimeoutError):
+                    return  # idle client
+                if frame is None:
+                    return  # clean EOF
+                ftype, payload = frame
+                try:
+                    if ftype == FRAME_DATA:
+                        response = self._handle_data(payload)
+                    elif ftype == FRAME_CONTROL:
+                        response = self._handle_control(payload)
+                    else:
+                        raise ProtocolError(
+                            f"unknown frame type 0x{ftype:02x}"
+                        )
+                except ProtocolError as exc:
+                    self._count_rejected()
+                    response = pack_error(str(exc))
+                if not self._send(wfile, response):
+                    return
+        except (OSError, ValueError):
+            return  # connection torn down mid-frame
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            with self._stats_lock:
+                self._conns.discard(conn)
+
+    @staticmethod
+    def _send(wfile, data: bytes) -> bool:
+        try:
+            wfile.write(data)
+            wfile.flush()
+            return True
+        except (OSError, ValueError):
+            return False
+
+    def _count_rejected(self) -> None:
+        with self._stats_lock:
+            self.rejected_frames_total += 1
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _worker_for(self, key: DiskKey) -> _ShardWorker:
+        digest = zlib.crc32(f"{key[0]}\x00{key[1]}".encode("utf-8"))
+        return self._workers[digest % len(self._workers)]
+
+    def _handle_data(self, payload: bytes) -> bytes:
+        vm, vdisk, body = unpack_data(payload)
+        columns = bytes_to_columns(body)
+        n = len(columns)
+        with self._stats_lock:
+            self.frames_total += 1
+        if not n:
+            return pack_ok({"accepted": 0})
+        if not self._gate.is_enabled_for(vm, vdisk):
+            with self._stats_lock:
+                self.ignored_records_total += n
+            return pack_ok({"accepted": 0, "ignored": n,
+                            "reason": "disabled"})
+        item = _DataItem((vm, vdisk), columns)
+        worker = self._worker_for(item.key)
+        if self.backpressure == "drop":
+            try:
+                worker.queue.put_nowait(item)
+            except Full:
+                with self._stats_lock:
+                    self.dropped_records_total += n
+                return pack_ok({"accepted": 0, "dropped": n,
+                                "reason": "backpressure"})
+        else:
+            worker.queue.put(item)
+        item.done.wait()
+        if item.error is not None:
+            raise ProtocolError(item.error)
+        with self._stats_lock:
+            self.records_total += item.accepted
+        return pack_ok({"accepted": item.accepted})
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _handle_control(self, payload: bytes) -> bytes:
+        op = unpack_control(payload)
+        name = op["op"]
+        if name == "ping":
+            return pack_ok({"pong": True, "version": 1})
+        if name == "rotate":
+            epoch = self.rotate()
+            return pack_ok({"epoch": epoch.index,
+                            "records": epoch.records,
+                            "disks": len(list(epoch.service.collectors()))})
+        if name == "snapshot":
+            return pack_ok(self.snapshot_dict(
+                scope=op.get("scope", "all"),
+                epoch=op.get("epoch"),
+                aggregate=bool(op.get("aggregate", False)),
+            ))
+        if name == "enable":
+            self._gate.enable(op.get("vm"), op.get("vdisk"))
+            return pack_ok({"enabled": True})
+        if name == "disable":
+            self._gate.disable(op.get("vm"), op.get("vdisk"))
+            return pack_ok({"enabled": False})
+        if name == "metrics":
+            return pack_text(self.openmetrics())
+        if name == "info":
+            return pack_ok(self.info())
+        raise ProtocolError(f"unknown control op {name!r}")
+
+    # ------------------------------------------------------------------
+    # Atomic swap machinery
+    # ------------------------------------------------------------------
+    def _pause_workers(self) -> List[_Barrier]:
+        barriers = []
+        for worker in self._workers:
+            if not worker.is_alive():
+                continue
+            barrier = _Barrier()
+            worker.queue.put(barrier)
+            barriers.append(barrier)
+        for barrier in barriers:
+            barrier.paused.wait()
+        return barriers
+
+    @staticmethod
+    def _resume_workers(barriers: List[_Barrier]) -> None:
+        for barrier in barriers:
+            barrier.resume.set()
+
+    def _seal_all_streams(self) -> List[Tuple[DiskKey, VscsiStatsCollector]]:
+        pairs = []
+        for worker in self._workers:
+            for key, stream in worker.streams.items():
+                collector = stream.seal()
+                if collector is not None:
+                    pairs.append((key, collector))
+        return pairs
+
+    def rotate(self) -> Epoch:
+        """Seal the current epoch and swap in continuation collectors.
+
+        Workers are parked at a barrier for the O(bins) swap, so
+        clients querying sealed epochs never see a torn snapshot and
+        ingestion resumes immediately after.
+        """
+        with self._control_lock:
+            barriers = self._pause_workers()
+            try:
+                pairs = self._seal_all_streams()
+                return self.ledger.seal(pairs)
+            finally:
+                self._resume_workers(barriers)
+
+    # ------------------------------------------------------------------
+    # Queries (also usable in-process, e.g. after close())
+    # ------------------------------------------------------------------
+    def _current_pairs(self, copy: bool = True):
+        """((vm, vdisk), collector) for the live epoch; call paused."""
+        pairs = []
+        for worker in self._workers:
+            for key, stream in worker.streams.items():
+                if stream.collector is not None:
+                    collector = stream.collector
+                    pairs.append((key, collector.copy() if copy
+                                  else collector))
+        return pairs
+
+    def snapshot_dict(self, scope: str = "all",
+                      epoch: Optional[int] = None,
+                      aggregate: bool = False) -> Dict:
+        """JSON-ready snapshot document.
+
+        ``scope="current"`` — the live (unsealed) epoch only;
+        ``scope="epoch"`` — one sealed epoch (by index, default last);
+        ``scope="all"`` — exact merge of every epoch plus the live one.
+        ``aggregate=True`` adds a host-wide merge across disks.
+        """
+        if scope == "epoch":
+            if not len(self.ledger) and epoch is None:
+                raise ProtocolError("no sealed epochs yet")
+            if epoch is None:
+                target = self.ledger.last
+            else:
+                try:
+                    target = self.ledger.epoch(epoch)
+                except KeyError as exc:
+                    raise ProtocolError(str(exc)) from None
+            service = target.service
+            meta: Dict = {"scope": "epoch", "epoch": target.index,
+                          "records": target.records}
+        elif scope == "current":
+            with self._control_lock:
+                barriers = self._pause_workers()
+                try:
+                    pairs = self._current_pairs()
+                finally:
+                    self._resume_workers(barriers)
+            service = HistogramService(window_size=self.window_size,
+                                       time_slot_ns=self.time_slot_ns)
+            for key, collector in pairs:
+                service.adopt(key, collector)
+            meta = {"scope": "current", "epoch": len(self.ledger)}
+        elif scope == "all":
+            with self._control_lock:
+                barriers = self._pause_workers()
+                try:
+                    pairs = self._current_pairs()
+                finally:
+                    self._resume_workers(barriers)
+            service = self.ledger.merged()
+            for key, collector in pairs:
+                service.adopt(key, collector)
+            meta = {"scope": "all", "epochs": len(self.ledger)}
+        else:
+            raise ProtocolError(f"unknown snapshot scope {scope!r}")
+        disks = {
+            f"{vm}/{vdisk}": collector.to_dict()
+            for (vm, vdisk), collector in service.collectors()
+        }
+        meta["disks"] = disks
+        if aggregate:
+            meta["aggregate"] = service.aggregate().to_dict()
+        return meta
+
+    def merged_service(self) -> HistogramService:
+        """Lifetime merge: every sealed epoch plus the live one."""
+        if self._closed or not self._started:
+            pairs = self._current_pairs()
+        else:
+            with self._control_lock:
+                barriers = self._pause_workers()
+                try:
+                    pairs = self._current_pairs()
+                finally:
+                    self._resume_workers(barriers)
+        service = self.ledger.merged()
+        for key, collector in pairs:
+            service.adopt(key, collector)
+        return service
+
+    def openmetrics(self) -> str:
+        """OpenMetrics text over the lifetime merge + daemon counters."""
+        service = self.merged_service()
+        with self._stats_lock:
+            daemon = {
+                "epochs_sealed_total": len(self.ledger),
+                "ingest_frames_total": self.frames_total,
+                "ingest_records_total": self.records_total,
+                "ignored_records_total": self.ignored_records_total,
+                "dropped_records_total": self.dropped_records_total,
+                "rejected_frames_total": self.rejected_frames_total,
+                "connections_open": len(self._conns),
+                "connections_total": self.connections_total,
+            }
+        return render_openmetrics(service.collectors(), daemon)
+
+    def info(self) -> Dict:
+        """Operational counters and configuration."""
+        with self._stats_lock:
+            info = {
+                "address": list(self.address),
+                "shards": len(self._workers),
+                "backpressure": self.backpressure,
+                "enabled": self._gate.enabled,
+                "epochs_sealed": len(self.ledger),
+                "epoch_records": self.ledger.records,
+                "frames_total": self.frames_total,
+                "records_total": self.records_total,
+                "ignored_records_total": self.ignored_records_total,
+                "dropped_records_total": self.dropped_records_total,
+                "rejected_frames_total": self.rejected_frames_total,
+                "connections_open": len(self._conns),
+                "connections_total": self.connections_total,
+                "queue_depths": [w.queue.qsize() for w in self._workers],
+            }
+        return info
+
+    def export_json(self) -> str:
+        """Lifetime per-disk snapshot as a JSON document."""
+        return json.dumps(self.snapshot_dict(scope="all"), indent=2,
+                          sort_keys=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            "running" if self._started else "new")
+        return (f"<LiveStatsServer {state} {self.host}:{self.port} "
+                f"epochs={len(self.ledger)}>")

@@ -177,3 +177,73 @@ class TestResultPayload:
         assert doc["fields"]["profiles"]["hist"]["count"] == 1
         assert doc["fields"]["pairs"][0][1]["count"] == 1
         assert doc["fields"]["opaque"].startswith("<object object")
+
+
+class TestLiveCli:
+    def test_serve_duration_binds_and_drains(self, capsys):
+        assert main(["serve", "--port", "0", "--duration", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+        assert "drained" in out
+
+    def test_publish_trace_file_with_rotate(self, tmp_path, capsys):
+        from repro.core.tracing import TraceRecord
+        from repro.live import LiveStatsServer
+        from repro.parallel.trace_io import (
+            records_to_columns,
+            write_binary_columns,
+        )
+
+        records = [TraceRecord(i, i * 1000, i * 1000 + 40_000,
+                               i * 64, 8, i % 2 == 0)
+                   for i in range(200)]
+        trace = tmp_path / "t.vscsitr"
+        write_binary_columns(records_to_columns(records), trace)
+
+        with LiveStatsServer(port=0) as server:
+            host, port = server.address
+            assert main(["publish", str(trace), "--host", host,
+                         "--port", str(port), "--vm", "vmX",
+                         "--frame-records", "64", "--rotate"]) == 0
+            out = capsys.readouterr().out
+            assert "published 200/200 records in 4 frames" in out
+            assert "rotated: epoch 0 sealed with 200 records" in out
+            snap = server.snapshot_dict(scope="all")
+            assert snap["disks"]["vmX/scsi0:0"]["commands"] == 200
+
+    def test_publish_metrics_flag_prints_exposition(self, tmp_path, capsys):
+        from repro.core.tracing import TraceRecord
+        from repro.live import LiveStatsServer
+        from repro.parallel.trace_io import (
+            records_to_columns,
+            write_binary_columns,
+        )
+
+        records = [TraceRecord(i, i * 1000, i * 1000 + 40_000, 0, 8, True)
+                   for i in range(10)]
+        trace = tmp_path / "t.vscsitr"
+        write_binary_columns(records_to_columns(records), trace)
+        with LiveStatsServer(port=0) as server:
+            host, port = server.address
+            assert main(["publish", str(trace), "--host", host,
+                         "--port", str(port), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE vscsi_io_length_bytes histogram" in out
+        assert out.endswith("# EOF\n")
+
+    def test_publish_connection_refused_fails_cleanly(self, tmp_path,
+                                                      capsys):
+        missing = tmp_path / "nope.vscsitr"
+        missing.write_bytes(b"")
+        assert main(["publish", str(missing), "--port", "1",
+                     "--timeout", "1"]) == 1
+        assert "publish:" in capsys.readouterr().err
+
+    def test_publish_bad_source_fails_cleanly(self, tmp_path, capsys):
+        from repro.live import LiveStatsServer
+
+        with LiveStatsServer(port=0) as server:
+            host, port = server.address
+            assert main(["publish", str(tmp_path / "missing"),
+                         "--host", host, "--port", str(port)]) == 1
+        assert "no such trace source" in capsys.readouterr().err

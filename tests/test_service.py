@@ -46,6 +46,29 @@ class TestEnableDisable:
         service.disable()
         assert not service.is_enabled_for("vm1", "d0")
 
+    def test_disable_of_never_enabled_disk_is_noop(self, service):
+        """Regression: per-disk disable of a disk that was never enabled
+        must leave no registry entry behind — a spurious ``False`` would
+        leak memory per probed disk and corrupt ``export_json``'s
+        enabled-disk listing."""
+        service.disable("ghost-vm", "ghost-disk")
+        assert service._per_disk_enabled == {}
+        assert not service.is_enabled_for("ghost-vm", "ghost-disk")
+        # A later global enable must still cover the probed disk —
+        # i.e. no stale per-disk override was recorded.
+        service.enable()
+        assert service.is_enabled_for("ghost-vm", "ghost-disk")
+
+    def test_enable_disable_cycle_leaves_no_residue(self, service):
+        """The per-disk registry only ever holds ``True`` entries; a full
+        enable/disable cycle restores it to empty."""
+        service.enable("vm1", "d0")
+        service.enable("vm2", "d1")
+        service.disable("vm1", "d0")
+        service.disable("vm2", "d1")
+        service.disable("vm2", "d1")  # double-disable: still a no-op
+        assert service._per_disk_enabled == {}
+
     def test_data_survives_disable(self, service):
         """§3: disabling stops collection; prior data stays readable."""
         service.enable()
