@@ -1,0 +1,164 @@
+"""Durable store throughput: append, crash recovery, range queries.
+
+Measures the three paths an operator actually waits on, over a corpus
+of ``FULL_N`` one-second epochs (10k by default — hours of rotated
+history for a busy disk):
+
+* ``append`` — epochs/sec through :meth:`HistogramStore.append` with
+  batched fsync: snapshot encoding, WAL framing and the periodic
+  auto-checkpoint into segments all included.
+* ``recover`` — epochs/sec through a cold :meth:`HistogramStore.open`
+  of a store whose entire corpus sits unsealed in the WAL — the
+  worst-case crash-recovery scan (frame walk, CRC verify, meta decode,
+  seq dedup).
+* ``query`` — epochs/sec merged by range queries against the sealed
+  (segment-resident) store: a sweep of window widths from a minute to
+  the full span, each query decoding and merging every record its
+  closure selects.
+
+Before timing, the built store is verified: a full-range query must
+equal the running merge of every appended snapshot — the throughput
+being gated is provably the exact-characterization path.
+
+The record shares the repo's gate schema — ``{"commands": N, "modes":
+{label: {"commands_per_sec": ...}}}`` (commands = epochs here) — and
+is registered in ``compare_bench.py`` with a clamp so the global
+``--n`` scaling of the trace benchmarks doesn't balloon an epoch-count
+benchmark.
+
+Usage::
+
+    python benchmarks/bench_store.py [N]    # full run writes BENCH_store.json
+"""
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.collector import VscsiStatsCollector
+from repro.store import HistogramStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_store.json"
+
+#: Epochs in the full-run corpus.
+FULL_N = 10_000
+
+SECOND_NS = 1_000_000_000
+
+#: Distinct collector states cycled through the corpus (encoding cost
+#: depends on populated bins, so vary them).
+VARIANTS = 16
+
+#: Range-query widths swept in the query mode, in epochs.
+QUERY_WIDTHS = (60, 900, 3600)
+
+#: Queries per width.
+QUERIES_PER_WIDTH = 8
+
+
+def _collector(seed):
+    collector = VscsiStatsCollector()
+    t = 1_000
+    state = seed * 2654435761 % (1 << 31) or 1
+    for _ in range(24):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        t += 100 + state % 4000
+        collector.on_issue(t, state % 2 == 0, state % (1 << 26),
+                           1 << (state % 6 + 3), state % 12)
+        latency = 20_000 + state % 800_000
+        collector.on_complete(t + latency, state % 2 == 0, latency)
+    return collector
+
+
+def _build_wal_resident(path, n, variants):
+    """Append ``n`` epochs, all left unsealed in the WAL."""
+    store = HistogramStore.create(path, fsync="never",
+                                  wal_seal_records=n + 1)
+    t0 = time.perf_counter()
+    for i in range(n):
+        store.append("vm0", "d0", i * SECOND_NS, (i + 1) * SECOND_NS,
+                     variants[i % VARIANTS])
+    store.sync()
+    elapsed = time.perf_counter() - t0
+    store.close()
+    return elapsed
+
+
+def measure(n=FULL_N, verify=True):
+    """Measure all three modes over an ``n``-epoch corpus."""
+    variants = [_collector(seed) for seed in range(VARIANTS)]
+    workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
+    try:
+        wal_path = workdir / "wal-resident"
+        append_elapsed = _build_wal_resident(wal_path, n, variants)
+
+        t0 = time.perf_counter()
+        store = HistogramStore.open(wal_path, fsync="never")
+        recover_elapsed = time.perf_counter() - t0
+        assert store.recovered_wal_records == n, (
+            f"recovery found {store.recovered_wal_records} of {n} records"
+        )
+
+        store.checkpoint()
+        if verify:
+            expected = VscsiStatsCollector()
+            for i in range(n):
+                expected = expected.merge(variants[i % VARIANTS])
+            merged = store.query(0, n * SECOND_NS).service
+            got = merged.collector("vm0", "d0")
+            assert got == expected, "store merge diverged from direct merge"
+
+        queried_epochs = 0
+        t0 = time.perf_counter()
+        for width in QUERY_WIDTHS:
+            width = min(width, n)
+            step = max(1, (n - width) // max(1, QUERIES_PER_WIDTH - 1))
+            for lo in range(0, max(1, n - width + 1), step):
+                result = store.query(lo * SECOND_NS,
+                                     (lo + width) * SECOND_NS - 1)
+                queried_epochs += result.epochs
+        query_elapsed = time.perf_counter() - t0
+        store.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "commands": n,
+        "modes": {
+            "append": {
+                "seconds": round(append_elapsed, 3),
+                "commands_per_sec": int(n / append_elapsed),
+            },
+            "recover": {
+                "seconds": round(recover_elapsed, 3),
+                "commands_per_sec": int(n / recover_elapsed),
+            },
+            "query": {
+                "seconds": round(query_elapsed, 3),
+                "queried_epochs": queried_epochs,
+                "commands_per_sec": int(queried_epochs / query_elapsed),
+            },
+        },
+    }
+
+
+def main(argv):
+    n = FULL_N
+    if len(argv) > 1:
+        n = int(argv[1])
+    record = measure(n)
+    print(json.dumps(record, indent=2))
+    if n == FULL_N:
+        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

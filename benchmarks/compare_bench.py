@@ -1,9 +1,10 @@
 """Throughput regression gate for the committed benchmark records.
 
 Re-measures the replay throughput of every registered benchmark (the
-PR 1 hot-path ingestion modes, the sharded parallel replay modes and
-the live daemon's loopback ingest modes) and compares it against the
-committed ``BENCH_*.json`` records.  Exits
+PR 1 hot-path ingestion modes, the sharded parallel replay modes, the
+live daemon's loopback ingest modes and the durable store's
+append/recover/query paths) and compares it against the committed
+``BENCH_*.json`` records.  Exits
 non-zero when any mode regresses by more than ``TOLERANCE`` (20%), so
 CI can gate merges on throughput the same way it gates on tests.
 
@@ -29,23 +30,30 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_hotpath
 import bench_live
 import bench_parallel
+import bench_store
 
 #: Maximum tolerated drop in commands/sec relative to the committed
 #: record before the gate fails.
 TOLERANCE = 0.20
 
-#: name -> (measure(n) callable, committed record path, full-run n).
+#: name -> (measure(n) callable, committed record path, full-run n,
+#: max n).  ``max_n`` clamps a global ``--n`` for benchmarks whose unit
+#: isn't trace commands — the store benchmark counts *epochs*, so the
+#: CI-wide ``--n 200000`` would balloon it 20x instead of scaling it
+#: down.
 BENCHMARKS = {
     "hotpath": (bench_hotpath.measure, bench_hotpath.BENCH_JSON,
-                bench_hotpath.FULL_N),
+                bench_hotpath.FULL_N, None),
     "live": (bench_live.measure, bench_live.BENCH_JSON,
-             bench_live.FULL_N),
+             bench_live.FULL_N, None),
     "parallel": (bench_parallel.measure, bench_parallel.BENCH_JSON,
-                 bench_parallel.FULL_N),
+                 bench_parallel.FULL_N, None),
+    "store": (bench_store.measure, bench_store.BENCH_JSON,
+              bench_store.FULL_N, bench_store.FULL_N),
 }
 
 
-def compare(name, measure, bench_json, n=None):
+def compare(name, measure, bench_json, n=None, max_n=None):
     """Gate one benchmark against its committed record.
 
     Returns True when every mode stays within ``TOLERANCE`` of the
@@ -58,6 +66,8 @@ def compare(name, measure, bench_json, n=None):
     committed = json.loads(bench_json.read_text())
     if n is None:
         n = committed["commands"]
+    if max_n is not None and n > max_n:
+        n = max_n
     current = measure(n)
 
     ok = True
@@ -103,7 +113,7 @@ def main(argv=None):
 
     if args.update:
         for name in names:
-            measure, bench_json, full_n = BENCHMARKS[name]
+            measure, bench_json, full_n, _max_n = BENCHMARKS[name]
             record = measure(full_n)
             bench_json.write_text(json.dumps(record, indent=2) + "\n")
             print(json.dumps(record, indent=2))
@@ -112,7 +122,8 @@ def main(argv=None):
 
     failed = [
         name for name in names
-        if not compare(name, *BENCHMARKS[name][:2], n=args.n)
+        if not compare(name, *BENCHMARKS[name][:2], n=args.n,
+                       max_n=BENCHMARKS[name][3])
     ]
     if failed:
         print(f"FAIL: {', '.join(failed)} regressed more than "

@@ -15,12 +15,17 @@ Subcommands:
 * ``publish`` — stream an existing trace file, sharded trace
   directory, or a freshly simulated workload (``demo``) to a running
   daemon as live traffic.
+* ``store`` — operate on a durable histogram store
+  (:mod:`repro.store`): ``query`` a time range, ``compact`` into
+  coarser tiers, ``inspect`` segments and spans.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from typing import List, Optional
 
 from .core.report import render_histogram
@@ -28,6 +33,31 @@ from .experiments.runner import EXPERIMENTS, run_experiment
 from .experiments.table2 import Table2Result, render_table2
 
 __all__ = ["main"]
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The document lands in a same-directory temp file and is renamed
+    into place, so readers (and a killed CLI) never observe a
+    partially written export.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fileobj:
+            fileobj.write(text)
+            fileobj.flush()
+            os.fsync(fileobj.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -114,8 +144,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                    for exp_id, result in results.items()}
         if not args.all:
             payload = payload[args.experiment]
-        with open(args.export, "w") as fileobj:
-            json.dump(payload, fileobj, indent=2, sort_keys=True)
+        _atomic_write_text(
+            args.export,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
         if args.output != "json":
             print(f"\nwrote {args.export}")
     return 0
@@ -194,12 +226,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port, shards=args.shards,
         queue_depth=args.queue_depth, backpressure=args.backpressure,
         idle_timeout=args.idle_timeout, rotate_every=args.rotate_every,
+        store=args.store,
     )
     server.start()
     host, port = server.address
     print(f"repro.live: listening on {host}:{port} "
           f"(shards={args.shards}, backpressure={args.backpressure})",
           flush=True)
+    if args.store is not None:
+        print(f"repro.live: persisting sealed epochs to {args.store}",
+              flush=True)
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -251,6 +287,78 @@ def _cmd_publish(args: argparse.Namespace) -> int:
         print(f"publish: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+_NS_PER_SECOND = 1_000_000_000
+
+
+def _unix_to_ns(seconds: Optional[float]) -> Optional[int]:
+    return None if seconds is None else int(seconds * _NS_PER_SECOND)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from .store import HistogramStore
+
+    try:
+        store = HistogramStore.open(args.directory)
+    except ValueError as exc:
+        print(f"store: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.store_command == "inspect":
+            print(json.dumps(store.inspect(), indent=2, sort_keys=True))
+            return 0
+
+        if args.store_command == "compact":
+            retain_before = _unix_to_ns(args.retain_before)
+            summary = store.compact(retain_before_ns=retain_before)
+            if args.retire_before is not None:
+                summary["segments_retired"] = store.retire_segments(
+                    _unix_to_ns(args.retire_before)
+                )
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+
+        # query
+        start_ns = _unix_to_ns(args.start)
+        end_ns = _unix_to_ns(args.end)
+        if start_ns is None or end_ns is None:
+            info = store.inspect()
+            if info["records"] == 0:
+                print("store: nothing stored yet, nothing to query",
+                      file=sys.stderr)
+                return 1
+            if start_ns is None:
+                start_ns = info["start_ns"]
+            if end_ns is None:
+                end_ns = info["end_ns"] - 1  # half-open -> inclusive
+        try:
+            result = store.query(start_ns, end_ns, vm=args.vm,
+                                 vdisk=args.vdisk)
+        except ValueError as exc:
+            print(f"store: {exc}", file=sys.stderr)
+            return 1
+        if args.output == "openmetrics":
+            from .live.exposition import render_openmetrics
+
+            text = render_openmetrics(
+                result.service.collectors(),
+                {"query_records": result.records,
+                 "query_epochs": result.epochs},
+            )
+        else:
+            text = json.dumps(result.to_dict(), indent=2,
+                              sort_keys=True) + "\n"
+        if args.export is not None:
+            _atomic_write_text(args.export, text)
+            print(f"wrote {args.export}")
+        else:
+            print(text, end="")
+        return 0
+    finally:
+        store.close()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -326,6 +434,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="serve for a fixed time then drain and exit "
         "(default: run until interrupted)",
     )
+    serve_parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persist every sealed epoch to a durable histogram store "
+        "at DIR (created if missing)",
+    )
 
     publish_parser = subparsers.add_parser(
         "publish", help="stream a trace source to a running daemon"
@@ -365,9 +478,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the OpenMetrics exposition afterwards",
     )
 
+    store_parser = subparsers.add_parser(
+        "store", help="operate on a durable histogram store"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command",
+                                            required=True)
+
+    store_query = store_sub.add_parser(
+        "query", help="merge the epochs overlapping a time range"
+    )
+    store_query.add_argument("directory", help="store directory")
+    store_query.add_argument(
+        "--start", type=float, default=None, metavar="UNIX_SECONDS",
+        help="range start (default: earliest stored)",
+    )
+    store_query.add_argument(
+        "--end", type=float, default=None, metavar="UNIX_SECONDS",
+        help="range end, inclusive (default: latest stored)",
+    )
+    store_query.add_argument("--vm", default=None,
+                             help="restrict to one VM")
+    store_query.add_argument("--vdisk", default=None,
+                             help="restrict to one virtual disk")
+    store_query.add_argument(
+        "--output", choices=["json", "openmetrics"], default="json",
+        help="document format",
+    )
+    store_query.add_argument(
+        "--export", metavar="FILE", default=None,
+        help="write the document to FILE (atomic) instead of stdout",
+    )
+
+    store_compact = store_sub.add_parser(
+        "compact", help="fold epochs into coarser tiers"
+    )
+    store_compact.add_argument("directory", help="store directory")
+    store_compact.add_argument(
+        "--retain-before", type=float, default=None,
+        metavar="UNIX_SECONDS",
+        help="drop records wholly before this time during the rewrite",
+    )
+    store_compact.add_argument(
+        "--retire-before", type=float, default=None,
+        metavar="UNIX_SECONDS",
+        help="afterwards, unlink whole segments older than this time",
+    )
+
+    store_inspect = store_sub.add_parser(
+        "inspect", help="print segments, spans and WAL state"
+    )
+    store_inspect.add_argument("directory", help="store directory")
+
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "demo": _cmd_demo,
-                "serve": _cmd_serve, "publish": _cmd_publish}
+                "serve": _cmd_serve, "publish": _cmd_publish,
+                "store": _cmd_store}
     return handlers[args.command](args)
 
 

@@ -122,6 +122,40 @@ class MetricFamily:
             "writes": self.writes.to_dict(),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict, name: Optional[str] = None) -> "MetricFamily":
+        """Inverse of :meth:`to_dict`.
+
+        Only ``reads`` and ``writes`` are restored (``all`` is derived,
+        exactly as it is online).  ``name`` overrides the family name
+        recovered from the reads histogram's ``<name>_reads`` label.
+        """
+        reads = Histogram.from_dict(data["reads"])
+        writes = Histogram.from_dict(data["writes"])
+        if reads.scheme != writes.scheme:
+            raise ValueError(
+                f"reads scheme {reads.scheme.name!r} does not match "
+                f"writes scheme {writes.scheme.name!r}"
+            )
+        if name is None:
+            name = reads.name
+            if name.endswith("_reads"):
+                name = name[: -len("_reads")]
+        family = cls(reads.scheme, name)
+        family.reads = reads
+        family.writes = writes
+        return family
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MetricFamily)
+            and self.scheme == other.scheme
+            and self.reads == other.reads
+            and self.writes == other.writes
+        )
+
+    __hash__ = None  # mutable container
+
 
 class VscsiStatsCollector:
     """Online workload characterization state for one virtual disk.
@@ -598,11 +632,15 @@ class VscsiStatsCollector:
     def to_dict(self) -> Dict:
         """Full JSON-exportable snapshot of the collector."""
         data: Dict = {
+            "window_size": self.window_size,
+            "time_slot_ns": self.time_slot_ns,
             "commands": self.commands,
             "read_commands": self.read_commands,
             "write_commands": self.write_commands,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "first_arrival_ns": self.first_arrival_ns,
+            "last_arrival_ns": self.last_arrival_ns,
             "families": {
                 name: family.to_dict()
                 for name, family in self.families().items()
@@ -613,6 +651,71 @@ class VscsiStatsCollector:
         if self.latency_over_time is not None:
             data["latency_over_time"] = self.latency_over_time.to_dict()
         return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "VscsiStatsCollector":
+        """Inverse of :meth:`to_dict` — an *aggregate snapshot*.
+
+        Like :meth:`merge`, the restored collector carries no stream
+        coupling state (previous end block, look-behind ring, last
+        arrival): that state is deliberately not exported, so a
+        deserialized snapshot is for querying and merging, not for
+        continuing the command stream.  Documents written before the
+        configuration keys existed restore with the defaults (and the
+        time-series interval when present).
+        """
+        time_slot_ns = data.get("time_slot_ns")
+        if time_slot_ns is None:
+            series = data.get("outstanding_over_time")
+            time_slot_ns = series["interval_ns"] if series else 0
+        collector = cls(
+            window_size=data.get("window_size", DEFAULT_WINDOW_SIZE),
+            time_slot_ns=time_slot_ns,
+        )
+        for name in collector.families():
+            family_data = data["families"].get(name)
+            if family_data is None:
+                raise ValueError(f"snapshot is missing family {name!r}")
+            setattr(collector, name,
+                    MetricFamily.from_dict(family_data, name=name))
+        for series_name in ("outstanding_over_time", "latency_over_time"):
+            series = data.get(series_name)
+            if series is not None:
+                setattr(collector, series_name,
+                        TimeSeriesHistogram.from_dict(series))
+        collector.commands = data["commands"]
+        collector.read_commands = data["read_commands"]
+        collector.write_commands = data["write_commands"]
+        collector.bytes_read = data["bytes_read"]
+        collector.bytes_written = data["bytes_written"]
+        collector.first_arrival_ns = data.get("first_arrival_ns")
+        collector.last_arrival_ns = data.get("last_arrival_ns")
+        return collector
+
+    def __eq__(self, other: object) -> bool:
+        """Snapshot equality: configuration, every exported statistic.
+
+        The stream coupling state (previous end block, ring, last
+        arrival) is excluded, matching what :meth:`to_dict` exports.
+        """
+        if not isinstance(other, VscsiStatsCollector):
+            return NotImplemented
+        return (
+            self.window_size == other.window_size
+            and self.time_slot_ns == other.time_slot_ns
+            and self.commands == other.commands
+            and self.read_commands == other.read_commands
+            and self.write_commands == other.write_commands
+            and self.bytes_read == other.bytes_read
+            and self.bytes_written == other.bytes_written
+            and self.first_arrival_ns == other.first_arrival_ns
+            and self.last_arrival_ns == other.last_arrival_ns
+            and self.families() == other.families()
+            and self.outstanding_over_time == other.outstanding_over_time
+            and self.latency_over_time == other.latency_over_time
+        )
+
+    __hash__ = None  # mutable container
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -184,6 +184,14 @@ class TimeSeriesHistogram:
             merged._max_slot = other._max_slot
         return merged
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TimeSeriesHistogram)
+            and self.scheme == other.scheme
+            and self.interval_ns == other.interval_ns
+            and self._slots == other._slots
+        )
+
     def matrix(self) -> List[List[int]]:
         """Rows = time slots, columns = value bins (the paper's surface)."""
         return [list(self.slot(index).counts) for index in range(self.num_slots)]
@@ -222,6 +230,26 @@ class TimeSeriesHistogram:
             "interval_ns": self.interval_ns,
             "slots": {str(k): v.to_dict() for k, v in self._slots.items()},
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TimeSeriesHistogram":
+        """Inverse of :meth:`to_dict`."""
+        scheme = BinScheme(data["scheme"], data["edges"], data.get("unit", ""))
+        series = cls(scheme, data["interval_ns"], name=data.get("name"))
+        for key, hist_data in data["slots"].items():
+            slot = int(key)
+            if slot < 0:
+                raise ValueError(f"negative time slot {slot}")
+            hist = Histogram.from_dict(hist_data)
+            if hist.scheme != scheme:
+                raise ValueError(
+                    f"slot {slot} scheme {hist.scheme.name!r} does not "
+                    f"match series scheme {scheme.name!r}"
+                )
+            series._slots[slot] = hist
+            if slot > series._max_slot:
+                series._max_slot = slot
+        return series
 
     def nonzero_cells(self) -> List[Tuple[int, str, int]]:
         """``(slot, value_label, count)`` triples for populated cells."""

@@ -210,6 +210,57 @@ class HistogramService:
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
+    def to_dict(self) -> Dict:
+        """Full JSON-exportable snapshot of the service.
+
+        Unlike :meth:`export_json` (whose ``vm/vdisk`` keys are the
+        historical export format), disks are listed as explicit
+        ``{"vm", "vdisk", "stats"}`` entries so names containing ``/``
+        round-trip exactly.
+        """
+        return {
+            "window_size": self.window_size,
+            "time_slot_ns": self.time_slot_ns,
+            "enabled": self.enabled,
+            "disks": [
+                {"vm": vm, "vdisk": vdisk, "stats": collector.to_dict()}
+                for (vm, vdisk), collector in self.collectors()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "HistogramService":
+        """Inverse of :meth:`to_dict`.
+
+        Restored collectors are aggregate snapshots (see
+        :meth:`VscsiStatsCollector.from_dict`); the per-disk enable
+        registry is gating state, not data, and is not serialized.
+        """
+        service = cls(window_size=data["window_size"],
+                      time_slot_ns=data["time_slot_ns"])
+        service.enabled = bool(data.get("enabled", False))
+        for entry in data["disks"]:
+            key = (entry["vm"], entry["vdisk"])
+            if key in service._collectors:
+                raise ValueError(f"duplicate disk entry {key!r}")
+            service._collectors[key] = VscsiStatsCollector.from_dict(
+                entry["stats"]
+            )
+        return service
+
+    def __eq__(self, other: object) -> bool:
+        """Snapshot equality: configuration and per-disk collectors."""
+        if not isinstance(other, HistogramService):
+            return NotImplemented
+        return (
+            self.window_size == other.window_size
+            and self.time_slot_ns == other.time_slot_ns
+            and self.enabled == other.enabled
+            and self._collectors == other._collectors
+        )
+
+    __hash__ = None  # mutable container
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"
         return f"<HistogramService {state} disks={len(self._collectors)}>"

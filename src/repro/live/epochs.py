@@ -29,21 +29,42 @@ __all__ = ["Epoch", "EpochLedger"]
 class Epoch:
     """One sealed collection interval."""
 
-    __slots__ = ("index", "service", "records", "sealed_unix")
+    __slots__ = ("index", "service", "records", "start_unix",
+                 "sealed_unix", "persisted")
 
     def __init__(self, index: int, service: HistogramService,
-                 records: int, sealed_unix: float):
+                 records: int, sealed_unix: float,
+                 start_unix: Optional[float] = None):
         self.index = index
         self.service = service
         self.records = records
+        #: When this epoch opened (previous rotation, or ledger birth).
+        self.start_unix = sealed_unix if start_unix is None else start_unix
         self.sealed_unix = sealed_unix
+        #: Whether the epoch has been written to an attached store.
+        self.persisted = False
+
+    @property
+    def span_ns(self) -> Tuple[int, int]:
+        """Half-open ``[start_ns, end_ns)`` span in integer nanoseconds.
+
+        Guaranteed non-empty even for an instantaneous rotation, so a
+        store append never sees a degenerate interval.
+        """
+        start_ns = int(self.start_unix * 1e9)
+        end_ns = int(self.sealed_unix * 1e9)
+        if end_ns <= start_ns:
+            end_ns = start_ns + 1
+        return start_ns, end_ns
 
     def to_dict(self) -> Dict:
         """Per-disk snapshot dicts plus epoch metadata."""
         return {
             "epoch": self.index,
             "records": self.records,
+            "start_unix": self.start_unix,
             "sealed_unix": self.sealed_unix,
+            "persisted": self.persisted,
             "disks": {
                 f"{vm}/{vdisk}": collector.to_dict()
                 for (vm, vdisk), collector in self.service.collectors()
@@ -56,7 +77,8 @@ class EpochLedger:
 
     def __init__(self, window_size: int = DEFAULT_WINDOW_SIZE,
                  time_slot_ns: int = DEFAULT_TIME_SLOT_NS,
-                 max_epochs: Optional[int] = None):
+                 max_epochs: Optional[int] = None,
+                 store=None):
         self.window_size = window_size
         self.time_slot_ns = time_slot_ns
         #: Keep at most this many sealed epochs (older ones are folded
@@ -67,7 +89,31 @@ class EpochLedger:
         self.retired = HistogramService(window_size=window_size,
                                         time_slot_ns=time_slot_ns)
         self.retired_records = 0
+        #: ``(epoch_index, start_unix, sealed_unix, records)`` for every
+        #: epoch folded into ``retired`` — retirement keeps lifetime
+        #: totals exact but used to forget *when* the data was
+        #: collected; these spans preserve the covered intervals.
+        self.retired_spans: List[Tuple[int, float, float, int]] = []
         self._next_index = 0
+        #: Moment the currently filling epoch opened.
+        self._epoch_open_unix = time.time()
+        #: Optional :class:`~repro.store.HistogramStore` — every sealed
+        #: epoch is appended (and a not-yet-persisted epoch is written
+        #: before being retired).  The ledger never closes it.
+        self.store = store
+
+    def attach_store(self, store) -> None:
+        """Persist sealed epochs to ``store`` from now on."""
+        self.store = store
+
+    def _persist(self, epoch: Epoch) -> None:
+        if self.store is None or epoch.persisted:
+            return
+        start_ns, end_ns = epoch.span_ns
+        for (vm, vdisk), collector in epoch.service.collectors():
+            self.store.append(vm, vdisk, start_ns, end_ns, collector)
+        self.store.sync()
+        epoch.persisted = True
 
     def __len__(self) -> int:
         return len(self.epochs)
@@ -85,13 +131,24 @@ class EpochLedger:
         for key, collector in pairs:
             service.adopt(key, collector)
             records += collector.commands
-        epoch = Epoch(self._next_index, service, records, time.time())
+        now = time.time()
+        epoch = Epoch(self._next_index, service, records, now,
+                      start_unix=self._epoch_open_unix)
+        self._epoch_open_unix = now
         self._next_index += 1
         self.epochs.append(epoch)
+        self._persist(epoch)
         if self.max_epochs is not None and len(self.epochs) > self.max_epochs:
             old = self.epochs.pop(0)
+            # A store attached after ``old`` was sealed hasn't seen it
+            # yet — write it out before the individual epoch vanishes
+            # into the retired aggregate.
+            self._persist(old)
             self.retired = self.retired.merge(old.service)
             self.retired_records += old.records
+            self.retired_spans.append(
+                (old.index, old.start_unix, old.sealed_unix, old.records)
+            )
         return epoch
 
     def epoch(self, index: int) -> Epoch:
@@ -124,3 +181,44 @@ class EpochLedger:
     def records(self) -> int:
         """Records across every sealed (and retired) epoch."""
         return self.retired_records + sum(e.records for e in self.epochs)
+
+    @property
+    def covered_span_unix(self) -> Tuple[Optional[float], Optional[float]]:
+        """``(start, end)`` of everything the ledger has ever sealed,
+        retired epochs included — ``(None, None)`` before the first
+        seal."""
+        starts = [span[1] for span in self.retired_spans]
+        starts += [e.start_unix for e in self.epochs]
+        ends = [span[2] for span in self.retired_spans]
+        ends += [e.sealed_unix for e in self.epochs]
+        if not starts:
+            return None, None
+        return min(starts), max(ends)
+
+    def to_dict(self) -> Dict:
+        """Ledger summary: retained epoch metadata plus the retired
+        spans, so retirement no longer erases *when* history happened
+        (only its per-epoch resolution)."""
+        start, end = self.covered_span_unix
+        return {
+            "epochs_sealed": self._next_index,
+            "epochs_retained": len(self.epochs),
+            "records": self.records,
+            "covered_start_unix": start,
+            "covered_end_unix": end,
+            "retired": {
+                "records": self.retired_records,
+                "spans": [
+                    {"epoch": index, "start_unix": s, "sealed_unix": e,
+                     "records": records}
+                    for index, s, e, records in self.retired_spans
+                ],
+            },
+            "retained": [
+                {"epoch": e.index, "start_unix": e.start_unix,
+                 "sealed_unix": e.sealed_unix, "records": e.records,
+                 "persisted": e.persisted}
+                for e in self.epochs
+            ],
+            "persisting": self.store is not None,
+        }

@@ -161,6 +161,14 @@ class LiveStatsServer:
         The daemon's reason to exist is ingestion, so unlike the
         in-hypervisor service it starts enabled; pass ``False`` to
         require an explicit ``enable``.
+    store:
+        Optional durable history: a directory path (opened or created
+        as a :class:`~repro.store.HistogramStore`) or an already-open
+        store.  Every sealed epoch is appended to it, so rotation
+        doubles as persistence and ``repro store query`` can read the
+        daemon's history after it exits.  A path-opened store is owned
+        (checkpointed and closed) by the server; a passed-in instance
+        is the caller's to close.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -172,7 +180,8 @@ class LiveStatsServer:
                  backend: Optional[str] = None,
                  rotate_every: Optional[float] = None,
                  max_epochs: Optional[int] = None,
-                 start_enabled: bool = True):
+                 start_enabled: bool = True,
+                 store=None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if queue_depth < 1:
@@ -191,9 +200,17 @@ class LiveStatsServer:
         self.backend = backend
         self.rotate_every = rotate_every
 
+        self._owns_store = False
+        if store is not None and not hasattr(store, "append"):
+            from ..store import HistogramStore
+            store = HistogramStore.open_or_create(store)
+            self._owns_store = True
+        self.store = store
+
         self.ledger = EpochLedger(window_size=window_size,
                                   time_slot_ns=time_slot_ns,
-                                  max_epochs=max_epochs)
+                                  max_epochs=max_epochs,
+                                  store=store)
         # The enable/disable registry is a HistogramService used purely
         # for its gating semantics (global flag + per-disk overrides),
         # so the daemon's surface matches the in-hypervisor tool's.
@@ -313,6 +330,9 @@ class LiveStatsServer:
             pairs = self._seal_all_streams()
             if pairs:
                 self.ledger.seal(pairs)
+        if self.store is not None and self._owns_store:
+            self.store.checkpoint()
+            self.store.close()
 
     def _schedule_rotate(self) -> None:
         if self._stopping.is_set():
@@ -642,6 +662,18 @@ class LiveStatsServer:
                 "connections_total": self.connections_total,
                 "queue_depths": [w.queue.qsize() for w in self._workers],
             }
+        info["ledger"] = self.ledger.to_dict()
+        # Full per-epoch snapshots aren't operational data; keep the
+        # info document to metadata.
+        info["ledger"].pop("retained", None)
+        if self.store is not None:
+            entry = {"path": str(self.store.path),
+                     "owned": self._owns_store,
+                     "closed": self.store.closed}
+            if not self.store.closed:
+                entry["records"] = len(self.store)
+                entry["epochs"] = self.store.epochs
+            info["store"] = entry
         return info
 
     def export_json(self) -> str:

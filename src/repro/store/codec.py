@@ -1,0 +1,314 @@
+"""Binary snapshot codec for collector and service snapshots.
+
+The store's unit of persistence is one :class:`VscsiStatsCollector`
+snapshot (one disk, one epoch).  A snapshot serializes as a *framed
+record*::
+
+    +---------+------------+---------------------+--------------------+
+    | magic 8 | u32 hdrlen | header JSON (utf-8) | counts payload ... |
+    +---------+------------+---------------------+--------------------+
+
+The header carries everything small and exact-precision (configuration,
+scalar counters, per-histogram count/total/min/max — Python ints, so no
+64-bit truncation of extreme totals) plus, for every histogram, the
+offset of its bin-counts buffer inside the payload.  The payload is the
+raw little-endian ``int64`` bin-counts arrays back to back, written
+with ``ndarray.tobytes`` and read back with ``np.frombuffer`` straight
+off a segment's ``mmap`` — the same zero-copy style as
+:mod:`repro.parallel.trace_io`.  Bin counts are observation counts, so
+``int64`` is exact by construction; a count that somehow exceeds it is
+rejected loudly rather than wrapped.
+
+Everything degrades to ``struct`` when numpy is missing; only the
+speed changes, never a byte of the record.
+
+Round-trip identity — ``collector_from_bytes(collector_to_bytes(c)) ==
+c`` and the service-level analogue — is Hypothesis-pinned in
+``tests/test_store_codec.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bins import BinScheme
+from ..core.collector import MetricFamily, VscsiStatsCollector
+from ..core.histogram import Histogram
+from ..core.histogram2d import TimeSeriesHistogram
+from ..core.service import HistogramService
+
+try:  # numpy is optional; the struct path writes identical bytes
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the pure path
+    _np = None
+
+__all__ = [
+    "COLLECTOR_MAGIC",
+    "SERVICE_MAGIC",
+    "collector_from_bytes",
+    "collector_to_bytes",
+    "service_from_bytes",
+    "service_to_bytes",
+]
+
+COLLECTOR_MAGIC = b"RPHCOL1\n"
+SERVICE_MAGIC = b"RPHSVC1\n"
+_MAGIC_LEN = 8
+_HDRLEN = struct.Struct("<I")
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: The two optional time-resolved histograms, in serialization order.
+_SERIES_NAMES = ("outstanding_over_time", "latency_over_time")
+
+
+def _counts_to_bytes(counts: List[int]) -> bytes:
+    """Bin counts as raw little-endian int64 — the payload unit."""
+    for value in counts:
+        if not (_INT64_MIN <= value <= _INT64_MAX):
+            raise ValueError(
+                f"bin count {value} does not fit int64; snapshot is corrupt"
+            )
+    if _np is not None:
+        return _np.asarray(counts, dtype="<i8").tobytes()
+    return struct.pack(f"<{len(counts)}q", *counts)
+
+
+def _counts_from_buffer(data, offset: int, n: int) -> List[int]:
+    """Read ``n`` int64 counts at ``offset`` (zero-copy view, then
+    Python ints so downstream arithmetic is exact)."""
+    end = offset + 8 * n
+    if end > len(data):
+        raise ValueError("truncated snapshot record: counts past the end")
+    if _np is not None:
+        return _np.frombuffer(data, dtype="<i8", count=n,
+                              offset=offset).tolist()
+    return list(struct.unpack_from(f"<{n}q", data, offset))
+
+
+class _PayloadWriter:
+    """Accumulates counts buffers, handing out payload offsets."""
+
+    def __init__(self):
+        self.chunks: List[bytes] = []
+        self.offset = 0
+
+    def add(self, counts: List[int]) -> int:
+        chunk = _counts_to_bytes(counts)
+        offset = self.offset
+        self.chunks.append(chunk)
+        self.offset += len(chunk)
+        return offset
+
+
+def _histogram_header(hist: Histogram, payload: _PayloadWriter) -> Dict:
+    return {
+        "name": hist.name,
+        "count": hist.count,
+        "total": hist.total,
+        "min": hist.min,
+        "max": hist.max,
+        "bins": len(hist.counts),
+        "off": payload.add(hist.counts),
+    }
+
+
+def _histogram_from_header(desc: Dict, scheme: BinScheme, data,
+                           payload_base: int) -> Histogram:
+    hist = Histogram(scheme, name=desc.get("name"))
+    if desc["bins"] != scheme.num_bins:
+        raise ValueError(
+            f"histogram has {desc['bins']} bins but scheme "
+            f"{scheme.name!r} defines {scheme.num_bins}"
+        )
+    hist.counts = _counts_from_buffer(data, payload_base + desc["off"],
+                                      desc["bins"])
+    hist.count = desc["count"]
+    hist.total = desc["total"]
+    hist.min = desc["min"]
+    hist.max = desc["max"]
+    return hist
+
+
+def _scheme_header(scheme: BinScheme) -> Dict:
+    return {"scheme": scheme.name, "edges": list(scheme.edges),
+            "unit": scheme.unit}
+
+
+def _scheme_from_header(desc: Dict) -> BinScheme:
+    return BinScheme(desc["scheme"], desc["edges"], desc.get("unit", ""))
+
+
+def _frame(magic: bytes, header: Dict, payload: _PayloadWriter) -> bytes:
+    header_bytes = json.dumps(header, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8")
+    return b"".join(
+        [magic, _HDRLEN.pack(len(header_bytes)), header_bytes]
+        + payload.chunks
+    )
+
+
+def _unframe(data, magic: bytes, kind: str) -> Tuple[Dict, int]:
+    """Validate the frame and return ``(header, payload_base)``."""
+    if len(data) < _MAGIC_LEN + _HDRLEN.size:
+        raise ValueError(f"not a {kind} record: too short")
+    if bytes(data[:_MAGIC_LEN]) != magic:
+        raise ValueError(f"not a {kind} record: bad magic")
+    (header_len,) = _HDRLEN.unpack_from(data, _MAGIC_LEN)
+    payload_base = _MAGIC_LEN + _HDRLEN.size + header_len
+    if payload_base > len(data):
+        raise ValueError(f"truncated {kind} record: header past the end")
+    header = json.loads(
+        bytes(data[_MAGIC_LEN + _HDRLEN.size:payload_base]).decode("utf-8")
+    )
+    return header, payload_base
+
+
+# ----------------------------------------------------------------------
+# Collector records
+# ----------------------------------------------------------------------
+def collector_to_bytes(collector: VscsiStatsCollector) -> bytes:
+    """Serialize one collector snapshot as a framed binary record."""
+    payload = _PayloadWriter()
+    families: Dict[str, Dict] = {}
+    for name, family in collector.families().items():
+        desc = _scheme_header(family.scheme)
+        desc["reads"] = _histogram_header(family.reads, payload)
+        desc["writes"] = _histogram_header(family.writes, payload)
+        families[name] = desc
+    series: Dict[str, Dict] = {}
+    for series_name in _SERIES_NAMES:
+        ts = getattr(collector, series_name)
+        if ts is None:
+            continue
+        desc = _scheme_header(ts.scheme)
+        desc["name"] = ts.name
+        desc["interval_ns"] = ts.interval_ns
+        desc["slots"] = {
+            str(slot): _histogram_header(hist, payload)
+            for slot, hist in sorted(ts._slots.items())
+        }
+        series[series_name] = desc
+    header = {
+        "format": "repro-collector-v1",
+        "window_size": collector.window_size,
+        "time_slot_ns": collector.time_slot_ns,
+        "commands": collector.commands,
+        "read_commands": collector.read_commands,
+        "write_commands": collector.write_commands,
+        "bytes_read": collector.bytes_read,
+        "bytes_written": collector.bytes_written,
+        "first_arrival_ns": collector.first_arrival_ns,
+        "last_arrival_ns": collector.last_arrival_ns,
+        "families": families,
+        "series": series,
+    }
+    return _frame(COLLECTOR_MAGIC, header, payload)
+
+
+def collector_from_bytes(data) -> VscsiStatsCollector:
+    """Inverse of :func:`collector_to_bytes`.
+
+    ``data`` may be any bytes-like object — a ``bytes``, a
+    ``memoryview`` over a segment ``mmap`` — and is never copied except
+    for the small JSON header.  Like
+    :meth:`~repro.core.collector.VscsiStatsCollector.from_dict`, the
+    result is an aggregate snapshot with no stream coupling state.
+    """
+    header, payload_base = _unframe(data, COLLECTOR_MAGIC, "collector")
+    if header.get("format") != "repro-collector-v1":
+        raise ValueError(
+            f"unsupported collector record format {header.get('format')!r}"
+        )
+    collector = VscsiStatsCollector(
+        window_size=header["window_size"],
+        time_slot_ns=header["time_slot_ns"],
+    )
+    for name in collector.families():
+        desc = header["families"].get(name)
+        if desc is None:
+            raise ValueError(f"snapshot record is missing family {name!r}")
+        scheme = _scheme_from_header(desc)
+        family = MetricFamily(scheme, name)
+        family.reads = _histogram_from_header(desc["reads"], scheme, data,
+                                              payload_base)
+        family.writes = _histogram_from_header(desc["writes"], scheme, data,
+                                               payload_base)
+        setattr(collector, name, family)
+    for series_name in _SERIES_NAMES:
+        desc = header["series"].get(series_name)
+        if desc is None:
+            setattr(collector, series_name, None)
+            continue
+        scheme = _scheme_from_header(desc)
+        ts = TimeSeriesHistogram(scheme, desc["interval_ns"],
+                                 name=desc.get("name"))
+        for key, hist_desc in desc["slots"].items():
+            slot = int(key)
+            ts._slots[slot] = _histogram_from_header(hist_desc, scheme, data,
+                                                     payload_base)
+            if slot > ts._max_slot:
+                ts._max_slot = slot
+        setattr(collector, series_name, ts)
+    collector.commands = header["commands"]
+    collector.read_commands = header["read_commands"]
+    collector.write_commands = header["write_commands"]
+    collector.bytes_read = header["bytes_read"]
+    collector.bytes_written = header["bytes_written"]
+    collector.first_arrival_ns = header["first_arrival_ns"]
+    collector.last_arrival_ns = header["last_arrival_ns"]
+    return collector
+
+
+# ----------------------------------------------------------------------
+# Service records
+# ----------------------------------------------------------------------
+def service_to_bytes(service: HistogramService) -> bytes:
+    """Serialize a whole service (every disk) as one framed record.
+
+    The body is the concatenation of per-disk collector records; the
+    header indexes them by ``(vm, vdisk)`` with byte extents, so a
+    reader can decode one disk without touching the rest.
+    """
+    payload = _PayloadWriter()
+    disks = []
+    for (vm, vdisk), collector in service.collectors():
+        record = collector_to_bytes(collector)
+        disks.append({"vm": vm, "vdisk": vdisk,
+                      "off": payload.offset, "len": len(record)})
+        payload.chunks.append(record)
+        payload.offset += len(record)
+    header = {
+        "format": "repro-service-v1",
+        "window_size": service.window_size,
+        "time_slot_ns": service.time_slot_ns,
+        "enabled": service.enabled,
+        "disks": disks,
+    }
+    return _frame(SERVICE_MAGIC, header, payload)
+
+
+def service_from_bytes(data) -> HistogramService:
+    """Inverse of :func:`service_to_bytes`."""
+    header, payload_base = _unframe(data, SERVICE_MAGIC, "service")
+    if header.get("format") != "repro-service-v1":
+        raise ValueError(
+            f"unsupported service record format {header.get('format')!r}"
+        )
+    service = HistogramService(window_size=header["window_size"],
+                               time_slot_ns=header["time_slot_ns"])
+    service.enabled = bool(header["enabled"])
+    view = memoryview(data) if not isinstance(data, memoryview) else data
+    for entry in header["disks"]:
+        start = payload_base + entry["off"]
+        end = start + entry["len"]
+        if end > len(data):
+            raise ValueError("truncated service record: disk past the end")
+        key = (entry["vm"], entry["vdisk"])
+        if service.collector(*key) is not None:
+            raise ValueError(f"duplicate disk entry {key!r}")
+        service._collectors[key] = collector_from_bytes(view[start:end])
+    return service

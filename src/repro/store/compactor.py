@@ -1,0 +1,154 @@
+"""Background compaction and retention for the histogram store.
+
+Raw epochs arrive at tier 0 (one record per disk per rotation, often
+seconds to a minute wide).  Compaction folds adjacent records into
+coarser tiers — by default 1 minute → 15 minutes → 1 hour — by
+*merging* them with the same associative
+:meth:`~repro.core.collector.VscsiStatsCollector.merge` API parallel
+replay and the live daemon use.  A compacted record is therefore
+**byte-identical** to merging its source epochs directly: compaction
+changes the granularity at which history can be addressed, never a
+single bin count.  (The query engine's transitive-closure selection
+keeps range queries exact across any compaction schedule — see
+:mod:`repro.store.query`.)
+
+Grouping rule: at tier step ``t`` every record of tier ``<= t`` is
+assigned the window ``start_ns // tiers_ns[t]``; windows holding two or
+more records for the same ``(vm, vdisk)`` merge into one tier ``t + 1``
+record spanning their union.  Lone records pass through untouched, so
+compaction is idempotent and a freshly compacted store re-compacts to
+itself.
+
+Retention is age-based and two-speed: :func:`select_retained` drops
+individual records during a compaction rewrite (exact), and the store's
+``retire_segments`` unlinks whole segment files whose every record has
+aged out (cheap, no rewrite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["DEFAULT_TIERS_NS", "CompactionPlan", "MergeGroup",
+           "plan_compaction", "select_retained"]
+
+#: Default tier widths: 1 minute, 15 minutes, 1 hour (nanoseconds).
+DEFAULT_TIERS_NS = (60_000_000_000, 900_000_000_000, 3_600_000_000_000)
+
+
+class MergeGroup:
+    """``>= 2`` record handles destined to merge into one coarser record."""
+
+    __slots__ = ("vm", "vdisk", "start_ns", "end_ns", "tier", "members")
+
+    def __init__(self, vm, vdisk, start_ns, end_ns, tier, members):
+        self.vm = vm
+        self.vdisk = vdisk
+        #: Union span of the members (half-open).
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        #: Target tier of the merged record.
+        self.tier = tier
+        #: The underlying record handles, every one of them tier-flat
+        #: (groups of groups are flattened during planning).
+        self.members = members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MergeGroup {self.vm}/{self.vdisk} tier={self.tier} "
+                f"members={len(self.members)}>")
+
+
+class CompactionPlan:
+    """The outcome of planning: which records merge into what."""
+
+    __slots__ = ("merged", "passthrough")
+
+    def __init__(self, merged: List[MergeGroup], passthrough: List):
+        #: Groups that merge into one coarser record each.
+        self.merged = merged
+        #: Records left exactly as they are.
+        self.passthrough = passthrough
+
+    @property
+    def merges(self) -> int:
+        return len(self.merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CompactionPlan merges={len(self.merged)} "
+                f"passthrough={len(self.passthrough)}>")
+
+
+class _Granule:
+    """A planning-time record: either one handle or a merged group."""
+
+    __slots__ = ("vm", "vdisk", "start_ns", "end_ns", "tier", "members")
+
+    def __init__(self, vm, vdisk, start_ns, end_ns, tier, members):
+        self.vm = vm
+        self.vdisk = vdisk
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.tier = tier
+        self.members = members  # underlying record handles
+
+
+def plan_compaction(handles: Iterable,
+                    tiers_ns: Sequence[int] = DEFAULT_TIERS_NS,
+                    ) -> CompactionPlan:
+    """Group records into tier merges (pure planning, no I/O).
+
+    ``handles`` expose ``vm``, ``vdisk``, ``start_ns``, ``end_ns`` and
+    ``tier``.  Returns a :class:`CompactionPlan`; the store executes it
+    by merging each group's collectors in ``(start_ns, seq)`` order and
+    rewriting the segment set.
+    """
+    for width in tiers_ns:
+        if width <= 0:
+            raise ValueError(f"tier width must be positive, got {width}")
+    granules = [
+        _Granule(h.vm, h.vdisk, h.start_ns, h.end_ns, h.tier, [h])
+        for h in handles
+    ]
+    for step, width in enumerate(tiers_ns):
+        buckets: Dict[Tuple, List[_Granule]] = {}
+        passthrough: List[_Granule] = []
+        for granule in granules:
+            if granule.tier > step:
+                passthrough.append(granule)
+                continue
+            key = (granule.vm, granule.vdisk, granule.start_ns // width)
+            buckets.setdefault(key, []).append(granule)
+        granules = passthrough
+        for (vm, vdisk, _window), members in buckets.items():
+            if len(members) == 1:
+                granules.append(members[0])
+                continue
+            flat = [h for g in members for h in g.members]
+            granules.append(_Granule(
+                vm, vdisk,
+                min(g.start_ns for g in members),
+                max(g.end_ns for g in members),
+                step + 1,
+                flat,
+            ))
+    merged = [
+        MergeGroup(g.vm, g.vdisk, g.start_ns, g.end_ns, g.tier, g.members)
+        for g in granules if len(g.members) > 1
+    ]
+    passthrough = [g.members[0] for g in granules if len(g.members) == 1]
+    return CompactionPlan(merged, passthrough)
+
+
+def select_retained(handles: Iterable,
+                    before_ns: Optional[int]) -> Tuple[List, List]:
+    """Split records into ``(kept, dropped)`` by an age cutoff.
+
+    A record is dropped when its whole span ends at or before
+    ``before_ns``; ``None`` keeps everything.
+    """
+    if before_ns is None:
+        return list(handles), []
+    kept, dropped = [], []
+    for h in handles:
+        (dropped if h.end_ns <= before_ns else kept).append(h)
+    return kept, dropped

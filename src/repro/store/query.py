@@ -1,0 +1,135 @@
+"""Range-query engine over stored epoch records.
+
+Records are half-open time intervals ``[start_ns, end_ns)``; a query
+``[t0, t1]`` (inclusive, in integer nanoseconds) selects every record
+that overlaps it and then takes the *transitive closure*: the selected
+span is widened to the union of the selected records and re-matched
+until a fixpoint, so no unselected record overlaps the reported
+covered span.  That closure is what makes compaction invisible:
+
+    For any epoch sequence and any compaction schedule,
+    ``query(t0, t1).service`` equals the bin-for-bin merge of exactly
+    the **raw** epochs overlapping the returned covered span.
+
+Proof sketch: every raw epoch lives inside exactly one stored record
+(compaction only merges whole records), a record's span is contained in
+the covered span iff it was selected (fixpoint), and the merge API is
+exact and associative at every layer.  Because consecutive epochs abut
+(``end_ns`` of one equals ``start_ns`` of the next) and records are
+half-open, adjacency alone never chains the closure — only records that
+genuinely straddle a selected span pull more in.  The identity is
+Hypothesis-pinned in ``tests/test_store.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.service import HistogramService
+
+__all__ = ["QueryResult", "range_query"]
+
+
+class QueryResult:
+    """Outcome of a range query: a merged service plus its provenance."""
+
+    __slots__ = ("service", "covered_start_ns", "covered_end_ns",
+                 "records", "epochs")
+
+    def __init__(self, service: HistogramService,
+                 covered_start_ns: Optional[int],
+                 covered_end_ns: Optional[int],
+                 records: int, epochs: int):
+        #: Exact merge of every selected record, one collector per disk.
+        self.service = service
+        #: Span actually covered (union of selected records), or
+        #: ``(None, None)`` when nothing matched.
+        self.covered_start_ns = covered_start_ns
+        self.covered_end_ns = covered_end_ns
+        #: Stored records merged (post-compaction granules).
+        self.records = records
+        #: Raw source epochs those records aggregate.
+        self.epochs = epochs
+
+    @property
+    def disks(self) -> List[Tuple[str, str]]:
+        """Sorted ``(vm, vdisk)`` keys present in the result."""
+        return [key for key, _collector in self.service.collectors()]
+
+    def to_dict(self) -> Dict:
+        """JSON-ready document (per-disk snapshot dicts + provenance)."""
+        return {
+            "covered_start_ns": self.covered_start_ns,
+            "covered_end_ns": self.covered_end_ns,
+            "records": self.records,
+            "epochs": self.epochs,
+            "disks": {
+                f"{vm}/{vdisk}": collector.to_dict()
+                for (vm, vdisk), collector in self.service.collectors()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<QueryResult epochs={self.epochs} "
+                f"records={self.records} disks={len(self.disks)} "
+                f"span=[{self.covered_start_ns},{self.covered_end_ns})>")
+
+
+def range_query(handles: Iterable, start_ns: int, end_ns: int,
+                vm: Optional[str] = None,
+                vdisk: Optional[str] = None) -> QueryResult:
+    """Select, close over, and merge records overlapping ``[t0, t1]``.
+
+    ``handles`` yields record handles exposing ``vm``, ``vdisk``,
+    ``start_ns``, ``end_ns``, ``records``, ``seq`` and ``load()``
+    (returning a collector snapshot) — the store's
+    :meth:`~repro.store.store.HistogramStore.records` iterator.
+    ``vm``/``vdisk`` filter the disk set before selection.
+    """
+    if end_ns < start_ns:
+        raise ValueError(
+            f"query end {end_ns} precedes query start {start_ns}"
+        )
+    candidates = [
+        h for h in handles
+        if (vm is None or h.vm == vm) and (vdisk is None or h.vdisk == vdisk)
+    ]
+    # Half-open fixpoint selection: [q_start, q_end) with q_end = t1 + 1
+    # so an inclusive integer t1 behaves as the paper of record (records
+    # whose span *touches* t1 are in, records starting at t1 + 1 are
+    # out).
+    q_start = start_ns
+    q_end = end_ns + 1
+    chosen: List = []
+    changed = True
+    while changed:
+        changed = False
+        remaining = []
+        for h in candidates:
+            if h.start_ns < q_end and h.end_ns > q_start:
+                chosen.append(h)
+                changed = True
+                if h.start_ns < q_start:
+                    q_start = h.start_ns
+                if h.end_ns > q_end:
+                    q_end = h.end_ns
+            else:
+                remaining.append(h)
+        candidates = remaining
+
+    if not chosen:
+        return QueryResult(HistogramService(), None, None, 0, 0)
+
+    chosen.sort(key=lambda h: (h.vm, h.vdisk, h.start_ns, h.end_ns, h.seq))
+    covered_start = min(h.start_ns for h in chosen)
+    covered_end = max(h.end_ns for h in chosen)
+    epochs = sum(h.records for h in chosen)
+
+    first = chosen[0].load()
+    service = HistogramService(window_size=first.window_size,
+                               time_slot_ns=first.time_slot_ns)
+    service.adopt((chosen[0].vm, chosen[0].vdisk), first)
+    for h in chosen[1:]:
+        service.adopt((h.vm, h.vdisk), h.load())
+    return QueryResult(service, covered_start, covered_end,
+                       len(chosen), epochs)

@@ -1,0 +1,193 @@
+"""Immutable, mmap-read segment files with a footer index.
+
+A segment is the sealed form of a batch of WAL records::
+
+    +---------+----------------------+-------------+------------------+
+    | magic 8 | record payloads ...  | footer JSON | u64 off, u32 len,|
+    |         | (collector records)  |             | u32 crc32(footer)|
+    +---------+----------------------+-------------+------------------+
+
+The footer indexes every record by ``(vm, vdisk, epoch_start_ns,
+epoch_end_ns)`` plus its tier, source-epoch count, global sequence
+number and byte extent.  Readers mmap the file and hand out zero-copy
+``memoryview`` slices; a record's CRC32 (stored in the footer entry) is
+verified on access, so bit rot surfaces as a loud :class:`ValueError`
+instead of silently wrong histograms.
+
+Segments are written to a temp file, fsynced and atomically renamed
+into place — a crash mid-write leaves a ``*.tmp`` stray that the store
+sweeps on open, never a half-valid segment.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.collector import VscsiStatsCollector
+from .codec import collector_from_bytes
+from .wal import _fsync_dir
+
+__all__ = ["SEGMENT_MAGIC", "SegmentEntry", "SegmentReader", "write_segment"]
+
+SEGMENT_MAGIC = b"RPHSEG1\n"
+_TRAILER = struct.Struct("<QII")  # footer offset, footer length, crc32
+_FOOTER_FORMAT = "repro-histstore-segment-v1"
+
+
+class SegmentEntry:
+    """One record's index entry inside a segment footer."""
+
+    __slots__ = ("seq", "vm", "vdisk", "start_ns", "end_ns", "tier",
+                 "records", "offset", "length", "crc")
+
+    def __init__(self, seq: int, vm: str, vdisk: str, start_ns: int,
+                 end_ns: int, tier: int, records: int, offset: int,
+                 length: int, crc: int):
+        self.seq = seq
+        self.vm = vm
+        self.vdisk = vdisk
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.tier = tier
+        self.records = records
+        self.offset = offset
+        self.length = length
+        self.crc = crc
+
+    def meta(self) -> Dict:
+        """Index metadata as a JSON-ready dict (footer form)."""
+        return {"seq": self.seq, "vm": self.vm, "vdisk": self.vdisk,
+                "start_ns": self.start_ns, "end_ns": self.end_ns,
+                "tier": self.tier, "records": self.records,
+                "off": self.offset, "len": self.length, "crc": self.crc}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SegmentEntry seq={self.seq} {self.vm}/{self.vdisk} "
+                f"[{self.start_ns},{self.end_ns}) tier={self.tier}>")
+
+
+def write_segment(path, records: Iterable[Tuple[Dict, bytes]]) -> List[Dict]:
+    """Write ``(meta, payload)`` records as one immutable segment.
+
+    ``meta`` must carry ``seq``, ``vm``, ``vdisk``, ``start_ns``,
+    ``end_ns``, ``tier`` and ``records``.  The segment is staged as
+    ``<path>.tmp``, fsynced, then atomically renamed to ``path`` (and
+    the directory entry fsynced), so the final name never refers to a
+    partial file.  Returns the footer entries written.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    entries: List[Dict] = []
+    with open(tmp, "wb") as fileobj:
+        fileobj.write(SEGMENT_MAGIC)
+        offset = len(SEGMENT_MAGIC)
+        for meta, payload in records:
+            entry = dict(meta)
+            entry["off"] = offset
+            entry["len"] = len(payload)
+            entry["crc"] = zlib.crc32(payload) & 0xFFFFFFFF
+            entries.append(entry)
+            fileobj.write(payload)
+            offset += len(payload)
+        footer = json.dumps(
+            {"format": _FOOTER_FORMAT, "entries": entries},
+            sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        fileobj.write(footer)
+        fileobj.write(_TRAILER.pack(offset, len(footer),
+                                    zlib.crc32(footer) & 0xFFFFFFFF))
+        fileobj.flush()
+        os.fsync(fileobj.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+    return entries
+
+
+class SegmentReader:
+    """Zero-copy reader over one sealed segment file."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        try:
+            size = os.fstat(self._file.fileno()).st_size
+            if size < len(SEGMENT_MAGIC) + _TRAILER.size:
+                raise ValueError(f"not a histogram-store segment: "
+                                 f"{self.path} too short")
+            self._mmap = mmap.mmap(self._file.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+            self._view = memoryview(self._mmap)
+            if bytes(self._view[:len(SEGMENT_MAGIC)]) != SEGMENT_MAGIC:
+                raise ValueError(
+                    f"not a histogram-store segment: {self.path}"
+                )
+            footer_off, footer_len, footer_crc = _TRAILER.unpack_from(
+                self._view, size - _TRAILER.size
+            )
+            if footer_off + footer_len + _TRAILER.size != size:
+                raise ValueError(
+                    f"corrupt segment trailer in {self.path}"
+                )
+            footer_bytes = bytes(self._view[footer_off:footer_off + footer_len])
+            if zlib.crc32(footer_bytes) & 0xFFFFFFFF != footer_crc:
+                raise ValueError(f"corrupt segment footer in {self.path}")
+            footer = json.loads(footer_bytes.decode("utf-8"))
+            if footer.get("format") != _FOOTER_FORMAT:
+                raise ValueError(
+                    f"unsupported segment format "
+                    f"{footer.get('format')!r} in {self.path}"
+                )
+            self.entries: List[SegmentEntry] = [
+                SegmentEntry(e["seq"], e["vm"], e["vdisk"], e["start_ns"],
+                             e["end_ns"], e["tier"], e["records"],
+                             e["off"], e["len"], e["crc"])
+                for e in footer["entries"]
+            ]
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def payload(self, entry: SegmentEntry):
+        """CRC-checked zero-copy view of one record's bytes."""
+        view = self._view[entry.offset:entry.offset + entry.length]
+        if zlib.crc32(view) & 0xFFFFFFFF != entry.crc:
+            raise ValueError(
+                f"corrupt record (seq {entry.seq}) in {self.path}: "
+                f"CRC mismatch"
+            )
+        return view
+
+    def collector(self, entry: SegmentEntry) -> VscsiStatsCollector:
+        """Decode one record into a collector snapshot."""
+        return collector_from_bytes(self.payload(entry))
+
+    def close(self) -> None:
+        view = getattr(self, "_view", None)
+        if view is not None:
+            view.release()
+            self._view = None
+        mapped = getattr(self, "_mmap", None)
+        if mapped is not None:
+            mapped.close()
+            self._mmap = None
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SegmentReader {self.path.name} entries={len(self.entries)}>"

@@ -1,0 +1,544 @@
+"""``HistogramStore`` — the embedded, crash-safe epoch store facade.
+
+Directory layout::
+
+    <store>/
+      MANIFEST.json        format marker, tier widths, live segment list
+      wal.log              append-only WAL (torn tail truncated on open)
+      seg-00000001.seg     immutable mmap-read segments (footer-indexed)
+      ...
+
+Write path: every appended epoch snapshot is framed (meta JSON +
+:mod:`~repro.store.codec` collector record) into the WAL; once
+``wal_seal_records`` accumulate, :meth:`checkpoint` seals them into a
+new segment and truncates the WAL.  The crash discipline is strictly
+ordered — segment durable, then manifest durable, then WAL truncated —
+and every record carries a monotone global sequence number, so a crash
+between any two steps recovers without loss *or* duplication (WAL
+records whose ``seq`` already appears in a segment are discarded on
+open).  Stray ``*.tmp`` / unreferenced segment files from a crashed
+rewrite are swept on open.
+
+Read path: :meth:`records` iterates segment footers plus the unsealed
+WAL tail; :meth:`query` runs the transitive-closure range engine
+(:mod:`repro.store.query`) over them.  :meth:`compact` executes a
+:mod:`~repro.store.compactor` plan as a full atomic rewrite.
+
+Opening anything that is not a store — a missing directory, an empty
+one, a directory holding foreign files — raises :class:`ValueError`
+naming the path; the store never plants files outside a directory it
+created (mirroring ``read_binary_columns``'s magic/manifest checks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.collector import VscsiStatsCollector
+from ..core.service import HistogramService
+from .codec import collector_from_bytes, collector_to_bytes
+from .compactor import DEFAULT_TIERS_NS, plan_compaction, select_retained
+from .query import QueryResult, range_query
+from .segments import SegmentReader, write_segment
+from .wal import WriteAheadLog, _fsync_dir
+
+__all__ = ["MANIFEST_NAME", "HistogramStore", "StoreRecord"]
+
+MANIFEST_NAME = "MANIFEST.json"
+_MANIFEST_FORMAT = "repro-histstore-v1"
+_SEGMENT_GLOB = "seg-*.seg"
+_WAL_NAME = "wal.log"
+_METALEN = struct.Struct("<I")
+
+
+def _atomic_write_json(path: Path, document: Dict) -> None:
+    """Durable atomic JSON replace (tmp + fsync + rename + dir fsync)."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fileobj:
+        json.dump(document, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+        fileobj.flush()
+        os.fsync(fileobj.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+class StoreRecord:
+    """Handle to one stored record (segment entry or WAL tail entry)."""
+
+    __slots__ = ("seq", "vm", "vdisk", "start_ns", "end_ns", "tier",
+                 "records", "_loader")
+
+    def __init__(self, seq, vm, vdisk, start_ns, end_ns, tier, records,
+                 loader):
+        self.seq = seq
+        self.vm = vm
+        self.vdisk = vdisk
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.tier = tier
+        #: Raw source epochs aggregated in this record (1 for tier 0).
+        self.records = records
+        self._loader = loader
+
+    def load(self) -> VscsiStatsCollector:
+        """Decode the record into a collector snapshot."""
+        return self._loader()
+
+    def meta(self) -> Dict:
+        return {"seq": self.seq, "vm": self.vm, "vdisk": self.vdisk,
+                "start_ns": self.start_ns, "end_ns": self.end_ns,
+                "tier": self.tier, "records": self.records}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<StoreRecord seq={self.seq} {self.vm}/{self.vdisk} "
+                f"[{self.start_ns},{self.end_ns}) tier={self.tier}>")
+
+
+def _wal_frame(meta: Dict, record: bytes) -> bytes:
+    meta_bytes = json.dumps(meta, sort_keys=True,
+                            separators=(",", ":")).encode("utf-8")
+    return _METALEN.pack(len(meta_bytes)) + meta_bytes + record
+
+
+def _wal_unframe(payload: bytes) -> Tuple[Dict, bytes]:
+    if len(payload) < _METALEN.size:
+        raise ValueError("corrupt WAL payload: no meta header")
+    (meta_len,) = _METALEN.unpack_from(payload, 0)
+    body = _METALEN.size + meta_len
+    if body > len(payload):
+        raise ValueError("corrupt WAL payload: meta past the end")
+    meta = json.loads(payload[_METALEN.size:body].decode("utf-8"))
+    return meta, payload[body:]
+
+
+class HistogramStore:
+    """Durable time-series store of histogram epoch snapshots."""
+
+    def __init__(self, *_args, **_kwargs):
+        raise TypeError(
+            "use HistogramStore.create(path), HistogramStore.open(path) "
+            "or HistogramStore.open_or_create(path)"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def _build(cls, path: Path, manifest: Dict, fsync: str,
+               fsync_batch: int, wal_seal_records: int) -> "HistogramStore":
+        if wal_seal_records < 1:
+            raise ValueError(
+                f"wal_seal_records must be >= 1, got {wal_seal_records}"
+            )
+        store = object.__new__(cls)
+        store.path = path
+        store._manifest = manifest
+        store._wal_seal_records = wal_seal_records
+        store._readers: List[SegmentReader] = []
+        store._wal_records: List[Tuple[Dict, bytes]] = []
+        store._closed = False
+        store.appended_total = 0
+        store.checkpoints_total = 0
+        store.compactions_total = 0
+        store.recovered_wal_records = 0
+        store.truncated_wal_bytes = 0
+
+        # Sweep strays from a crashed segment write / compaction.
+        live = set(manifest["segments"])
+        for stray in path.glob("*.tmp"):
+            stray.unlink()
+        for candidate in path.glob(_SEGMENT_GLOB):
+            if candidate.name not in live:
+                candidate.unlink()
+
+        for name in manifest["segments"]:
+            store._readers.append(SegmentReader(path / name))
+        max_seq = 0
+        for reader in store._readers:
+            for entry in reader.entries:
+                if entry.seq > max_seq:
+                    max_seq = entry.seq
+
+        store._wal = WriteAheadLog(path / _WAL_NAME, fsync=fsync,
+                                   fsync_batch=fsync_batch)
+        store.truncated_wal_bytes = store._wal.truncated_bytes
+        for payload in store._wal.recovered:
+            meta, record = _wal_unframe(payload)
+            if meta["seq"] <= max_seq:
+                # Crash landed between sealing a segment and resetting
+                # the WAL: the record is already durable in a segment.
+                continue
+            store._wal_records.append((meta, bytes(record)))
+            if meta["seq"] > max_seq:
+                max_seq = meta["seq"]
+        store.recovered_wal_records = len(store._wal_records)
+        store._next_seq = max_seq + 1
+        return store
+
+    @classmethod
+    def create(cls, path, tiers_ns: Sequence[int] = DEFAULT_TIERS_NS,
+               fsync: str = "batch", fsync_batch: int = 64,
+               wal_seal_records: int = 512) -> "HistogramStore":
+        """Initialize a new store in ``path`` (missing or empty dir)."""
+        path = Path(path)
+        if path.exists():
+            if not path.is_dir():
+                raise ValueError(
+                    f"cannot create histogram store at {path}: "
+                    f"not a directory"
+                )
+            if (path / MANIFEST_NAME).exists():
+                raise ValueError(
+                    f"cannot create histogram store at {path}: "
+                    f"already a histogram store (use open)"
+                )
+            if any(path.iterdir()):
+                raise ValueError(
+                    f"cannot create histogram store at {path}: "
+                    f"directory is not empty and holds no store manifest"
+                )
+        else:
+            path.mkdir(parents=True)
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "version": 1,
+            "created_unix": time.time(),
+            "tiers_ns": [int(w) for w in tiers_ns],
+            "next_segment": 1,
+            "segments": [],
+        }
+        _atomic_write_json(path / MANIFEST_NAME, manifest)
+        return cls._build(path, manifest, fsync, fsync_batch,
+                          wal_seal_records)
+
+    @classmethod
+    def open(cls, path, fsync: str = "batch", fsync_batch: int = 64,
+             wal_seal_records: int = 512) -> "HistogramStore":
+        """Open an existing store; never creates or modifies a foreign
+        directory — a missing, empty or unrecognized ``path`` raises
+        :class:`ValueError` naming it."""
+        path = Path(path)
+        if not path.is_dir():
+            raise ValueError(f"not a histogram store: {path} "
+                             f"is not a directory")
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ValueError(
+                f"not a histogram store: {path} has no {MANIFEST_NAME}"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"not a histogram store: {path} has an unreadable "
+                f"{MANIFEST_NAME} ({exc})"
+            ) from None
+        if not isinstance(manifest, dict) \
+                or manifest.get("format") != _MANIFEST_FORMAT:
+            raise ValueError(
+                f"not a histogram store: {path} manifest format is "
+                f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r}, "
+                f"expected {_MANIFEST_FORMAT!r}"
+            )
+        return cls._build(path, manifest, fsync, fsync_batch,
+                          wal_seal_records)
+
+    @classmethod
+    def open_or_create(cls, path, **kwargs) -> "HistogramStore":
+        """Open ``path`` as a store, creating it when missing/empty."""
+        path = Path(path)
+        if path.is_dir() and (path / MANIFEST_NAME).exists():
+            return cls.open(path, **kwargs)
+        return cls.create(path, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    @property
+    def tiers_ns(self) -> Tuple[int, ...]:
+        return tuple(self._manifest["tiers_ns"])
+
+    def append(self, vm: str, vdisk: str, start_ns: int, end_ns: int,
+               collector: VscsiStatsCollector, sync: bool = False) -> int:
+        """Persist one epoch snapshot; returns its sequence number.
+
+        ``[start_ns, end_ns)`` is the epoch's half-open span in integer
+        nanoseconds.  With ``sync=True`` the record is fsynced before
+        returning regardless of the store's batching policy — the
+        zero-acknowledged-loss durability point.
+        """
+        self._check_open()
+        start_ns = int(start_ns)
+        end_ns = int(end_ns)
+        if end_ns <= start_ns:
+            raise ValueError(
+                f"epoch span must be non-empty: [{start_ns}, {end_ns})"
+            )
+        if start_ns < 0:
+            raise ValueError(f"negative epoch start {start_ns}")
+        meta = {"seq": self._next_seq, "vm": str(vm), "vdisk": str(vdisk),
+                "start_ns": start_ns, "end_ns": end_ns, "tier": 0,
+                "records": 1}
+        record = collector_to_bytes(collector)
+        self._wal.append(_wal_frame(meta, record))
+        if sync:
+            self._wal.sync()
+        self._next_seq += 1
+        self.appended_total += 1
+        self._wal_records.append((meta, record))
+        if len(self._wal_records) >= self._wal_seal_records:
+            self.checkpoint()
+        return meta["seq"]
+
+    def append_epoch(self, service: HistogramService, start_ns: int,
+                     end_ns: int, sync: bool = False) -> int:
+        """Persist every disk of a sealed epoch service; returns the
+        number of records appended."""
+        count = 0
+        for (vm, vdisk), collector in service.collectors():
+            self.append(vm, vdisk, start_ns, end_ns, collector)
+            count += 1
+        if sync and count:
+            self._wal.sync()
+        return count
+
+    def sync(self) -> None:
+        """Force the WAL durability point forward to now."""
+        self._check_open()
+        self._wal.sync()
+
+    def checkpoint(self) -> Optional[str]:
+        """Seal the WAL tail into a new immutable segment.
+
+        Returns the new segment's file name, or ``None`` when the WAL
+        is empty.  Ordering — segment durable, manifest durable, WAL
+        truncated — makes every crash window recoverable.
+        """
+        self._check_open()
+        if not self._wal_records:
+            return None
+        name = f"seg-{self._manifest['next_segment']:08d}.seg"
+        write_segment(self.path / name, self._wal_records)
+        self._manifest["next_segment"] += 1
+        self._manifest["segments"].append(name)
+        _atomic_write_json(self.path / MANIFEST_NAME, self._manifest)
+        self._wal.reset()
+        self._wal_records = []
+        self._readers.append(SegmentReader(self.path / name))
+        self.checkpoints_total += 1
+        return name
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[StoreRecord]:
+        """Every live record: sealed segments first, then the WAL tail."""
+        self._check_open()
+        for reader in self._readers:
+            for entry in reader.entries:
+                yield StoreRecord(
+                    entry.seq, entry.vm, entry.vdisk, entry.start_ns,
+                    entry.end_ns, entry.tier, entry.records,
+                    lambda r=reader, e=entry: r.collector(e),
+                )
+        for meta, record in self._wal_records:
+            yield StoreRecord(
+                meta["seq"], meta["vm"], meta["vdisk"], meta["start_ns"],
+                meta["end_ns"], meta["tier"], meta["records"],
+                lambda data=record: collector_from_bytes(data),
+            )
+
+    def __len__(self) -> int:
+        """Live record count (post-compaction granules)."""
+        return (sum(len(r.entries) for r in self._readers)
+                + len(self._wal_records))
+
+    @property
+    def epochs(self) -> int:
+        """Raw source epochs represented across all live records."""
+        return sum(h.records for h in self.records())
+
+    def disks(self) -> List[Tuple[str, str]]:
+        """Sorted distinct ``(vm, vdisk)`` keys present in the store."""
+        return sorted({(h.vm, h.vdisk) for h in self.records()})
+
+    def query(self, start_ns: int, end_ns: int,
+              vm: Optional[str] = None,
+              vdisk: Optional[str] = None) -> QueryResult:
+        """Range query ``[start_ns, end_ns]`` (see
+        :func:`repro.store.query.range_query` for the exactness
+        contract)."""
+        return range_query(self.records(), start_ns, end_ns,
+                           vm=vm, vdisk=vdisk)
+
+    # ------------------------------------------------------------------
+    # Compaction / retention
+    # ------------------------------------------------------------------
+    def compact(self, retain_before_ns: Optional[int] = None,
+                tiers_ns: Optional[Sequence[int]] = None) -> Dict:
+        """Fold records into coarser tiers (and optionally drop aged
+        ones), rewriting the segment set atomically.
+
+        Returns a summary dict.  The rewrite is all-or-nothing: the new
+        segment lands durably, then the manifest flips to it, then old
+        segment files are unlinked — a crash at any point leaves either
+        the old store or the new one, never a blend.
+        """
+        self._check_open()
+        self.checkpoint()
+        handles = sorted(self.records(),
+                         key=lambda h: (h.start_ns, h.end_ns, h.vm,
+                                        h.vdisk, h.seq))
+        kept, dropped = select_retained(handles, retain_before_ns)
+        plan = plan_compaction(
+            kept, self.tiers_ns if tiers_ns is None else tiers_ns
+        )
+        summary = {
+            "records_before": len(handles),
+            "records_dropped": len(dropped),
+            "merges": plan.merges,
+            "records_after": len(plan.passthrough) + plan.merges,
+        }
+        if not plan.merged and not dropped and len(self._readers) <= 1:
+            summary["rewritten"] = False
+            return summary
+
+        new_records: List[Tuple[Dict, bytes]] = []
+        for h in plan.passthrough:
+            payload = h._loader()  # decode...
+            new_records.append((h.meta(), collector_to_bytes(payload)))
+        for group in plan.merged:
+            members = sorted(group.members,
+                             key=lambda h: (h.start_ns, h.end_ns, h.seq))
+            merged = members[0].load()
+            for member in members[1:]:
+                merged = merged.merge(member.load())
+            meta = {"seq": self._next_seq, "vm": group.vm,
+                    "vdisk": group.vdisk, "start_ns": group.start_ns,
+                    "end_ns": group.end_ns, "tier": group.tier,
+                    "records": sum(m.records for m in members)}
+            self._next_seq += 1
+            new_records.append((meta, collector_to_bytes(merged)))
+        new_records.sort(key=lambda pair: (pair[0]["start_ns"],
+                                           pair[0]["end_ns"],
+                                           pair[0]["vm"], pair[0]["vdisk"],
+                                           pair[0]["seq"]))
+
+        old_names = list(self._manifest["segments"])
+        if new_records:
+            name = f"seg-{self._manifest['next_segment']:08d}.seg"
+            write_segment(self.path / name, new_records)
+            self._manifest["next_segment"] += 1
+            self._manifest["segments"] = [name]
+        else:
+            self._manifest["segments"] = []
+        _atomic_write_json(self.path / MANIFEST_NAME, self._manifest)
+        for reader in self._readers:
+            reader.close()
+        self._readers = []
+        for old in old_names:
+            (self.path / old).unlink()
+        if new_records:
+            self._readers.append(SegmentReader(self.path / name))
+        self.compactions_total += 1
+        summary["rewritten"] = True
+        return summary
+
+    def retire_segments(self, before_ns: int) -> List[str]:
+        """Unlink whole segments whose every record ended at or before
+        ``before_ns`` — age-based retention without a rewrite.  Returns
+        the deleted segment file names."""
+        self._check_open()
+        doomed, survivors, kept_readers = [], [], []
+        for reader in self._readers:
+            if reader.entries and all(e.end_ns <= before_ns
+                                      for e in reader.entries):
+                doomed.append(reader)
+            else:
+                survivors.append(reader.path.name)
+                kept_readers.append(reader)
+        if not doomed:
+            return []
+        self._manifest["segments"] = survivors
+        _atomic_write_json(self.path / MANIFEST_NAME, self._manifest)
+        names = []
+        for reader in doomed:
+            names.append(reader.path.name)
+            reader.close()
+            reader.path.unlink()
+        self._readers = kept_readers
+        return names
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def inspect(self) -> Dict:
+        """Operational summary: segments, spans, tiers, WAL state."""
+        self._check_open()
+        segments = []
+        for reader in self._readers:
+            entries = reader.entries
+            segments.append({
+                "file": reader.path.name,
+                "bytes": reader.path.stat().st_size,
+                "records": len(entries),
+                "epochs": sum(e.records for e in entries),
+                "tiers": sorted({e.tier for e in entries}),
+                "start_ns": min((e.start_ns for e in entries),
+                                default=None),
+                "end_ns": max((e.end_ns for e in entries), default=None),
+            })
+        all_handles = list(self.records())
+        return {
+            "path": str(self.path),
+            "format": _MANIFEST_FORMAT,
+            "tiers_ns": list(self.tiers_ns),
+            "segments": segments,
+            "wal": {
+                "records": len(self._wal_records),
+                "bytes": self._wal.size,
+                "recovered_records": self.recovered_wal_records,
+                "truncated_bytes": self.truncated_wal_bytes,
+            },
+            "records": len(all_handles),
+            "epochs": sum(h.records for h in all_handles),
+            "start_ns": min((h.start_ns for h in all_handles),
+                            default=None),
+            "end_ns": max((h.end_ns for h in all_handles), default=None),
+            "disks": [f"{vm}/{vdisk}" for vm, vdisk in self.disks()],
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"histogram store {self.path} is closed")
+
+    def close(self) -> None:
+        """Flush the WAL and release every mapping."""
+        if self._closed:
+            return
+        self._wal.close()
+        for reader in self._readers:
+            reader.close()
+        self._closed = True
+
+    def __enter__(self) -> "HistogramStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (f"<HistogramStore {state} {self.path} "
+                f"segments={len(self._readers)} "
+                f"wal={len(self._wal_records)}>")

@@ -1,0 +1,177 @@
+"""Append-only write-ahead log with torn-tail crash recovery.
+
+Every store append lands in the WAL first.  The file is a magic header
+followed by framed records::
+
+    +----------+   +---------+--------------+-------------+   ...
+    | magic 8  |   | u32 len | u32 crc32    | payload     |
+    +----------+   +---------+--------------+-------------+
+
+Durability is a policy, not an accident:
+
+* ``fsync="always"`` — every append is flushed and fsynced before it
+  returns; an acknowledged record survives ``kill -9``.
+* ``fsync="batch"`` (default) — appends are flushed to the OS on every
+  call but fsynced once per ``fsync_batch`` records (and on
+  :meth:`sync`/:meth:`close`); the durability point is the last sync.
+* ``fsync="never"`` — flush only; for bulk loads and tests.
+
+Recovery (:func:`scan_wal`, run automatically on open) walks the frame
+chain and stops at the first record whose length runs past the end of
+the file or whose CRC32 does not match — the signature of a crash
+mid-write.  The torn tail is truncated in place and every record before
+it is returned intact, so an interrupted writer loses at most the
+records it was never acknowledged for.  ``tests/test_store_wal.py``
+pins this by truncating a log at *every byte offset* of its final
+record.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+__all__ = ["WAL_MAGIC", "WriteAheadLog", "scan_wal"]
+
+WAL_MAGIC = b"RPHWAL1\n"
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+_FSYNC_POLICIES = ("always", "batch", "never")
+
+
+def _fsync_dir(path: Path) -> None:
+    """Make a directory entry durable (best effort off Linux)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def scan_wal(path) -> Tuple[List[bytes], int, int]:
+    """Scan a WAL file, returning ``(payloads, good_size, torn_bytes)``.
+
+    ``good_size`` is the offset of the first unreadable byte (the
+    truncation point); ``torn_bytes`` is how much tail follows it.
+    Raises :class:`ValueError` for a file that is not a WAL at all
+    (bad magic) — corruption *past* the magic is a torn tail, a file
+    without the magic is a foreign file.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if len(raw) < len(WAL_MAGIC) or raw[:len(WAL_MAGIC)] != WAL_MAGIC:
+        raise ValueError(f"not a histogram-store WAL: {path}")
+    payloads: List[bytes] = []
+    pos = len(WAL_MAGIC)
+    size = len(raw)
+    while pos + _FRAME.size <= size:
+        length, crc = _FRAME.unpack_from(raw, pos)
+        end = pos + _FRAME.size + length
+        if end > size:
+            break  # torn: the frame claims bytes the file doesn't have
+        payload = raw[pos + _FRAME.size:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break  # torn: the payload was only partially persisted
+        payloads.append(payload)
+        pos = end
+    return payloads, pos, size - pos
+
+
+class WriteAheadLog:
+    """Appendable frame log over one file.
+
+    Opening an existing log performs recovery: the torn tail (if any)
+    is truncated and the surviving payloads are exposed as
+    :attr:`recovered`.  Opening a path that exists but does not carry
+    the WAL magic raises :class:`ValueError` — the store never
+    scribbles over a foreign file.
+    """
+
+    def __init__(self, path, fsync: str = "batch", fsync_batch: int = 64):
+        if fsync not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {_FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_batch < 1:
+            raise ValueError(f"fsync_batch must be >= 1, got {fsync_batch}")
+        self.path = Path(path)
+        self.fsync = fsync
+        self.fsync_batch = fsync_batch
+        #: Payloads recovered from an existing log at open time.
+        self.recovered: List[bytes] = []
+        #: Bytes of torn tail truncated during recovery.
+        self.truncated_bytes = 0
+        self._unsynced = 0
+
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self.recovered, good_size, self.truncated_bytes = scan_wal(
+                self.path
+            )
+            self._file = open(self.path, "r+b")
+            if self.truncated_bytes:
+                self._file.truncate(good_size)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            self._file.seek(good_size)
+        else:
+            self._file = open(self.path, "wb")
+            self._file.write(WAL_MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            _fsync_dir(self.path.parent)
+
+    # ------------------------------------------------------------------
+    def append(self, payload: bytes) -> None:
+        """Append one framed record, honouring the fsync policy."""
+        self._file.write(_FRAME.pack(len(payload),
+                                     zlib.crc32(payload) & 0xFFFFFFFF))
+        self._file.write(payload)
+        if self.fsync == "always":
+            self.sync()
+            return
+        self._file.flush()
+        self._unsynced += 1
+        if self.fsync == "batch" and self._unsynced >= self.fsync_batch:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush and fsync — the durability point for batched appends."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._unsynced = 0
+
+    def reset(self) -> None:
+        """Truncate back to the magic (after a checkpoint seals the
+        records into a segment) and make the truncation durable."""
+        self._file.truncate(len(WAL_MAGIC))
+        self._file.seek(len(WAL_MAGIC))
+        self.sync()
+        self.recovered = []
+
+    @property
+    def size(self) -> int:
+        """Current file offset (magic + framed records)."""
+        return self._file.tell()
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self.sync()
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WriteAheadLog {self.path} size={self.size}>"

@@ -1,0 +1,559 @@
+"""End-to-end tests for the durable histogram store.
+
+The centerpiece is the Hypothesis-pinned compaction identity: for any
+generated epoch sequence and any interleaving of checkpoints and
+compactions (default or custom tiers), a range query returns exactly
+the merge of the raw epochs overlapping its covered span — compaction
+changes storage granularity, never a bin count.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collector import VscsiStatsCollector
+from repro.core.service import HistogramService
+from repro.live.epochs import EpochLedger
+from repro.store import (
+    DEFAULT_TIERS_NS,
+    HistogramStore,
+    plan_compaction,
+    select_retained,
+)
+
+SECOND_NS = 1_000_000_000
+
+
+def make_collector(ops):
+    """Replay ``(dt, is_read, lba, nblocks, qd, latency)`` tuples."""
+    collector = VscsiStatsCollector()
+    t = 1_000
+    for dt, is_read, lba, nblocks, outstanding, latency_ns in ops:
+        t += dt
+        collector.on_issue(t, is_read, lba, nblocks, outstanding)
+        collector.on_complete(t + latency_ns, is_read, latency_ns)
+    return collector
+
+
+def simple_collector(seed, n=12):
+    ops = []
+    state = seed * 2654435761 % (1 << 31) or 1
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        ops.append((100 + state % 5000, state % 2 == 0,
+                    state % (1 << 24), 1 << (state % 5 + 3),
+                    state % 8, 10_000 + state % 1_000_000))
+    return make_collector(ops)
+
+
+def merge_service(epochs):
+    """Exact merge of raw ``(vm, vdisk, start, end, collector)`` epochs."""
+    service = HistogramService()
+    for vm, vdisk, _start, _end, collector in epochs:
+        service.adopt((vm, vdisk), collector.copy())
+    return service
+
+
+class TestLifecycle:
+    def test_create_append_query_reopen(self, tmp_path):
+        path = tmp_path / "store"
+        with HistogramStore.create(path) as store:
+            for i in range(5):
+                store.append("vm1", "d0", i * SECOND_NS,
+                             (i + 1) * SECOND_NS, simple_collector(i))
+            assert len(store) == 5
+            result = store.query(0, 5 * SECOND_NS - 1)
+            assert result.epochs == 5
+            assert result.covered_start_ns == 0
+            assert result.covered_end_ns == 5 * SECOND_NS
+            store.checkpoint()
+        with HistogramStore.open(path) as store:
+            assert len(store) == 5
+            assert store.epochs == 5
+            assert store.disks() == [("vm1", "d0")]
+
+    def test_unsealed_wal_records_survive_close(self, tmp_path):
+        path = tmp_path / "store"
+        with HistogramStore.create(path) as store:
+            store.append("vm1", "d0", 0, SECOND_NS, simple_collector(1))
+            # no checkpoint — the record lives only in the WAL
+        with HistogramStore.open(path) as store:
+            assert len(store) == 1
+            assert store.query(0, SECOND_NS).epochs == 1
+
+    def test_auto_checkpoint_at_seal_threshold(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s",
+                                   wal_seal_records=3) as store:
+            for i in range(7):
+                store.append("vm", "d", i * SECOND_NS, (i + 1) * SECOND_NS,
+                             simple_collector(i))
+            assert store.checkpoints_total == 2
+            assert len(store._wal_records) == 1
+
+    def test_append_rejects_empty_span(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            with pytest.raises(ValueError, match="non-empty"):
+                store.append("vm", "d", SECOND_NS, SECOND_NS,
+                             simple_collector(1))
+
+    def test_closed_store_rejects_operations(self, tmp_path):
+        store = HistogramStore.create(tmp_path / "s")
+        store.close()
+        with pytest.raises(ValueError, match="closed"):
+            store.append("vm", "d", 0, 1, simple_collector(1))
+
+    def test_query_matches_raw_merge(self, tmp_path):
+        epochs = []
+        with HistogramStore.create(tmp_path / "s") as store:
+            for i in range(4):
+                for vm in ("vmA", "vmB"):
+                    collector = simple_collector(i * 10 + hash(vm) % 7)
+                    store.append(vm, "d0", i * SECOND_NS,
+                                 (i + 1) * SECOND_NS, collector)
+                    epochs.append((vm, "d0", i * SECOND_NS,
+                                   (i + 1) * SECOND_NS, collector))
+            result = store.query(0, 4 * SECOND_NS)
+            assert result.service == merge_service(epochs)
+
+    def test_vm_vdisk_filters(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            store.append("vmA", "d0", 0, SECOND_NS, simple_collector(1))
+            store.append("vmB", "d0", 0, SECOND_NS, simple_collector(2))
+            store.append("vmB", "d1", 0, SECOND_NS, simple_collector(3))
+            assert store.query(0, SECOND_NS, vm="vmA").disks \
+                == [("vmA", "d0")]
+            assert store.query(0, SECOND_NS, vm="vmB").records == 2
+            assert store.query(0, SECOND_NS, vdisk="d1").disks \
+                == [("vmB", "d1")]
+
+    def test_empty_query(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            store.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+            result = store.query(50 * SECOND_NS, 60 * SECOND_NS)
+            assert result.records == 0
+            assert result.covered_start_ns is None
+            assert list(result.service.collectors()) == []
+
+
+class TestOpenValidation:
+    def test_open_missing_directory(self, tmp_path):
+        missing = tmp_path / "nope"
+        with pytest.raises(ValueError, match=str(missing)):
+            HistogramStore.open(missing)
+
+    def test_open_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="no MANIFEST"):
+            HistogramStore.open(empty)
+
+    def test_open_foreign_directory(self, tmp_path):
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / "data.txt").write_text("hello")
+        with pytest.raises(ValueError, match=str(foreign)):
+            HistogramStore.open(foreign)
+
+    def test_open_bad_manifest_json(self, tmp_path):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(ValueError, match="unreadable"):
+            HistogramStore.open(bad)
+
+    def test_open_wrong_format_marker(self, tmp_path):
+        wrong = tmp_path / "wrong"
+        wrong.mkdir()
+        (wrong / "MANIFEST.json").write_text(
+            json.dumps({"format": "someone-elses-db"})
+        )
+        with pytest.raises(ValueError, match="someone-elses-db"):
+            HistogramStore.open(wrong)
+
+    def test_create_refuses_nonempty_foreign_dir(self, tmp_path):
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / "data.txt").write_text("hello")
+        with pytest.raises(ValueError, match="not empty"):
+            HistogramStore.create(foreign)
+
+    def test_create_refuses_existing_store(self, tmp_path):
+        path = tmp_path / "s"
+        HistogramStore.create(path).close()
+        with pytest.raises(ValueError, match="already"):
+            HistogramStore.create(path)
+
+    def test_open_or_create_round_trip(self, tmp_path):
+        path = tmp_path / "s"
+        store = HistogramStore.open_or_create(path)
+        store.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+        store.checkpoint()
+        store.close()
+        with HistogramStore.open_or_create(path) as again:
+            assert len(again) == 1
+
+    def test_stray_tmp_and_orphan_segments_swept(self, tmp_path):
+        path = tmp_path / "s"
+        with HistogramStore.create(path) as store:
+            store.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+            store.checkpoint()
+        (path / "seg-00000009.seg.tmp").write_bytes(b"partial")
+        (path / "seg-00000042.seg").write_bytes(b"orphaned")
+        with HistogramStore.open(path) as store:
+            assert len(store) == 1
+        assert not (path / "seg-00000009.seg.tmp").exists()
+        assert not (path / "seg-00000042.seg").exists()
+
+
+class TestCompaction:
+    def test_default_tiers_fold_epochs(self, tmp_path):
+        epochs = []
+        with HistogramStore.create(tmp_path / "s") as store:
+            # 30 epochs of 10s -> five 1-minute windows worth of data.
+            for i in range(30):
+                collector = simple_collector(i)
+                span = (i * 10 * SECOND_NS, (i + 1) * 10 * SECOND_NS)
+                store.append("vm", "d", span[0], span[1], collector)
+                epochs.append(("vm", "d", span[0], span[1], collector))
+            before = store.query(0, 300 * SECOND_NS).service
+            summary = store.compact()
+            assert summary["rewritten"]
+            assert summary["records_after"] < summary["records_before"]
+            after = store.query(0, 300 * SECOND_NS).service
+            assert after == before
+            assert after == merge_service(epochs)
+            assert store.epochs == 30  # provenance preserved
+
+    def test_compaction_is_idempotent(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            for i in range(12):
+                store.append("vm", "d", i * 10 * SECOND_NS,
+                             (i + 1) * 10 * SECOND_NS, simple_collector(i))
+            store.compact()
+            state = [h.meta() for h in store.records()]
+            summary = store.compact()
+            assert not summary["rewritten"]
+            assert [h.meta() for h in store.records()] == state
+
+    def test_retention_drops_old_records(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            for i in range(10):
+                store.append("vm", "d", i * SECOND_NS, (i + 1) * SECOND_NS,
+                             simple_collector(i))
+            summary = store.compact(retain_before_ns=5 * SECOND_NS)
+            assert summary["records_dropped"] == 5
+            assert store.epochs == 5
+            result = store.query(0, 10 * SECOND_NS)
+            assert result.covered_start_ns == 5 * SECOND_NS
+
+    def test_retire_segments(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            store.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+            store.checkpoint()
+            store.append("vm", "d", SECOND_NS, 2 * SECOND_NS,
+                         simple_collector(2))
+            store.checkpoint()
+            retired = store.retire_segments(SECOND_NS)
+            assert len(retired) == 1
+            assert len(store) == 1
+            assert store.retire_segments(0) == []
+
+    def test_plan_respects_tier_boundaries(self):
+        class H:
+            def __init__(self, vm, start, end, tier=0):
+                self.vm, self.vdisk = vm, "d"
+                self.start_ns, self.end_ns, self.tier = start, end, tier
+
+        minute = 60 * SECOND_NS
+        handles = [H("vm", 0, 30 * SECOND_NS),
+                   H("vm", 30 * SECOND_NS, minute),
+                   H("vm", minute, minute + 30 * SECOND_NS)]
+        plan = plan_compaction(handles)
+        # First two share the minute window; the third is 15m-windowed
+        # with the merged pair at the next step, so everything folds.
+        assert plan.merges >= 1
+        grouped = {id(m) for g in plan.merged for m in g.members}
+        assert id(handles[0]) in grouped and id(handles[1]) in grouped
+
+    def test_plan_rejects_bad_tier(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan_compaction([], tiers_ns=(0,))
+
+    def test_select_retained(self):
+        class H:
+            def __init__(self, end):
+                self.end_ns = end
+
+        handles = [H(5), H(10), H(15)]
+        kept, dropped = select_retained(handles, 10)
+        assert [h.end_ns for h in kept] == [15]
+        assert [h.end_ns for h in dropped] == [5, 10]
+        kept, dropped = select_retained(handles, None)
+        assert len(kept) == 3 and not dropped
+
+
+# ----------------------------------------------------------------------
+# The Hypothesis-pinned compaction identity
+# ----------------------------------------------------------------------
+
+epoch_plan = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=120),   # epoch width, seconds
+        st.integers(min_value=0, max_value=100),   # collector seed
+        st.sampled_from(["vmA", "vmB"]),
+        st.booleans(),                              # checkpoint after?
+        st.sampled_from(["none", "default", "fine"]),  # compact after?
+    ),
+    min_size=1, max_size=14,
+)
+
+
+class TestCompactionIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(epoch_plan, st.data())
+    def test_any_schedule_preserves_queries(self, plan, data):
+        """Any epoch sequence x any checkpoint/compaction interleaving:
+        range queries equal the merge of the raw epochs overlapping the
+        returned covered span."""
+        fine_tiers = (30 * SECOND_NS, 120 * SECOND_NS)
+        raw = []
+        with tempfile.TemporaryDirectory() as tmp:
+            with HistogramStore.create(os.path.join(tmp, "s"),
+                                       wal_seal_records=1000) as store:
+                t = 0
+                for width_s, seed, vm, do_ckpt, do_compact in plan:
+                    start, end = t, t + width_s * SECOND_NS
+                    t = end
+                    collector = simple_collector(seed)
+                    store.append(vm, "d0", start, end, collector)
+                    raw.append((vm, "d0", start, end, collector))
+                    if do_ckpt:
+                        store.checkpoint()
+                    if do_compact == "default":
+                        store.compact()
+                    elif do_compact == "fine":
+                        store.compact(tiers_ns=fine_tiers)
+
+                total_span = raw[-1][3]
+                # Identity 1: the full range is schedule-independent.
+                full = store.query(0, total_span)
+                assert full.service == merge_service(raw)
+                assert full.epochs == len(raw)
+
+                # Identity 2: an arbitrary sub-range equals the raw
+                # merge over the *covered* span the query reports.
+                q0 = data.draw(st.integers(0, total_span), label="q0")
+                q1 = data.draw(st.integers(q0, total_span), label="q1")
+                result = store.query(q0, q1)
+                if result.records == 0:
+                    expected_raw = [e for e in raw
+                                    if e[2] < q1 + 1 and e[3] > q0]
+                    assert expected_raw == []
+                else:
+                    c0 = result.covered_start_ns
+                    c1 = result.covered_end_ns
+                    expected_raw = [e for e in raw
+                                    if e[2] < c1 and e[3] > c0]
+                    assert result.service == merge_service(expected_raw)
+                    assert result.epochs == len(expected_raw)
+                    # The covered span contains the requested range
+                    # clipped to stored data.
+                    assert c0 <= max(q0, 0) or c0 == min(e[2] for e in expected_raw)
+
+    @settings(max_examples=15, deadline=None)
+    @given(epoch_plan)
+    def test_reopen_equals_inline(self, plan):
+        """Close/reopen between operations changes nothing."""
+        raw = []
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "s")
+            HistogramStore.create(path).close()
+            t = 0
+            for width_s, seed, vm, do_ckpt, do_compact in plan:
+                with HistogramStore.open(path) as store:
+                    start, end = t, t + width_s * SECOND_NS
+                    t = end
+                    collector = simple_collector(seed)
+                    store.append(vm, "d0", start, end, collector)
+                    raw.append((vm, "d0", start, end, collector))
+                    if do_compact != "none":
+                        store.compact()
+            with HistogramStore.open(path) as store:
+                assert store.query(0, t).service == merge_service(raw)
+
+
+class TestLedgerIntegration:
+    def test_sealed_epochs_persist(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            ledger = EpochLedger(store=store)
+            for i in range(3):
+                ledger.seal([(("vm", "d"), simple_collector(i))])
+            assert store.epochs == 3
+            assert all(e.persisted for e in ledger.epochs)
+            spans = [h.meta() for h in store.records()]
+            assert all(m["end_ns"] > m["start_ns"] for m in spans)
+
+    def test_retirement_records_spans(self, tmp_path):
+        ledger = EpochLedger(max_epochs=2)
+        for i in range(5):
+            ledger.seal([(("vm", "d"), simple_collector(i))])
+        assert len(ledger.epochs) == 2
+        assert len(ledger.retired_spans) == 3
+        doc = ledger.to_dict()
+        assert doc["epochs_sealed"] == 5
+        assert doc["retired"]["records"] == ledger.retired_records
+        assert [s["epoch"] for s in doc["retired"]["spans"]] == [0, 1, 2]
+        # The covered interval survives retirement.
+        start, end = ledger.covered_span_unix
+        assert start is not None and end >= start
+        assert doc["covered_start_unix"] == start
+
+    def test_store_attached_late_persists_before_retiring(self, tmp_path):
+        ledger = EpochLedger(max_epochs=1)
+        ledger.seal([(("vm", "d"), simple_collector(1))])
+        with HistogramStore.create(tmp_path / "s") as store:
+            ledger.attach_store(store)
+            # Sealing a second epoch retires the first, which must be
+            # written out before it is folded into the aggregate.
+            ledger.seal([(("vm", "d"), simple_collector(2))])
+            assert store.epochs == 2
+
+    def test_lifetime_totals_still_exact(self):
+        ledger = EpochLedger(max_epochs=2)
+        total = 0
+        for i in range(6):
+            collector = simple_collector(i)
+            total += collector.commands
+            ledger.seal([(("vm", "d"), collector)])
+        assert ledger.records == total
+        assert ledger.merged().aggregate().commands == total
+
+
+class TestServerIntegration:
+    def test_server_persists_epochs_to_store(self, tmp_path):
+        from repro.live import LiveStatsClient, LiveStatsServer
+        from tests.test_live_server import _records
+
+        store_path = tmp_path / "history"
+        with LiveStatsServer(port=0, shards=1,
+                             store=str(store_path)) as server:
+            with LiveStatsClient(*server.address) as client:
+                client.publish_records("vm0", "d0", _records(200))
+                client.rotate()
+                client.publish_records("vm0", "d0",
+                                       _records(100, start_serial=200,
+                                                start_ns=10**9))
+                client.rotate()
+                info = client.info()
+                assert info["store"]["epochs"] == 2
+                assert info["ledger"]["epochs_sealed"] == 2
+        # Server owned the store: it was checkpointed and closed.
+        with HistogramStore.open(store_path) as store:
+            assert store.epochs == 2
+            result = store.query(0, 2**63 - 1)
+            assert result.service.aggregate().commands == 300
+
+
+class TestAtomicExport:
+    def test_cli_export_is_atomic_and_complete(self, tmp_path):
+        from repro.cli import main
+
+        target = tmp_path / "out" / "result.json"
+        target.parent.mkdir()
+        rc = main(["run", "figure2", "--quick", "--output",
+                   "json", "--export", str(target)])
+        assert rc == 0
+        document = json.loads(target.read_text())
+        assert document["experiment"] == "figure2"
+        leftovers = [p for p in target.parent.iterdir() if p != target]
+        assert leftovers == []
+
+    def test_atomic_write_text_replaces(self, tmp_path):
+        from repro.cli import _atomic_write_text
+
+        target = tmp_path / "doc.txt"
+        target.write_text("old")
+        _atomic_write_text(str(target), "new")
+        assert target.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestStoreCli:
+    def _populated(self, tmp_path):
+        path = tmp_path / "s"
+        with HistogramStore.create(path) as store:
+            for i in range(6):
+                store.append("vm1", "d0", i * 10 * SECOND_NS,
+                             (i + 1) * 10 * SECOND_NS, simple_collector(i))
+            store.checkpoint()
+        return path
+
+    def test_inspect(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._populated(tmp_path)
+        assert main(["store", "inspect", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["records"] == 6
+        assert doc["disks"] == ["vm1/d0"]
+
+    def test_query_json_and_range(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._populated(tmp_path)
+        assert main(["store", "query", str(path), "--start", "0",
+                     "--end", "19.999"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["epochs"] == 2
+        assert "vm1/d0" in doc["disks"]
+
+    def test_query_openmetrics(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._populated(tmp_path)
+        assert main(["store", "query", str(path), "--output",
+                     "openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert out.rstrip().endswith("# EOF")
+        assert 'vm="vm1"' in out
+
+    def test_query_export_atomic(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._populated(tmp_path)
+        target = tmp_path / "q.json"
+        assert main(["store", "query", str(path), "--export",
+                     str(target)]) == 0
+        assert json.loads(target.read_text())["epochs"] == 6
+
+    def test_compact_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._populated(tmp_path)
+        assert main(["store", "compact", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rewritten"] and doc["records_after"] == 1
+
+    def test_foreign_directory_fails_loudly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / "junk.bin").write_bytes(b"\x00")
+        rc = main(["store", "query", str(foreign)])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert str(foreign) in err
+
+    def test_empty_store_query_fails_loudly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "s"
+        HistogramStore.create(path).close()
+        rc = main(["store", "query", str(path)])
+        assert rc == 1
+        assert "nothing stored" in capsys.readouterr().err

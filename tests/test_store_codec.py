@@ -1,0 +1,156 @@
+"""Round-trip tests for the store's binary snapshot codec.
+
+The property the store leans on: for any collector state —
+every metric family, empty or populated bins, extreme counters —
+``collector_from_bytes(collector_to_bytes(c)) == c``, and likewise at
+the service level.  Equality here is the snapshot equality the core
+layer defines (bin counts, counters, time series), so a passing
+round-trip certifies the codec preserves every statistic exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collector import VscsiStatsCollector
+from repro.core.service import HistogramService
+from repro.store.codec import (
+    collector_from_bytes,
+    collector_to_bytes,
+    service_from_bytes,
+    service_to_bytes,
+)
+
+
+def build_collector(ops, window_size=32, time_slot_ns=1_000_000_000):
+    """Deterministically replay ``(dt, is_read, lba, nblocks, qd, lat)``
+    tuples into a fresh collector, touching every metric family."""
+    collector = VscsiStatsCollector(window_size=window_size,
+                                    time_slot_ns=time_slot_ns)
+    t = 1_000
+    for dt, is_read, lba, nblocks, outstanding, latency_ns in ops:
+        t += dt
+        collector.on_issue(t, is_read, lba, nblocks, outstanding)
+        collector.on_complete(t + latency_ns, is_read, latency_ns)
+    return collector
+
+
+op_strategy = st.tuples(
+    st.integers(min_value=1, max_value=10_000_000_000),     # inter-arrival
+    st.booleans(),                                          # is_read
+    st.integers(min_value=0, max_value=1 << 30),            # lba
+    st.sampled_from([1, 8, 16, 64, 128, 1024, 2048]),       # nblocks
+    st.integers(min_value=0, max_value=100),                # outstanding
+    st.integers(min_value=1_000, max_value=60_000_000_000), # latency
+)
+
+collector_strategy = st.builds(
+    build_collector,
+    st.lists(op_strategy, max_size=60),
+    window_size=st.sampled_from([1, 8, 32]),
+    time_slot_ns=st.sampled_from([1_000_000, 1_000_000_000]),
+)
+
+
+class TestCollectorRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(collector_strategy)
+    def test_round_trip_equals(self, collector):
+        assert collector_from_bytes(collector_to_bytes(collector)) == collector
+
+    @settings(max_examples=30, deadline=None)
+    @given(collector_strategy)
+    def test_round_trip_preserves_every_statistic(self, collector):
+        restored = collector_from_bytes(collector_to_bytes(collector))
+        assert restored.to_dict() == collector.to_dict()
+        assert restored.commands == collector.commands
+        assert restored.read_commands == collector.read_commands
+        for name, family in collector.families().items():
+            other = restored.families()[name]
+            assert other.reads.counts == family.reads.counts
+            assert other.writes.counts == family.writes.counts
+            assert other.reads.total == family.reads.total
+
+    def test_empty_collector(self):
+        collector = VscsiStatsCollector()
+        restored = collector_from_bytes(collector_to_bytes(collector))
+        assert restored == collector
+        assert restored.commands == 0
+
+    def test_accepts_memoryview(self):
+        collector = build_collector([(10, True, 0, 8, 1, 5_000)])
+        blob = collector_to_bytes(collector)
+        assert collector_from_bytes(memoryview(blob)) == collector
+
+    def test_merge_then_encode_equals_encode_then_merge(self):
+        a = build_collector([(10, True, 0, 8, 1, 5_000),
+                             (20, False, 64, 16, 2, 9_000)])
+        b = build_collector([(15, False, 128, 64, 0, 7_000)])
+        merged = a.merge(b)
+        via_codec = collector_from_bytes(collector_to_bytes(a)).merge(
+            collector_from_bytes(collector_to_bytes(b))
+        )
+        assert via_codec == merged
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            collector_from_bytes(b"definitely not a framed record")
+
+    def test_rejects_truncated_record(self):
+        blob = collector_to_bytes(build_collector([(10, True, 0, 8, 0,
+                                                    5_000)]))
+        with pytest.raises(ValueError):
+            collector_from_bytes(blob[:len(blob) // 2])
+
+
+class TestServiceRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["vmA", "vmB", "vm/slash"]),
+                  st.sampled_from(["scsi0:0", "scsi0:1"]),
+                  st.lists(op_strategy, max_size=20)),
+        max_size=4,
+        unique_by=lambda entry: (entry[0], entry[1]),
+    ))
+    def test_round_trip_equals(self, disks):
+        service = HistogramService()
+        for vm, vdisk, ops in disks:
+            service.adopt((vm, vdisk), build_collector(ops))
+        assert service_from_bytes(service_to_bytes(service)) == service
+
+    def test_slash_in_names_round_trips(self):
+        service = HistogramService()
+        service.adopt(("vm/a", "disk/0"),
+                      build_collector([(10, True, 0, 8, 0, 5_000)]))
+        restored = service_from_bytes(service_to_bytes(service))
+        assert [key for key, _c in restored.collectors()] \
+            == [("vm/a", "disk/0")]
+
+    def test_empty_service(self):
+        service = HistogramService()
+        assert service_from_bytes(service_to_bytes(service)) == service
+
+
+class TestDictRoundTrip:
+    """The codec's JSON siblings: ``to_dict``/``from_dict`` inverses."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(collector_strategy)
+    def test_collector_from_dict(self, collector):
+        assert VscsiStatsCollector.from_dict(collector.to_dict()) == collector
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(op_strategy, max_size=20))
+    def test_service_from_dict(self, ops):
+        service = HistogramService()
+        service.adopt(("vm1", "scsi0:0"), build_collector(ops))
+        assert HistogramService.from_dict(service.to_dict()) == service
+
+    def test_service_from_dict_rejects_duplicates(self):
+        service = HistogramService()
+        service.adopt(("vm1", "d0"),
+                      build_collector([(10, True, 0, 8, 0, 5_000)]))
+        data = service.to_dict()
+        data["disks"].append(data["disks"][0])
+        with pytest.raises(ValueError, match="duplicate"):
+            HistogramService.from_dict(data)

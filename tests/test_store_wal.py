@@ -1,0 +1,145 @@
+"""Crash-recovery tests for the write-ahead log.
+
+The central test truncates a healthy log at *every byte offset* of its
+final record and asserts recovery returns exactly the records before
+the tear — the contract that an interrupted writer loses at most the
+records it was never acknowledged for, and never a byte of the ones it
+was.
+"""
+
+import os
+
+import pytest
+
+from repro.store.wal import WAL_MAGIC, WriteAheadLog, scan_wal
+
+PAYLOADS = [b"alpha", b"beta-beta", b"\x00" * 64, b"gamma" * 11]
+
+
+def write_log(path, payloads=PAYLOADS, fsync="never"):
+    with WriteAheadLog(path, fsync=fsync) as wal:
+        for payload in payloads:
+            wal.append(payload)
+    return path
+
+
+class TestAppendAndScan:
+    def test_round_trip(self, tmp_path):
+        path = write_log(tmp_path / "wal.log")
+        payloads, good, torn = scan_wal(path)
+        assert payloads == PAYLOADS
+        assert torn == 0
+        assert good == path.stat().st_size
+
+    def test_reopen_recovers(self, tmp_path):
+        path = write_log(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            assert wal.recovered == PAYLOADS
+            assert wal.truncated_bytes == 0
+            wal.append(b"delta")
+        payloads, _good, _torn = scan_wal(path)
+        assert payloads == PAYLOADS + [b"delta"]
+
+    def test_reset_truncates_to_magic(self, tmp_path):
+        path = write_log(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.reset()
+            assert wal.size == len(WAL_MAGIC)
+            wal.append(b"fresh")
+        payloads, _good, _torn = scan_wal(path)
+        assert payloads == [b"fresh"]
+
+    def test_empty_payload_is_legal(self, tmp_path):
+        path = write_log(tmp_path / "wal.log", payloads=[b"", b"x", b""])
+        payloads, _good, torn = scan_wal(path)
+        assert payloads == [b"", b"x", b""]
+        assert torn == 0
+
+
+class TestTornTail:
+    def test_truncation_at_every_byte_of_final_record(self, tmp_path):
+        """Tear the log at each offset inside the last record."""
+        reference = write_log(tmp_path / "ref.log")
+        full = reference.read_bytes()
+        _payloads, _good, _torn = scan_wal(reference)
+        # Offset where the final record's frame begins.
+        last_start = len(full)
+        frame_and_payload = 8 + len(PAYLOADS[-1])
+        last_start = len(full) - frame_and_payload
+
+        for cut in range(last_start, len(full)):
+            path = tmp_path / "torn.log"
+            path.write_bytes(full[:cut])
+            payloads, good, torn = scan_wal(path)
+            assert payloads == PAYLOADS[:-1], f"cut at byte {cut}"
+            assert good == last_start
+            assert torn == cut - last_start
+
+    def test_recovery_truncates_in_place(self, tmp_path):
+        reference = write_log(tmp_path / "ref.log")
+        full = reference.read_bytes()
+        path = tmp_path / "torn.log"
+        path.write_bytes(full[:-3])
+        with WriteAheadLog(path) as wal:
+            assert wal.recovered == PAYLOADS[:-1]
+            assert wal.truncated_bytes > 0
+            wal.append(b"recovered-append")
+        payloads, _good, torn = scan_wal(path)
+        assert payloads == PAYLOADS[:-1] + [b"recovered-append"]
+        assert torn == 0
+
+    def test_corrupt_crc_mid_payload(self, tmp_path):
+        reference = write_log(tmp_path / "ref.log")
+        raw = bytearray(reference.read_bytes())
+        raw[-2] ^= 0xFF  # flip a bit inside the final payload
+        path = tmp_path / "bitrot.log"
+        path.write_bytes(bytes(raw))
+        payloads, _good, torn = scan_wal(path)
+        assert payloads == PAYLOADS[:-1]
+        assert torn > 0
+
+    def test_torn_frame_header(self, tmp_path):
+        """A tear inside the 8-byte frame header itself."""
+        path = write_log(tmp_path / "wal.log", payloads=[b"only"])
+        size = path.stat().st_size
+        with open(path, "r+b") as fileobj:
+            fileobj.truncate(size - len(b"only") - 3)
+        payloads, good, _torn = scan_wal(path)
+        assert payloads == []
+        assert good == len(WAL_MAGIC)
+
+
+class TestForeignFiles:
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_bytes(b"these are not the records you seek")
+        with pytest.raises(ValueError, match="not a histogram-store WAL"):
+            scan_wal(path)
+        with pytest.raises(ValueError, match="not a histogram-store WAL"):
+            WriteAheadLog(path)
+
+    def test_zero_byte_file_is_initialized(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.touch()
+        with WriteAheadLog(path) as wal:
+            assert wal.recovered == []
+        assert path.read_bytes().startswith(WAL_MAGIC)
+
+
+class TestFsyncPolicies:
+    @pytest.mark.parametrize("fsync", ["always", "batch", "never"])
+    def test_policies_accept_appends(self, tmp_path, fsync):
+        path = tmp_path / f"wal-{fsync}.log"
+        with WriteAheadLog(path, fsync=fsync, fsync_batch=2) as wal:
+            for payload in PAYLOADS:
+                wal.append(payload)
+        payloads, _good, _torn = scan_wal(path)
+        assert payloads == PAYLOADS
+
+    def test_rejects_unknown_policy(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+
+    def test_rejects_bad_batch(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync_batch"):
+            WriteAheadLog(tmp_path / "wal.log", fsync_batch=0)
