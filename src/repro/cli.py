@@ -301,8 +301,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
     from .store import HistogramStore
 
+    # Reads open without the writer lock (and without destructive
+    # recovery), so query/inspect work against a store a live
+    # ``serve --store`` daemon is writing; compact needs the lock.
+    readonly = args.store_command in ("query", "inspect")
     try:
-        store = HistogramStore.open(args.directory)
+        store = HistogramStore.open(args.directory, readonly=readonly)
     except ValueError as exc:
         print(f"store: {exc}", file=sys.stderr)
         return 1
@@ -312,12 +316,16 @@ def _cmd_store(args: argparse.Namespace) -> int:
             return 0
 
         if args.store_command == "compact":
-            retain_before = _unix_to_ns(args.retain_before)
-            summary = store.compact(retain_before_ns=retain_before)
+            summary = {}
             if args.retire_before is not None:
+                # Retire whole aged segments before the rewrite below
+                # collapses everything into a single segment (after
+                # which only a fully aged-out store could retire).
                 summary["segments_retired"] = store.retire_segments(
                     _unix_to_ns(args.retire_before)
                 )
+            retain_before = _unix_to_ns(args.retain_before)
+            summary.update(store.compact(retain_before_ns=retain_before))
             print(json.dumps(summary, indent=2, sort_keys=True))
             return 0
 
@@ -521,7 +529,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     store_compact.add_argument(
         "--retire-before", type=float, default=None,
         metavar="UNIX_SECONDS",
-        help="afterwards, unlink whole segments older than this time",
+        help="first unlink whole segments older than this time "
+        "(whole-segment granularity; --retain-before drops exact "
+        "records during the rewrite)",
     )
 
     store_inspect = store_sub.add_parser(

@@ -30,11 +30,12 @@ class Epoch:
     """One sealed collection interval."""
 
     __slots__ = ("index", "service", "records", "start_unix",
-                 "sealed_unix", "persisted")
+                 "sealed_unix", "persisted", "start_ns", "end_ns")
 
     def __init__(self, index: int, service: HistogramService,
                  records: int, sealed_unix: float,
-                 start_unix: Optional[float] = None):
+                 start_unix: Optional[float] = None,
+                 span_ns: Optional[Tuple[int, int]] = None):
         self.index = index
         self.service = service
         self.records = records
@@ -43,19 +44,26 @@ class Epoch:
         self.sealed_unix = sealed_unix
         #: Whether the epoch has been written to an attached store.
         self.persisted = False
+        if span_ns is None:
+            # Standalone construction: derive from the float clocks,
+            # clamped non-empty.  The ledger always passes an explicit
+            # integer span so consecutive epochs abut exactly.
+            start_ns = int(self.start_unix * 1e9)
+            end_ns = int(self.sealed_unix * 1e9)
+            span_ns = (start_ns, max(end_ns, start_ns + 1))
+        self.start_ns, self.end_ns = span_ns
 
     @property
     def span_ns(self) -> Tuple[int, int]:
         """Half-open ``[start_ns, end_ns)`` span in integer nanoseconds.
 
-        Guaranteed non-empty even for an instantaneous rotation, so a
-        store append never sees a degenerate interval.
+        Non-empty even for an instantaneous rotation, and — for
+        ledger-sealed epochs — exactly abutting the neighbouring
+        epochs' spans (``end_ns`` of one equals ``start_ns`` of the
+        next, never overlapping), the invariant the store's range-query
+        closure proof relies on.
         """
-        start_ns = int(self.start_unix * 1e9)
-        end_ns = int(self.sealed_unix * 1e9)
-        if end_ns <= start_ns:
-            end_ns = start_ns + 1
-        return start_ns, end_ns
+        return self.start_ns, self.end_ns
 
     def to_dict(self) -> Dict:
         """Per-disk snapshot dicts plus epoch metadata."""
@@ -95,8 +103,13 @@ class EpochLedger:
         #: collected; these spans preserve the covered intervals.
         self.retired_spans: List[Tuple[int, float, float, int]] = []
         self._next_index = 0
-        #: Moment the currently filling epoch opened.
-        self._epoch_open_unix = time.time()
+        #: Moment the currently filling epoch opened.  The integer-ns
+        #: boundary is authoritative for spans: the float mirror exists
+        #: only for human-readable ``*_unix`` fields (a double cannot
+        #: represent today's unix time to the nanosecond, so advancing
+        #: it by a clamped +1 ns would silently round away).
+        self._epoch_open_ns = time.time_ns()
+        self._epoch_open_unix = self._epoch_open_ns / 1e9
         #: Optional :class:`~repro.store.HistogramStore` — every sealed
         #: epoch is appended (and a not-yet-persisted epoch is written
         #: before being retired).  The ledger never closes it.
@@ -131,10 +144,18 @@ class EpochLedger:
         for key, collector in pairs:
             service.adopt(key, collector)
             records += collector.commands
-        now = time.time()
-        epoch = Epoch(self._next_index, service, records, now,
-                      start_unix=self._epoch_open_unix)
-        self._epoch_open_unix = now
+        # Clamp an instantaneous rotation to a non-empty span and
+        # advance the open boundary to the *clamped* end, so the next
+        # epoch starts where this one ended — spans abut, never
+        # overlap.
+        now_ns = time.time_ns()
+        end_ns = max(now_ns, self._epoch_open_ns + 1)
+        epoch = Epoch(self._next_index, service, records,
+                      sealed_unix=end_ns / 1e9,
+                      start_unix=self._epoch_open_unix,
+                      span_ns=(self._epoch_open_ns, end_ns))
+        self._epoch_open_ns = end_ns
+        self._epoch_open_unix = end_ns / 1e9
         self._next_index += 1
         self.epochs.append(epoch)
         self._persist(epoch)

@@ -285,8 +285,19 @@ class LiveStatsServer:
             return
         self._closed = True
         self._stopping.set()
-        if self._rotate_timer is not None:
-            self._rotate_timer.cancel()
+        # Timer.cancel() does not stop a callback that already fired
+        # past the _stopping check, so wait the in-flight rotation out
+        # (it may have re-armed once meanwhile — loop until the chain
+        # is dead; _schedule_rotate never arms after _stopping is set).
+        while True:
+            timer = self._rotate_timer
+            if timer is None:
+                break
+            timer.cancel()
+            if timer is not threading.current_thread():
+                timer.join(timeout=10.0)
+            if self._rotate_timer is timer:
+                break
         if self._listener is not None:
             # A blocked accept() is not reliably woken by closing the
             # listener from another thread; a loopback connect is.
@@ -325,14 +336,20 @@ class LiveStatsServer:
                 worker.join(timeout=10.0)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
-        if drain:
-            # Flush the partial epoch so acked commands stay queryable.
-            pairs = self._seal_all_streams()
-            if pairs:
-                self.ledger.seal(pairs)
-        if self.store is not None and self._owns_store:
-            self.store.checkpoint()
-            self.store.close()
+        # The control lock serializes this final seal and the store
+        # shutdown against any straggling rotate() (timer or client):
+        # no double-seal of the same collectors, no append to a closed
+        # store.
+        with self._control_lock:
+            if drain:
+                # Flush the partial epoch so acked commands stay
+                # queryable.
+                pairs = self._seal_all_streams()
+                if pairs:
+                    self.ledger.seal(pairs)
+            if self.store is not None and self._owns_store:
+                self.store.checkpoint()
+                self.store.close()
 
     def _schedule_rotate(self) -> None:
         if self._stopping.is_set():
@@ -347,6 +364,8 @@ class LiveStatsServer:
             return
         try:
             self.rotate()
+        except ValueError:
+            return  # server closed concurrently; the timer chain ends
         finally:
             self._schedule_rotate()
 
@@ -533,6 +552,11 @@ class LiveStatsServer:
         ingestion resumes immediately after.
         """
         with self._control_lock:
+            if self._closed:
+                # A racing close() already sealed the final epoch (and
+                # may have closed an owned store) — a late rotation
+                # would double-count or write after close.
+                raise ValueError("server is closed")
             barriers = self._pause_workers()
             try:
                 pairs = self._seal_all_streams()

@@ -28,6 +28,16 @@ Opening anything that is not a store — a missing directory, an empty
 one, a directory holding foreign files — raises :class:`ValueError`
 naming the path; the store never plants files outside a directory it
 created (mirroring ``read_binary_columns``'s magic/manifest checks).
+
+Concurrency: recovery is destructive (it truncates a torn WAL tail and
+sweeps unreferenced segment files), so a *writable* handle takes an
+exclusive advisory lock on the store's ``LOCK`` file for its lifetime;
+a second writable open — another process, or another handle in this
+one — fails with :class:`ValueError` instead of corrupting the live
+writer's WAL.  ``open(path, readonly=True)`` is the reader's mode:
+it takes no lock, never truncates, never sweeps, rejects every
+mutation, and may be pointed at a store a live daemon is writing
+(``repro store query``/``inspect`` use it).
 """
 
 from __future__ import annotations
@@ -45,15 +55,67 @@ from .codec import collector_from_bytes, collector_to_bytes
 from .compactor import DEFAULT_TIERS_NS, plan_compaction, select_retained
 from .query import QueryResult, range_query
 from .segments import SegmentReader, write_segment
-from .wal import WriteAheadLog, _fsync_dir
+from .wal import WAL_MAGIC, WriteAheadLog, _fsync_dir, scan_wal
 
-__all__ = ["MANIFEST_NAME", "HistogramStore", "StoreRecord"]
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix platforms
+    fcntl = None
+
+__all__ = ["LOCK_NAME", "MANIFEST_NAME", "HistogramStore", "StoreRecord"]
 
 MANIFEST_NAME = "MANIFEST.json"
+LOCK_NAME = "LOCK"
 _MANIFEST_FORMAT = "repro-histstore-v1"
 _SEGMENT_GLOB = "seg-*.seg"
 _WAL_NAME = "wal.log"
 _METALEN = struct.Struct("<I")
+
+
+def _acquire_store_lock(path: Path):
+    """Take the writer lock for the store at ``path``.
+
+    Returns the open ``LOCK`` file object whose flock guards the
+    store (held until :meth:`HistogramStore.close`), or ``None`` where
+    ``fcntl`` is unavailable.  Raises :class:`ValueError` when another
+    writable handle — in this process or any other — already holds it.
+    """
+    if fcntl is None:  # pragma: no cover - non-posix platforms
+        return None
+    fileobj = open(path / LOCK_NAME, "a+")
+    try:
+        fcntl.flock(fileobj.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        owner = ""
+        try:
+            fileobj.seek(0)
+            owner = fileobj.read(64).strip()
+        except OSError:  # pragma: no cover
+            pass
+        fileobj.close()
+        raise ValueError(
+            f"histogram store {path} is locked by another writer"
+            + (f" (pid {owner})" if owner else "")
+            + "; use open(path, readonly=True) for queries"
+        ) from None
+    try:
+        fileobj.seek(0)
+        fileobj.truncate()
+        fileobj.write(f"{os.getpid()}\n")
+        fileobj.flush()
+    except OSError:  # pragma: no cover - lock still held, pid is advisory
+        pass
+    return fileobj
+
+
+def _release_store_lock(fileobj) -> None:
+    if fileobj is None:
+        return
+    try:
+        fcntl.flock(fileobj.fileno(), fcntl.LOCK_UN)
+    except OSError:  # pragma: no cover
+        pass
+    fileobj.close()
 
 
 def _atomic_write_json(path: Path, document: Dict) -> None:
@@ -131,7 +193,8 @@ class HistogramStore:
     # ------------------------------------------------------------------
     @classmethod
     def _build(cls, path: Path, manifest: Dict, fsync: str,
-               fsync_batch: int, wal_seal_records: int) -> "HistogramStore":
+               fsync_batch: int, wal_seal_records: int,
+               readonly: bool = False) -> "HistogramStore":
         if wal_seal_records < 1:
             raise ValueError(
                 f"wal_seal_records must be >= 1, got {wal_seal_records}"
@@ -140,8 +203,12 @@ class HistogramStore:
         store.path = path
         store._manifest = manifest
         store._wal_seal_records = wal_seal_records
+        store.readonly = readonly
+        store._lock_file = None
         store._readers: List[SegmentReader] = []
         store._wal_records: List[Tuple[Dict, bytes]] = []
+        store._wal: Optional[WriteAheadLog] = None
+        store._wal_ro_size = len(WAL_MAGIC)
         store._closed = False
         store.appended_total = 0
         store.checkpoints_total = 0
@@ -149,36 +216,59 @@ class HistogramStore:
         store.recovered_wal_records = 0
         store.truncated_wal_bytes = 0
 
-        # Sweep strays from a crashed segment write / compaction.
-        live = set(manifest["segments"])
-        for stray in path.glob("*.tmp"):
-            stray.unlink()
-        for candidate in path.glob(_SEGMENT_GLOB):
-            if candidate.name not in live:
-                candidate.unlink()
+        try:
+            if not readonly:
+                # Recovery below is destructive (WAL truncation, stray
+                # sweep): refuse to run it under a live writer.
+                store._lock_file = _acquire_store_lock(path)
 
-        for name in manifest["segments"]:
-            store._readers.append(SegmentReader(path / name))
-        max_seq = 0
-        for reader in store._readers:
-            for entry in reader.entries:
-                if entry.seq > max_seq:
-                    max_seq = entry.seq
+                # Sweep strays from a crashed segment write / compaction.
+                live = set(manifest["segments"])
+                for stray in path.glob("*.tmp"):
+                    stray.unlink()
+                for candidate in path.glob(_SEGMENT_GLOB):
+                    if candidate.name not in live:
+                        candidate.unlink()
 
-        store._wal = WriteAheadLog(path / _WAL_NAME, fsync=fsync,
-                                   fsync_batch=fsync_batch)
-        store.truncated_wal_bytes = store._wal.truncated_bytes
-        for payload in store._wal.recovered:
-            meta, record = _wal_unframe(payload)
-            if meta["seq"] <= max_seq:
-                # Crash landed between sealing a segment and resetting
-                # the WAL: the record is already durable in a segment.
-                continue
-            store._wal_records.append((meta, bytes(record)))
-            if meta["seq"] > max_seq:
-                max_seq = meta["seq"]
-        store.recovered_wal_records = len(store._wal_records)
-        store._next_seq = max_seq + 1
+            for name in manifest["segments"]:
+                store._readers.append(SegmentReader(path / name))
+            max_seq = 0
+            for reader in store._readers:
+                for entry in reader.entries:
+                    if entry.seq > max_seq:
+                        max_seq = entry.seq
+
+            if readonly:
+                # Scan-only recovery: expose the intact WAL prefix
+                # without truncating a live writer's (or anyone's) log.
+                wal_path = path / _WAL_NAME
+                payloads: List[bytes] = []
+                if wal_path.exists() and wal_path.stat().st_size > 0:
+                    payloads, store._wal_ro_size, _torn = scan_wal(wal_path)
+            else:
+                store._wal = WriteAheadLog(path / _WAL_NAME, fsync=fsync,
+                                           fsync_batch=fsync_batch)
+                store.truncated_wal_bytes = store._wal.truncated_bytes
+                payloads = store._wal.recovered
+            for payload in payloads:
+                meta, record = _wal_unframe(payload)
+                if meta["seq"] <= max_seq:
+                    # Crash landed between sealing a segment and
+                    # resetting the WAL: the record is already durable
+                    # in a segment.
+                    continue
+                store._wal_records.append((meta, bytes(record)))
+                if meta["seq"] > max_seq:
+                    max_seq = meta["seq"]
+            store.recovered_wal_records = len(store._wal_records)
+            store._next_seq = max_seq + 1
+        except BaseException:
+            for reader in store._readers:
+                reader.close()
+            if store._wal is not None:
+                store._wal.close()
+            _release_store_lock(store._lock_file)
+            raise
         return store
 
     @classmethod
@@ -217,16 +307,8 @@ class HistogramStore:
         return cls._build(path, manifest, fsync, fsync_batch,
                           wal_seal_records)
 
-    @classmethod
-    def open(cls, path, fsync: str = "batch", fsync_batch: int = 64,
-             wal_seal_records: int = 512) -> "HistogramStore":
-        """Open an existing store; never creates or modifies a foreign
-        directory — a missing, empty or unrecognized ``path`` raises
-        :class:`ValueError` naming it."""
-        path = Path(path)
-        if not path.is_dir():
-            raise ValueError(f"not a histogram store: {path} "
-                             f"is not a directory")
+    @staticmethod
+    def _read_manifest(path: Path) -> Dict:
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.exists():
             raise ValueError(
@@ -246,8 +328,44 @@ class HistogramStore:
                 f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r}, "
                 f"expected {_MANIFEST_FORMAT!r}"
             )
-        return cls._build(path, manifest, fsync, fsync_batch,
-                          wal_seal_records)
+        return manifest
+
+    @classmethod
+    def open(cls, path, fsync: str = "batch", fsync_batch: int = 64,
+             wal_seal_records: int = 512,
+             readonly: bool = False) -> "HistogramStore":
+        """Open an existing store; never creates or modifies a foreign
+        directory — a missing, empty or unrecognized ``path`` raises
+        :class:`ValueError` naming it.
+
+        ``readonly=True`` opens without the writer lock and without
+        recovery side effects (no WAL truncation, no stray sweep), so
+        it is safe against a store a live daemon is writing; every
+        mutating method then raises :class:`ValueError`.
+        """
+        path = Path(path)
+        if not path.is_dir():
+            raise ValueError(f"not a histogram store: {path} "
+                             f"is not a directory")
+        if not readonly:
+            return cls._build(path, cls._read_manifest(path), fsync,
+                              fsync_batch, wal_seal_records)
+        # A live writer may checkpoint/compact between our manifest
+        # read and the segment opens; re-read and retry on a vanished
+        # segment (an opened mmap survives a later unlink, so only the
+        # open itself can race).
+        last_exc: Optional[BaseException] = None
+        for _attempt in range(5):
+            manifest = cls._read_manifest(path)
+            try:
+                return cls._build(path, manifest, fsync, fsync_batch,
+                                  wal_seal_records, readonly=True)
+            except FileNotFoundError as exc:
+                last_exc = exc
+        raise ValueError(
+            f"cannot open histogram store {path} read-only: the "
+            f"segment set keeps changing underneath ({last_exc})"
+        )
 
     @classmethod
     def open_or_create(cls, path, **kwargs) -> "HistogramStore":
@@ -273,7 +391,7 @@ class HistogramStore:
         returning regardless of the store's batching policy — the
         zero-acknowledged-loss durability point.
         """
-        self._check_open()
+        self._check_writable()
         start_ns = int(start_ns)
         end_ns = int(end_ns)
         if end_ns <= start_ns:
@@ -305,12 +423,12 @@ class HistogramStore:
             self.append(vm, vdisk, start_ns, end_ns, collector)
             count += 1
         if sync and count:
-            self._wal.sync()
+            self.sync()
         return count
 
     def sync(self) -> None:
         """Force the WAL durability point forward to now."""
-        self._check_open()
+        self._check_writable()
         self._wal.sync()
 
     def checkpoint(self) -> Optional[str]:
@@ -320,7 +438,7 @@ class HistogramStore:
         is empty.  Ordering — segment durable, manifest durable, WAL
         truncated — makes every crash window recoverable.
         """
-        self._check_open()
+        self._check_writable()
         if not self._wal_records:
             return None
         name = f"seg-{self._manifest['next_segment']:08d}.seg"
@@ -390,7 +508,7 @@ class HistogramStore:
         segment files are unlinked — a crash at any point leaves either
         the old store or the new one, never a blend.
         """
-        self._check_open()
+        self._check_writable()
         self.checkpoint()
         handles = sorted(self.records(),
                          key=lambda h: (h.start_ns, h.end_ns, h.vm,
@@ -454,7 +572,7 @@ class HistogramStore:
         """Unlink whole segments whose every record ended at or before
         ``before_ns`` — age-based retention without a rewrite.  Returns
         the deleted segment file names."""
-        self._check_open()
+        self._check_writable()
         doomed, survivors, kept_readers = [], [], []
         for reader in self._readers:
             if reader.entries and all(e.end_ns <= before_ns
@@ -498,11 +616,13 @@ class HistogramStore:
         return {
             "path": str(self.path),
             "format": _MANIFEST_FORMAT,
+            "readonly": self.readonly,
             "tiers_ns": list(self.tiers_ns),
             "segments": segments,
             "wal": {
                 "records": len(self._wal_records),
-                "bytes": self._wal.size,
+                "bytes": (self._wal.size if self._wal is not None
+                          else self._wal_ro_size),
                 "recovered_records": self.recovered_wal_records,
                 "truncated_bytes": self.truncated_wal_bytes,
             },
@@ -522,13 +642,23 @@ class HistogramStore:
         if self._closed:
             raise ValueError(f"histogram store {self.path} is closed")
 
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self.readonly:
+            raise ValueError(
+                f"histogram store {self.path} is open read-only"
+            )
+
     def close(self) -> None:
-        """Flush the WAL and release every mapping."""
+        """Flush the WAL, release every mapping and the writer lock."""
         if self._closed:
             return
-        self._wal.close()
+        if self._wal is not None:
+            self._wal.close()
         for reader in self._readers:
             reader.close()
+        _release_store_lock(self._lock_file)
+        self._lock_file = None
         self._closed = True
 
     def __enter__(self) -> "HistogramStore":

@@ -209,6 +209,108 @@ class TestOpenValidation:
         assert not (path / "seg-00000042.seg").exists()
 
 
+class TestConcurrencyGuards:
+    """A writable handle owns the store; readers never destroy state."""
+
+    def test_second_writer_is_locked_out(self, tmp_path):
+        path = tmp_path / "s"
+        with HistogramStore.create(path):
+            with pytest.raises(ValueError, match="locked"):
+                HistogramStore.open(path)
+        # The lock dies with the handle: a fresh open succeeds.
+        HistogramStore.open(path).close()
+
+    def test_readonly_open_coexists_with_writer(self, tmp_path):
+        path = tmp_path / "s"
+        with HistogramStore.create(path) as writer:
+            writer.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+            writer.checkpoint()
+            writer.append("vm", "d", SECOND_NS, 2 * SECOND_NS,
+                          simple_collector(2))
+            writer.sync()
+            with HistogramStore.open(path, readonly=True) as ro:
+                assert ro.readonly
+                assert len(ro) == 2  # segment + fsynced WAL tail
+                result = ro.query(0, 2 * SECOND_NS)
+                assert result.epochs == 2
+            # Reader never disturbed the writer.
+            writer.append("vm", "d", 2 * SECOND_NS, 3 * SECOND_NS,
+                          simple_collector(3))
+        with HistogramStore.open(path) as store:
+            assert store.epochs == 3
+
+    def test_readonly_rejects_every_mutation(self, tmp_path):
+        path = tmp_path / "s"
+        with HistogramStore.create(path) as store:
+            store.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+            store.checkpoint()
+        with HistogramStore.open(path, readonly=True) as ro:
+            for mutate in (
+                lambda: ro.append("vm", "d", SECOND_NS, 2 * SECOND_NS,
+                                  simple_collector(2)),
+                lambda: ro.checkpoint(),
+                lambda: ro.sync(),
+                lambda: ro.compact(),
+                lambda: ro.retire_segments(SECOND_NS),
+            ):
+                with pytest.raises(ValueError, match="read-only"):
+                    mutate()
+
+    def test_readonly_never_truncates_a_torn_wal(self, tmp_path):
+        path = tmp_path / "s"
+        with HistogramStore.create(path, fsync="always") as store:
+            store.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+        wal = path / "wal.log"
+        torn = wal.stat().st_size
+        with open(wal, "ab") as fileobj:
+            fileobj.write(b"\xff" * 11)  # a live writer's partial frame
+        size_with_tail = wal.stat().st_size
+        with HistogramStore.open(path, readonly=True) as ro:
+            assert len(ro) == 1  # the intact prefix is readable
+            assert ro.truncated_wal_bytes == 0
+        assert wal.stat().st_size == size_with_tail  # untouched
+        # A writable open performs real recovery and truncates.
+        with HistogramStore.open(path) as store:
+            assert store.truncated_wal_bytes == 11
+            assert len(store) == 1
+        assert wal.stat().st_size == torn
+
+    def test_readonly_leaves_strays_alone(self, tmp_path):
+        path = tmp_path / "s"
+        with HistogramStore.create(path) as store:
+            store.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+            store.checkpoint()
+        stray_tmp = path / "seg-00000009.seg.tmp"
+        orphan = path / "seg-00000042.seg"
+        stray_tmp.write_bytes(b"partial")
+        orphan.write_bytes(b"orphaned")
+        with HistogramStore.open(path, readonly=True) as ro:
+            assert len(ro) == 1  # only manifest-listed segments load
+        # A concurrent writer may own these files; the reader must not
+        # have swept them.
+        assert stray_tmp.exists() and orphan.exists()
+
+    def test_cli_reads_work_while_daemon_holds_the_lock(self, tmp_path,
+                                                        capsys):
+        from repro.cli import main
+
+        path = tmp_path / "s"
+        with HistogramStore.create(path) as writer:
+            writer.append("vm", "d", 0, SECOND_NS, simple_collector(1))
+            writer.sync()
+            assert main(["store", "inspect", str(path)]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["readonly"] and doc["records"] == 1
+            assert main(["store", "query", str(path)]) == 0
+            assert json.loads(capsys.readouterr().out)["epochs"] == 1
+            # Compact needs the writer lock and must fail loudly
+            # instead of truncating the daemon's WAL.
+            rc = main(["store", "compact", str(path)])
+            assert rc == 1
+            assert "locked" in capsys.readouterr().err
+        assert main(["store", "compact", str(path)]) == 0
+
+
 class TestCompaction:
     def test_default_tiers_fold_epochs(self, tmp_path):
         epochs = []
@@ -422,6 +524,35 @@ class TestLedgerIntegration:
             ledger.seal([(("vm", "d"), simple_collector(2))])
             assert store.epochs == 2
 
+    def test_spans_abut_even_for_instantaneous_rotations(self,
+                                                         monkeypatch):
+        """Back-to-back seals within one clock tick must produce
+        abutting half-open spans, never overlapping ones — overlap
+        would chain the store's range-query closure spuriously."""
+        import time as time_mod
+
+        ledger = EpochLedger()
+        frozen = time_mod.time_ns()
+        monkeypatch.setattr("repro.live.epochs.time.time_ns",
+                            lambda: frozen)
+        for i in range(4):
+            ledger.seal([(("vm", "d"), simple_collector(i))])
+        spans = [e.span_ns for e in ledger.epochs]
+        for (start, end) in spans:
+            assert end > start  # non-empty
+        for (_s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            assert e0 == s1  # exactly abutting
+
+    def test_persisted_spans_abut_in_the_store(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            ledger = EpochLedger(store=store)
+            for i in range(5):
+                ledger.seal([(("vm", "d"), simple_collector(i))])
+            metas = sorted((h.meta() for h in store.records()),
+                           key=lambda m: m["start_ns"])
+            for a, b in zip(metas, metas[1:]):
+                assert a["end_ns"] == b["start_ns"]
+
     def test_lifetime_totals_still_exact(self):
         ledger = EpochLedger(max_epochs=2)
         total = 0
@@ -456,6 +587,49 @@ class TestServerIntegration:
             assert store.epochs == 2
             result = store.query(0, 2**63 - 1)
             assert result.service.aggregate().commands == 300
+
+    def test_rotate_after_close_fails_cleanly(self, tmp_path):
+        """A rotation racing shutdown must not double-seal or write to
+        the closed store — it fails with a clear error instead."""
+        from repro.live import LiveStatsClient, LiveStatsServer
+        from tests.test_live_server import _records
+
+        with LiveStatsServer(port=0, shards=1,
+                             store=str(tmp_path / "h")) as server:
+            with LiveStatsClient(*server.address) as client:
+                client.publish_records("vm0", "d0", _records(50))
+        server.close()
+        with pytest.raises(ValueError, match="closed"):
+            server.rotate()
+        with HistogramStore.open(tmp_path / "h") as store:
+            assert store.epochs == 1  # drain sealed exactly once
+
+    def test_timed_rotation_survives_shutdown_race(self, tmp_path):
+        """Aggressive timer rotation during ingest + close: every
+        record lands exactly once and the store closes consistent."""
+        from repro.live import LiveStatsClient, LiveStatsServer
+        from tests.test_live_server import _records
+
+        store_path = tmp_path / "h"
+        server = LiveStatsServer(port=0, shards=1, rotate_every=0.005,
+                                 store=str(store_path)).start()
+        try:
+            with LiveStatsClient(*server.address) as client:
+                for i in range(10):
+                    client.publish_records(
+                        "vm0", "d0",
+                        _records(20, start_serial=i * 20,
+                                 start_ns=i * 10**8),
+                    )
+        finally:
+            server.close()
+        # The timer chain is dead and joined.
+        timer = server._rotate_timer
+        assert timer is None or not timer.is_alive()
+        assert server.ledger.records == 200
+        with HistogramStore.open(store_path) as store:
+            result = store.query(0, 2**63 - 1)
+            assert result.service.aggregate().commands == 200
 
 
 class TestAtomicExport:
@@ -537,6 +711,33 @@ class TestStoreCli:
         assert main(["store", "compact", str(path)]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["rewritten"] and doc["records_after"] == 1
+
+    def test_compact_retire_before_runs_before_the_rewrite(self,
+                                                           tmp_path,
+                                                           capsys):
+        """--retire-before must act on the pre-compaction segment set:
+        after the rewrite collapses everything into one segment there
+        is never a retirable subset left."""
+        from repro.cli import main
+
+        path = tmp_path / "s"
+        with HistogramStore.create(path) as store:
+            store.append("vm", "d", 0, 10 * SECOND_NS,
+                         simple_collector(1))
+            store.checkpoint()
+            store.append("vm", "d", 10 * SECOND_NS, 20 * SECOND_NS,
+                         simple_collector(2))
+            store.checkpoint()
+        assert main(["store", "compact", str(path),
+                     "--retire-before", "10"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["segments_retired"] == ["seg-00000001.seg"]
+        # The rewrite saw only the surviving records.
+        assert doc["records_before"] == 1
+        with HistogramStore.open(path) as store:
+            assert store.epochs == 1
+            assert store.query(0, 20 * SECOND_NS).covered_start_ns \
+                == 10 * SECOND_NS
 
     def test_foreign_directory_fails_loudly(self, tmp_path, capsys):
         from repro.cli import main
