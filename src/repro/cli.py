@@ -252,6 +252,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"({info['dropped_records_total']} dropped, "
               f"{info['rejected_frames_total']} rejected frames)",
               flush=True)
+        if info["degraded"]:
+            errors = "; ".join(e["error"] for e in info["persist_errors"])
+            print(f"repro.live: DEGRADED — store persistence failed "
+                  f"({errors}); quarantined epoch snapshots, if any, "
+                  f"are under <store>/quarantine/", flush=True)
     return 0
 
 
@@ -265,17 +270,19 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 
     frame_records = args.frame_records or DEFAULT_FRAME_RECORDS
     try:
-        with LiveStatsClient(args.host, args.port,
-                             timeout=args.timeout) as client:
+        with LiveStatsClient(args.host, args.port, timeout=args.timeout,
+                             retries=args.retries) as client:
             result = publish_source(
                 client, args.source, vm=args.vm, vdisk=args.vdisk,
                 frame_records=frame_records,
                 demo_seconds=args.demo_seconds,
             )
+            retried = result.get("retried", 0)
+            retry_note = f", {retried} frames retried" if retried else ""
             print(f"published {result['accepted']}/{result['records']} "
                   f"records in {result['frames']} frames "
                   f"(dropped {result['dropped']}, "
-                  f"ignored {result['ignored']})")
+                  f"ignored {result['ignored']}{retry_note})")
             if args.rotate:
                 rotated = client.rotate()
                 print(f"rotated: epoch {rotated['epoch']} sealed with "
@@ -476,6 +483,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     publish_parser.add_argument(
         "--timeout", type=float, default=30.0, metavar="SECONDS",
         help="socket timeout",
+    )
+    publish_parser.add_argument(
+        "--retries", type=int, default=4, metavar="N",
+        help="data-frame retry budget on connection failures "
+             "(retried frames are deduplicated server-side; 0 disables)",
     )
     publish_parser.add_argument(
         "--rotate", action="store_true",

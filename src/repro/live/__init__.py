@@ -11,7 +11,13 @@ any existing trace or simulated workload into live traffic
 (:mod:`repro.live.publish`).
 """
 
-from .client import DEFAULT_FRAME_RECORDS, LiveError, LiveStatsClient
+from .client import (
+    DEFAULT_FRAME_RECORDS,
+    DEFAULT_RETRIES,
+    LiveConnectionError,
+    LiveError,
+    LiveStatsClient,
+)
 from .epochs import Epoch, EpochLedger
 from .exposition import render_openmetrics
 from .protocol import ProtocolError
@@ -27,9 +33,11 @@ from .stream import DiskStream
 
 __all__ = [
     "DEFAULT_FRAME_RECORDS",
+    "DEFAULT_RETRIES",
     "DiskStream",
     "Epoch",
     "EpochLedger",
+    "LiveConnectionError",
     "LiveError",
     "LiveStatsClient",
     "LiveStatsServer",

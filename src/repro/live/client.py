@@ -2,24 +2,49 @@
 
 :class:`LiveStatsClient` wraps one TCP connection in the frame protocol
 of :mod:`repro.live.protocol`.  Publishing chunks a command stream into
-``DATA`` frames (each a raw run of 40-byte ``VSCSITR1`` records) and
-waits for the per-frame ack, which doubles as flow control against the
-server's bounded shard queues.  Control methods (:meth:`rotate`,
-:meth:`snapshot`, :meth:`enable`, :meth:`disable`, :meth:`metrics`,
-:meth:`info`) mirror the daemon's control plane one to one.
+sequenced ``DATA_SEQ`` frames (each a raw run of 40-byte ``VSCSITR1``
+records) and waits for the per-frame ack, which doubles as flow control
+against the server's bounded shard queues.  Control methods
+(:meth:`rotate`, :meth:`snapshot`, :meth:`enable`, :meth:`disable`,
+:meth:`metrics`, :meth:`info`) mirror the daemon's control plane one to
+one.
+
+Resilience
+----------
+A failed round-trip (``OSError``, reset, truncated response) *always*
+closes and discards the socket — a connection that may hold a
+half-written request or half-read response is never reused; the next
+call reconnects.
+
+Data frames additionally retry with bounded exponential backoff.  Each
+frame carries the client's session id and a monotone sequence number;
+the server remembers the last ``(session, seq)`` it processed and the
+exact ack bytes it produced, so a retry of a frame whose ack was lost
+in transit is answered from that cache instead of being ingested twice.
+The result: under connection faults, every acknowledged record is
+counted exactly once and the merged histograms are byte-identical to a
+fault-free run (pinned by ``tests/test_faults.py``).
+
+Control operations are *not* retried — ``rotate`` is not idempotent —
+so a transport failure there surfaces to the caller, who knows whether
+repeating the op is safe.
 
 A server-side error arrives as an ``ERROR`` frame and is raised as
 :class:`LiveError`; the connection stays usable unless the transport
-itself failed.
+itself failed.  A mid-publish failure attaches the totals accumulated
+so far as ``LiveError.partial``.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
+import uuid
 from typing import Dict, Iterable, Optional
 
 from ..core.tracing import TraceRecord
+from ..faults import fire
 from ..parallel.trace_io import TraceColumns, records_to_columns
 from .protocol import (
     FRAME_ERROR,
@@ -29,34 +54,91 @@ from .protocol import (
     ProtocolError,
     columns_to_bytes,
     pack_control,
-    pack_data,
+    pack_data_seq,
     read_frame,
     sort_columns_for_stream,
 )
 
-__all__ = ["LiveError", "LiveStatsClient", "DEFAULT_FRAME_RECORDS"]
+__all__ = [
+    "DEFAULT_FRAME_RECORDS",
+    "DEFAULT_RETRIES",
+    "LiveConnectionError",
+    "LiveError",
+    "LiveStatsClient",
+]
 
 #: Default records per data frame — big enough to amortize the ack
 #: round-trip and land in the numpy batch kernels, small enough to
 #: bound per-frame latency and memory.
 DEFAULT_FRAME_RECORDS = 32_768
 
+#: Default data-frame retry budget (attempts beyond the first).
+DEFAULT_RETRIES = 4
+
+#: First backoff sleep; doubles per retry up to the cap.
+DEFAULT_RETRY_BACKOFF = 0.05
+DEFAULT_RETRY_BACKOFF_CAP = 2.0
+
 
 class LiveError(RuntimeError):
-    """An ``ERROR`` response from the daemon."""
+    """An ``ERROR`` response from the daemon, or a failed publish.
+
+    ``partial`` (when set) carries the ``{"records", "frames",
+    "accepted", "dropped", "ignored", "retried"}`` totals accumulated
+    before a mid-stream failure, so a publisher can resume from the
+    first unacknowledged frame instead of restarting blind.
+    """
+
+    def __init__(self, message: str, partial: Optional[Dict] = None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class LiveConnectionError(LiveError, ConnectionError):
+    """The transport died before a response arrived.
+
+    Both a :class:`LiveError` (it ends a live operation) and a
+    :class:`ConnectionError` (it is retried like one): the data plane's
+    retry loop catches it as ``OSError``.
+    """
 
 
 class LiveStatsClient:
-    """One connection to a :class:`~repro.live.server.LiveStatsServer`."""
+    """One connection to a :class:`~repro.live.server.LiveStatsServer`.
+
+    ``retries``/``retry_backoff``/``retry_backoff_cap`` bound the
+    data-plane retry loop: up to ``retries`` resends per frame,
+    sleeping ``retry_backoff * 2**attempt`` (capped) between attempts.
+    ``retries=0`` disables retry entirely.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: Optional[float] = 30.0):
+                 timeout: Optional[float] = 30.0,
+                 retries: int = DEFAULT_RETRIES,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 retry_backoff_cap: float = DEFAULT_RETRY_BACKOFF_CAP):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        #: Lifetime count of data-frame resends (for tests/telemetry).
+        self.retries_total = 0
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._wfile = None
+        # Retry identity: one session per client object, a monotone
+        # frame counter across every publish on it.  The session id
+        # survives reconnects — that is the point.
+        self._session = uuid.uuid4().hex
+        self._seq = 0
 
     # ------------------------------------------------------------------
     def connect(self) -> "LiveStatsClient":
@@ -88,11 +170,29 @@ class LiveStatsClient:
     # ------------------------------------------------------------------
     def _roundtrip(self, frame: bytes):
         self.connect()
-        self._wfile.write(frame)
-        self._wfile.flush()
-        response = read_frame(self._rfile)
+        try:
+            action = fire("live.client.send")
+            if action is not None and action.kind == "partial":
+                # Injected short write: emit a truncated frame, then
+                # fail the way a dying TCP connection would.
+                cut = max(1, int(len(frame) * action.fraction))
+                self._wfile.write(frame[:cut])
+                self._wfile.flush()
+                raise ConnectionResetError("injected short frame write")
+            self._wfile.write(frame)
+            self._wfile.flush()
+            fire("live.client.recv")
+            response = read_frame(self._rfile)
+        except (OSError, ValueError):
+            # The transport failed mid-round-trip.  The connection may
+            # hold a half-written request or half-read response, so it
+            # must never be reused — discard it; the next call
+            # reconnects.
+            self.close()
+            raise
         if response is None:
-            raise LiveError("connection closed by server")
+            self.close()
+            raise LiveConnectionError("connection closed by server")
         ftype, payload = response
         if ftype == FRAME_ERROR:
             try:
@@ -105,6 +205,30 @@ class LiveStatsClient:
         if ftype == FRAME_TEXT:
             return payload.decode("utf-8")
         raise ProtocolError(f"unexpected response type 0x{ftype:02x}")
+
+    def _data_roundtrip(self, frame: bytes):
+        """Round-trip one sequenced data frame with bounded retry.
+
+        Retries transport failures only (``OSError`` including
+        :class:`LiveConnectionError`, and :class:`ProtocolError` from
+        a response truncated by a dying connection); a semantic
+        ``ERROR`` response raises immediately.  Safe because the frame
+        carries ``(session, seq)``: the server answers a retry of an
+        already-processed frame from its ack cache.
+        """
+        delay = self.retry_backoff
+        attempt = 0
+        while True:
+            try:
+                return self._roundtrip(frame)
+            except (ProtocolError, OSError):
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                self.retries_total += 1
+                if delay > 0:
+                    time.sleep(min(delay, self.retry_backoff_cap))
+                delay *= 2
 
     def _control(self, op: str, **fields) -> Dict:
         body = {"op": op}
@@ -122,7 +246,10 @@ class LiveStatsClient:
         ``sort=True`` (default) orders the whole stream by ``(issue,
         serial)`` first — required unless the caller guarantees stream
         order.  Returns ``{"records", "frames", "accepted", "dropped",
-        "ignored"}`` totals.
+        "ignored", "retried"}`` totals.  Empty input returns
+        zero totals without touching the wire.  On failure the raised
+        :class:`LiveError` carries the totals accumulated so far as
+        ``.partial``.
         """
         if frame_records < 1:
             raise ValueError(
@@ -132,17 +259,34 @@ class LiveStatsClient:
             columns = sort_columns_for_stream(columns)
         body = columns_to_bytes(columns)
         total = {"records": len(columns), "frames": 0, "accepted": 0,
-                 "dropped": 0, "ignored": 0}
+                 "dropped": 0, "ignored": 0, "retried": 0}
+        if not body:
+            return total
         step = frame_records * RECORD_BYTES
-        for offset in range(0, len(body) or 1, step):
-            chunk = body[offset:offset + step]
-            if not chunk and total["frames"]:
-                break
-            ack = self._roundtrip(pack_data(vm, vdisk, chunk))
-            total["frames"] += 1
-            total["accepted"] += ack.get("accepted", 0)
-            total["dropped"] += ack.get("dropped", 0)
-            total["ignored"] += ack.get("ignored", 0)
+        start_retries = self.retries_total
+        try:
+            for offset in range(0, len(body), step):
+                chunk = body[offset:offset + step]
+                self._seq += 1
+                ack = self._data_roundtrip(
+                    pack_data_seq(self._session, self._seq, vm, vdisk, chunk)
+                )
+                total["frames"] += 1
+                total["accepted"] += ack.get("accepted", 0)
+                total["dropped"] += ack.get("dropped", 0)
+                total["ignored"] += ack.get("ignored", 0)
+                total["retried"] = self.retries_total - start_retries
+        except LiveError as exc:
+            total["retried"] = self.retries_total - start_retries
+            exc.partial = dict(total)
+            raise
+        except (ProtocolError, OSError) as exc:
+            total["retried"] = self.retries_total - start_retries
+            raise LiveError(
+                f"publish failed after {total['frames']} acked frames: "
+                f"{exc}", partial=dict(total)
+            ) from exc
+        total["retried"] = self.retries_total - start_retries
         return total
 
     def publish_records(self, vm: str, vdisk: str,

@@ -16,7 +16,10 @@ tests pin.
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.collector import DEFAULT_TIME_SLOT_NS, VscsiStatsCollector
@@ -30,7 +33,8 @@ class Epoch:
     """One sealed collection interval."""
 
     __slots__ = ("index", "service", "records", "start_unix",
-                 "sealed_unix", "persisted", "start_ns", "end_ns")
+                 "sealed_unix", "persisted", "quarantined",
+                 "start_ns", "end_ns")
 
     def __init__(self, index: int, service: HistogramService,
                  records: int, sealed_unix: float,
@@ -44,6 +48,12 @@ class Epoch:
         self.sealed_unix = sealed_unix
         #: Whether the epoch has been written to an attached store.
         self.persisted = False
+        #: Whether a store failure diverted this epoch to a sidecar
+        #: file instead (see :meth:`EpochLedger._quarantine`).  A
+        #: quarantined epoch is never re-appended to the store — a
+        #: partial first attempt may already have landed some disks in
+        #: the WAL, and appending them again would double-count.
+        self.quarantined = False
         if span_ns is None:
             # Standalone construction: derive from the float clocks,
             # clamped non-empty.  The ledger always passes an explicit
@@ -73,6 +83,7 @@ class Epoch:
             "start_unix": self.start_unix,
             "sealed_unix": self.sealed_unix,
             "persisted": self.persisted,
+            "quarantined": self.quarantined,
             "disks": {
                 f"{vm}/{vdisk}": collector.to_dict()
                 for (vm, vdisk), collector in self.service.collectors()
@@ -114,19 +125,76 @@ class EpochLedger:
         #: epoch is appended (and a not-yet-persisted epoch is written
         #: before being retired).  The ledger never closes it.
         self.store = store
+        #: A store failure flips this and stays flipped: the ledger
+        #: keeps sealing (in-memory history is intact) but persistence
+        #: can no longer be trusted end to end.  Surfaced in the
+        #: server's ``info`` and OpenMetrics exposition.
+        self.degraded = False
+        #: One ``{"epoch", "error", "quarantined"}`` entry per failed
+        #: persist (``quarantined`` is the sidecar path, or ``None``
+        #: when even the sidecar write failed).
+        self.persist_errors: List[Dict] = []
 
     def attach_store(self, store) -> None:
         """Persist sealed epochs to ``store`` from now on."""
         self.store = store
 
+    def note_store_failure(self, message: str) -> None:
+        """Record a store failure not tied to one epoch's seal
+        (e.g. checkpoint/close at shutdown)."""
+        self.degraded = True
+        self.persist_errors.append(
+            {"epoch": None, "error": message, "quarantined": None}
+        )
+
     def _persist(self, epoch: Epoch) -> None:
-        if self.store is None or epoch.persisted:
+        if self.store is None or epoch.persisted or epoch.quarantined:
             return
-        start_ns, end_ns = epoch.span_ns
-        for (vm, vdisk), collector in epoch.service.collectors():
-            self.store.append(vm, vdisk, start_ns, end_ns, collector)
-        self.store.sync()
-        epoch.persisted = True
+        try:
+            start_ns, end_ns = epoch.span_ns
+            for (vm, vdisk), collector in epoch.service.collectors():
+                self.store.append(vm, vdisk, start_ns, end_ns, collector)
+            self.store.sync()
+        except (OSError, ValueError) as exc:
+            # The store failed mid-seal (disk full, I/O error, closed
+            # under our feet).  The epoch itself is fine — it lives in
+            # memory and keeps answering queries — so degrade instead
+            # of crashing: divert the snapshot to a sidecar file and
+            # let ingestion continue.
+            self._quarantine(epoch, exc)
+        else:
+            epoch.persisted = True
+
+    def _quarantine(self, epoch: Epoch, exc: BaseException) -> None:
+        """Divert a failed-persist epoch to a JSON sidecar.
+
+        The sidecar (``<store>/quarantine/epoch-<index>.json``) holds
+        the full per-disk snapshot plus the span, so an operator can
+        re-import the epoch after fixing the store.  Written atomically
+        and best-effort — under a real ``ENOSPC`` the sidecar volume
+        is likely full too, in which case the failure is still
+        recorded and the epoch still queryable in memory.
+        """
+        self.degraded = True
+        epoch.quarantined = True
+        entry: Dict = {"epoch": epoch.index,
+                       "error": f"{type(exc).__name__}: {exc}",
+                       "quarantined": None}
+        try:
+            directory = Path(self.store.path) / "quarantine"
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"epoch-{epoch.index:08d}.json"
+            document = epoch.to_dict()
+            document["span_ns"] = list(epoch.span_ns)
+            document["error"] = entry["error"]
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(document, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+            entry["quarantined"] = str(path)
+        except OSError:
+            pass
+        self.persist_errors.append(entry)
 
     def __len__(self) -> int:
         return len(self.epochs)
@@ -238,8 +306,10 @@ class EpochLedger:
             "retained": [
                 {"epoch": e.index, "start_unix": e.start_unix,
                  "sealed_unix": e.sealed_unix, "records": e.records,
-                 "persisted": e.persisted}
+                 "persisted": e.persisted, "quarantined": e.quarantined}
                 for e in self.epochs
             ],
             "persisting": self.store is not None,
+            "degraded": self.degraded,
+            "persist_failures": len(self.persist_errors),
         }

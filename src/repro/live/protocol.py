@@ -18,6 +18,15 @@ Every message in both directions is a *frame*::
   per-record parsing.
 * ``CONTROL`` (0x02) — a UTF-8 JSON object ``{"op": ...}``; see
   ``docs/live.md`` for the op table.
+* ``DATA_SEQ`` (0x03) — a ``DATA`` frame prefixed with a retry
+  identity: ``u16 BE`` session-id length, session id (UTF-8), ``u64
+  BE`` sequence number (starting at 1, incremented per frame), then
+  the ``DATA`` payload.  The server remembers, per session, the last
+  sequence number and the exact response bytes it produced, so a
+  client that lost an ack to a broken connection can resend the same
+  frame and receive the original ack instead of double-ingesting —
+  the mechanism behind :class:`repro.live.client.LiveStatsClient`'s
+  idempotent retry.
 
 Response frames:
 
@@ -48,6 +57,7 @@ except ImportError:  # pragma: no cover - exercised via the pure path
 __all__ = [
     "FRAME_CONTROL",
     "FRAME_DATA",
+    "FRAME_DATA_SEQ",
     "FRAME_ERROR",
     "FRAME_OK",
     "FRAME_TEXT",
@@ -59,6 +69,7 @@ __all__ = [
     "columns_to_bytes",
     "pack_control",
     "pack_data",
+    "pack_data_seq",
     "pack_error",
     "pack_frame",
     "pack_ok",
@@ -68,17 +79,19 @@ __all__ = [
     "sort_columns_for_stream",
     "unpack_control",
     "unpack_data",
+    "unpack_data_seq",
 ]
 
 PROTOCOL_VERSION = 1
 
 FRAME_DATA = 0x01
 FRAME_CONTROL = 0x02
+FRAME_DATA_SEQ = 0x03
 FRAME_OK = 0x81
 FRAME_TEXT = 0x82
 FRAME_ERROR = 0xEE
 
-_REQUEST_TYPES = frozenset({FRAME_DATA, FRAME_CONTROL})
+_REQUEST_TYPES = frozenset({FRAME_DATA, FRAME_CONTROL, FRAME_DATA_SEQ})
 _RESPONSE_TYPES = frozenset({FRAME_OK, FRAME_TEXT, FRAME_ERROR})
 
 #: Hard ceiling on one frame's (type + payload) size: a corrupt length
@@ -93,6 +106,7 @@ RECORD_BYTES = _RECORD_STRUCT.size
 _LEN = struct.Struct("!I")
 _TYPE = struct.Struct("!B")
 _NAME_LEN = struct.Struct("!H")
+_SEQ = struct.Struct("!Q")
 
 
 class ProtocolError(ValueError):
@@ -183,6 +197,57 @@ def unpack_data(payload: bytes) -> Tuple[str, str, bytes]:
             f"{RECORD_BYTES}-byte records"
         )
     return names[0], names[1], bytes(body)
+
+
+def pack_data_seq(session: str, seq: int, vm: str, vdisk: str,
+                  body: bytes) -> bytes:
+    """Build a ``DATA_SEQ`` frame — a data frame with retry identity.
+
+    ``session`` names one logical publishing stream (it survives
+    reconnects); ``seq`` starts at 1 and increments per frame.  A
+    resend of the same ``(session, seq)`` is byte-identical, which is
+    what lets the server deduplicate it.
+    """
+    if seq < 1:
+        raise ProtocolError(f"sequence number must be >= 1, got {seq}")
+    if not session:
+        raise ProtocolError("session id must be non-empty")
+    if len(body) % RECORD_BYTES:
+        raise ProtocolError(
+            f"data body of {len(body)} bytes is not a whole number of "
+            f"{RECORD_BYTES}-byte records"
+        )
+    return pack_frame(
+        FRAME_DATA_SEQ,
+        _pack_name(session) + _SEQ.pack(seq)
+        + _pack_name(vm) + _pack_name(vdisk) + body,
+    )
+
+
+def unpack_data_seq(payload: bytes) -> Tuple[str, int, str, str, bytes]:
+    """Split a ``DATA_SEQ`` payload into
+    ``(session, seq, vm, vdisk, record bytes)``."""
+    view = memoryview(payload)
+    if len(view) < _NAME_LEN.size:
+        raise ProtocolError("data frame truncated in its session header")
+    (slen,) = _NAME_LEN.unpack_from(view, 0)
+    offset = _NAME_LEN.size
+    if len(view) < offset + slen + _SEQ.size:
+        raise ProtocolError("data frame truncated in its session header")
+    try:
+        session = bytes(view[offset:offset + slen]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"undecodable session id: {exc}") from None
+    offset += slen
+    (seq,) = _SEQ.unpack_from(view, offset)
+    offset += _SEQ.size
+    if not session or seq < 1:
+        raise ProtocolError(
+            "data frame needs a non-empty session id and a sequence "
+            "number >= 1"
+        )
+    vm, vdisk, body = unpack_data(bytes(view[offset:]))
+    return session, seq, vm, vdisk, body
 
 
 # ----------------------------------------------------------------------

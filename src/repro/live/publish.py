@@ -58,14 +58,15 @@ def publish_shard_dir(client: LiveStatsClient, directory,
     directory = Path(directory)
     manifest = load_manifest(directory)
     totals = {"records": 0, "frames": 0, "accepted": 0, "dropped": 0,
-              "ignored": 0, "disks": {}}
+              "ignored": 0, "retried": 0, "disks": {}}
     for segment in manifest["segments"]:
         columns = read_binary_columns(directory / segment["file"])
         result = client.publish_columns(segment["vm"], segment["vdisk"],
                                         columns,
                                         frame_records=frame_records)
         totals["disks"][f"{segment['vm']}/{segment['vdisk']}"] = result
-        for field in ("records", "frames", "accepted", "dropped", "ignored"):
+        for field in ("records", "frames", "accepted", "dropped", "ignored",
+                      "retried"):
             totals[field] += result[field]
     return totals
 

@@ -37,6 +37,14 @@ microseconds to milliseconds regardless of traffic.
 
 Shutdown drains: pending queue items are processed, then the partial
 epoch is flushed into the ledger so no acked command is ever lost.
+
+Resilience: sequenced ``DATA_SEQ`` frames are deduplicated per client
+session (a retry of a frame whose ack was lost is answered from a
+cached ack, never ingested twice — the client side of this contract
+lives in :mod:`repro.live.client`), and a store that fails mid-seal
+degrades instead of crashing: the epoch is quarantined to a JSON
+sidecar, ``info``/``metrics`` flip a visible ``degraded`` flag, and
+ingestion continues (see :class:`repro.live.epochs.EpochLedger`).
 """
 
 from __future__ import annotations
@@ -45,17 +53,20 @@ import json
 import socket
 import threading
 import zlib
+from collections import OrderedDict
 from queue import Empty, Full, Queue
 from typing import Dict, List, Optional, Tuple
 
 from ..core.collector import DEFAULT_TIME_SLOT_NS, VscsiStatsCollector
 from ..core.service import DiskKey, HistogramService
 from ..core.window import DEFAULT_WINDOW_SIZE
+from ..faults import fire
 from .epochs import Epoch, EpochLedger
 from .exposition import render_openmetrics
 from .protocol import (
     FRAME_CONTROL,
     FRAME_DATA,
+    FRAME_DATA_SEQ,
     ProtocolError,
     bytes_to_columns,
     pack_error,
@@ -64,12 +75,39 @@ from .protocol import (
     read_frame,
     unpack_control,
     unpack_data,
+    unpack_data_seq,
 )
 from .stream import DiskStream
 
 __all__ = ["LiveStatsServer"]
 
 _SHUTDOWN = object()
+
+#: Retry-identity sessions remembered for ack deduplication.  Each
+#: entry is one publisher's last frame — tiny (the cached ack bytes) —
+#: so the cache is effectively "every publisher seen lately".
+_MAX_SESSIONS = 1024
+
+#: How long a retried frame waits for the original's in-flight ingest
+#: before giving up (matches the order of a worst-case blocked queue).
+_DUPLICATE_WAIT_SECONDS = 30.0
+
+
+class _SessionEntry:
+    """Per-session retry state: last seq seen and its cached ack.
+
+    ``done`` is set once ``response`` holds the exact bytes the
+    original frame was (or would have been) answered with; a retry
+    that arrives while the original is still being ingested waits on
+    it instead of ingesting again.
+    """
+
+    __slots__ = ("seq", "response", "done")
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.response: Optional[bytes] = None
+        self.done = threading.Event()
 
 
 class _DataItem:
@@ -230,7 +268,10 @@ class LiveStatsServer:
 
         self._control_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        self._session_lock = threading.Lock()
+        self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
         self._conns: set = set()
+        self.duplicate_frames_total = 0  # retries answered from cache
         self.frames_total = 0
         self.records_total = 0
         self.ignored_records_total = 0   # disabled-disk data frames
@@ -348,8 +389,21 @@ class LiveStatsServer:
                 if pairs:
                     self.ledger.seal(pairs)
             if self.store is not None and self._owns_store:
-                self.store.checkpoint()
-                self.store.close()
+                # A store that fails at the very end must not lose the
+                # in-memory state or leave the flock held: record the
+                # failure (degraded, like a failed seal) and still
+                # close.  The WAL keeps anything the checkpoint could
+                # not seal into a segment.
+                try:
+                    self.store.checkpoint()
+                except (OSError, ValueError) as exc:
+                    self.ledger.note_store_failure(
+                        f"checkpoint on close: {exc}")
+                try:
+                    self.store.close()
+                except (OSError, ValueError) as exc:
+                    self.ledger.note_store_failure(
+                        f"store close: {exc}")
 
     def _schedule_rotate(self) -> None:
         if self._stopping.is_set():
@@ -395,6 +449,7 @@ class LiveStatsServer:
             wfile = conn.makefile("wb")
             while not self._stopping.is_set():
                 try:
+                    fire("live.server.recv")
                     frame = read_frame(rfile)
                 except ProtocolError as exc:
                     # Framing is broken; report and drop the link
@@ -411,6 +466,8 @@ class LiveStatsServer:
                 try:
                     if ftype == FRAME_DATA:
                         response = self._handle_data(payload)
+                    elif ftype == FRAME_DATA_SEQ:
+                        response = self._handle_data_seq(payload)
                     elif ftype == FRAME_CONTROL:
                         response = self._handle_control(payload)
                     else:
@@ -435,6 +492,13 @@ class LiveStatsServer:
     @staticmethod
     def _send(wfile, data: bytes) -> bool:
         try:
+            action = fire("live.server.send")
+            if action is not None and action.kind == "partial":
+                # Injected short write: the client sees a truncated
+                # response, exactly as if the connection died mid-ack.
+                wfile.write(data[:max(1, int(len(data) * action.fraction))])
+                wfile.flush()
+                return False
             wfile.write(data)
             wfile.flush()
             return True
@@ -454,6 +518,83 @@ class LiveStatsServer:
 
     def _handle_data(self, payload: bytes) -> bytes:
         vm, vdisk, body = unpack_data(payload)
+        return self._ingest(vm, vdisk, body)
+
+    def _handle_data_seq(self, payload: bytes) -> bytes:
+        """A sequenced data frame: ingest once, answer retries from
+        cache.
+
+        The dedup decision happens *before* ingestion: the ``(session,
+        seq)`` slot is reserved under the session lock, so a retry that
+        races the original (the client timed out while the original is
+        still blocked on a full shard queue) waits for the original's
+        ack instead of ingesting the same records twice.  Cached
+        responses include ``ERROR`` answers — a retry of a
+        semantically rejected frame is rejected identically, keeping
+        the client's view consistent.
+        """
+        session, seq, vm, vdisk, body = unpack_data_seq(payload)
+        with self._session_lock:
+            entry = self._sessions.get(session)
+            if entry is not None and seq == entry.seq:
+                fresh = None  # duplicate of the last (maybe in-flight) frame
+            elif entry is not None and seq < entry.seq:
+                raise ProtocolError(
+                    f"stale data frame seq {seq} for session "
+                    f"{session!r} (last seen {entry.seq})"
+                )
+            elif entry is not None and seq > entry.seq + 1:
+                raise ProtocolError(
+                    f"data frame seq gap for session {session!r}: got "
+                    f"{seq}, expected {entry.seq + 1}"
+                )
+            elif entry is not None and entry.response is None:
+                # seq == entry.seq + 1 while entry is still in flight:
+                # a sequential client never advances past an unacked
+                # frame, so this is protocol misuse.
+                raise ProtocolError(
+                    f"data frame seq {seq} for session {session!r} "
+                    f"while seq {entry.seq} is still in flight"
+                )
+            else:
+                fresh = _SessionEntry(seq)
+                self._sessions[session] = fresh
+                self._sessions.move_to_end(session)
+                while len(self._sessions) > _MAX_SESSIONS:
+                    oldest = next(iter(self._sessions))
+                    if self._sessions[oldest].response is None:
+                        break  # never evict an in-flight entry
+                    del self._sessions[oldest]
+        if fresh is None:
+            if not entry.done.wait(timeout=_DUPLICATE_WAIT_SECONDS):
+                raise ProtocolError(
+                    f"retried frame seq {seq} for session {session!r} "
+                    f"is still being ingested"
+                )
+            with self._stats_lock:
+                self.duplicate_frames_total += 1
+            return entry.response
+        try:
+            response = self._ingest(vm, vdisk, body)
+        except ProtocolError as exc:
+            self._count_rejected()
+            response = pack_error(str(exc))
+        except BaseException:
+            # Ingestion died before producing an ack (only reachable
+            # outside the ProtocolError path, e.g. interpreter
+            # shutdown).  Nothing was acknowledged, so forget the slot
+            # — a retry re-ingests from scratch — and wake any waiter.
+            with self._session_lock:
+                if self._sessions.get(session) is fresh:
+                    del self._sessions[session]
+            fresh.response = pack_error("ingest aborted")
+            fresh.done.set()
+            raise
+        fresh.response = response
+        fresh.done.set()
+        return response
+
+    def _ingest(self, vm: str, vdisk: str, body: bytes) -> bytes:
         columns = bytes_to_columns(body)
         n = len(columns)
         with self._stats_lock:
@@ -662,6 +803,9 @@ class LiveStatsServer:
                 "ignored_records_total": self.ignored_records_total,
                 "dropped_records_total": self.dropped_records_total,
                 "rejected_frames_total": self.rejected_frames_total,
+                "duplicate_frames_total": self.duplicate_frames_total,
+                "persist_failures_total": len(self.ledger.persist_errors),
+                "degraded": 1 if self.ledger.degraded else 0,
                 "connections_open": len(self._conns),
                 "connections_total": self.connections_total,
             }
@@ -682,9 +826,13 @@ class LiveStatsServer:
                 "ignored_records_total": self.ignored_records_total,
                 "dropped_records_total": self.dropped_records_total,
                 "rejected_frames_total": self.rejected_frames_total,
+                "duplicate_frames_total": self.duplicate_frames_total,
                 "connections_open": len(self._conns),
                 "connections_total": self.connections_total,
                 "queue_depths": [w.queue.qsize() for w in self._workers],
+                "sessions": len(self._sessions),
+                "degraded": self.ledger.degraded,
+                "persist_errors": list(self.ledger.persist_errors),
             }
         info["ledger"] = self.ledger.to_dict()
         # Full per-epoch snapshots aren't operational data; keep the

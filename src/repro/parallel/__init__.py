@@ -17,6 +17,7 @@ This package exploits that:
 
 from .sharded import (
     ShardedReplay,
+    ShardedReplayError,
     ShardedReplayResult,
     partition_segments,
     pick_start_method,
@@ -35,6 +36,7 @@ from .trace_io import (
 
 __all__ = [
     "ShardedReplay",
+    "ShardedReplayError",
     "ShardedReplayResult",
     "TraceColumns",
     "columns_to_records",

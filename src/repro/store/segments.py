@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.collector import VscsiStatsCollector
+from ..faults import fire
 from .codec import collector_from_bytes
 from .wal import _fsync_dir
 
@@ -82,28 +83,39 @@ def write_segment(path, records: Iterable[Tuple[Dict, bytes]]) -> List[Dict]:
     partial file.  Returns the footer entries written.
     """
     path = Path(path)
+    fire("store.segment.write")
     tmp = path.with_name(path.name + ".tmp")
     entries: List[Dict] = []
-    with open(tmp, "wb") as fileobj:
-        fileobj.write(SEGMENT_MAGIC)
-        offset = len(SEGMENT_MAGIC)
-        for meta, payload in records:
-            entry = dict(meta)
-            entry["off"] = offset
-            entry["len"] = len(payload)
-            entry["crc"] = zlib.crc32(payload) & 0xFFFFFFFF
-            entries.append(entry)
-            fileobj.write(payload)
-            offset += len(payload)
-        footer = json.dumps(
-            {"format": _FOOTER_FORMAT, "entries": entries},
-            sort_keys=True, separators=(",", ":"),
-        ).encode("utf-8")
-        fileobj.write(footer)
-        fileobj.write(_TRAILER.pack(offset, len(footer),
-                                    zlib.crc32(footer) & 0xFFFFFFFF))
-        fileobj.flush()
-        os.fsync(fileobj.fileno())
+    try:
+        with open(tmp, "wb") as fileobj:
+            fileobj.write(SEGMENT_MAGIC)
+            offset = len(SEGMENT_MAGIC)
+            for meta, payload in records:
+                entry = dict(meta)
+                entry["off"] = offset
+                entry["len"] = len(payload)
+                entry["crc"] = zlib.crc32(payload) & 0xFFFFFFFF
+                entries.append(entry)
+                fileobj.write(payload)
+                offset += len(payload)
+            footer = json.dumps(
+                {"format": _FOOTER_FORMAT, "entries": entries},
+                sort_keys=True, separators=(",", ":"),
+            ).encode("utf-8")
+            fileobj.write(footer)
+            fileobj.write(_TRAILER.pack(offset, len(footer),
+                                        zlib.crc32(footer) & 0xFFFFFFFF))
+            fileobj.flush()
+            os.fsync(fileobj.fileno())
+    except BaseException:
+        # Don't leave the stray for the next open's sweep when the
+        # failure happens in-process — the caller keeps a consistent
+        # directory either way.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     os.replace(tmp, path)
     _fsync_dir(path.parent)
     return entries

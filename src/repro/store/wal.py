@@ -28,11 +28,14 @@ record.
 
 from __future__ import annotations
 
+import errno as _errno
 import os
 import struct
 import zlib
 from pathlib import Path
 from typing import List, Optional, Tuple
+
+from ..faults import fire
 
 __all__ = ["WAL_MAGIC", "WriteAheadLog", "scan_wal"]
 
@@ -110,6 +113,11 @@ class WriteAheadLog:
         #: Bytes of torn tail truncated during recovery.
         self.truncated_bytes = 0
         self._unsynced = 0
+        # Set when a failed append's half-written frame could not be
+        # rolled back either: the tail is torn and claiming durability
+        # for anything after it would be a lie, so sync() refuses
+        # until reset() (or a reopen's recovery) truncates the tear.
+        self._torn = False
 
         if self.path.exists() and self.path.stat().st_size > 0:
             self.recovered, good_size, self.truncated_bytes = scan_wal(
@@ -129,21 +137,72 @@ class WriteAheadLog:
             _fsync_dir(self.path.parent)
 
     # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._file.closed:
+            raise ValueError(
+                f"write-ahead log {self.path} is closed; reopen the "
+                f"store to keep appending"
+            )
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
     def append(self, payload: bytes) -> None:
-        """Append one framed record, honouring the fsync policy."""
-        self._file.write(_FRAME.pack(len(payload),
-                                     zlib.crc32(payload) & 0xFFFFFFFF))
-        self._file.write(payload)
-        if self.fsync == "always":
-            self.sync()
-            return
-        self._file.flush()
+        """Append one framed record, honouring the fsync policy.
+
+        A failed write (``ENOSPC``, I/O error) rolls the file back to
+        the frame boundary before raising, so the frame chain stays
+        intact and ``_unsynced`` never counts a record that is not in
+        the file — a later :meth:`sync` cannot claim durability for
+        it.  If even the rollback fails, the log is marked torn and
+        :meth:`sync` refuses until :meth:`reset` (or reopening, whose
+        recovery truncates the tear) clears it.
+        """
+        self._check_open()
+        action = fire("store.wal.append")
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) \
+            + payload
+        start = self._file.tell()
+        try:
+            if action is not None and action.kind == "partial":
+                # Injected short write: persist a prefix, then fail as
+                # a full disk would mid-write.
+                self._file.write(frame[:max(1, int(len(frame)
+                                                   * action.fraction))])
+                self._file.flush()
+                raise OSError(_errno.ENOSPC,
+                              "injected partial WAL append")
+            self._file.write(frame)
+            if self.fsync == "always":
+                self.sync()
+                return
+            self._file.flush()
+        except OSError:
+            self._rollback(start)
+            raise
         self._unsynced += 1
         if self.fsync == "batch" and self._unsynced >= self.fsync_batch:
             self.sync()
 
+    def _rollback(self, start: int) -> None:
+        """Erase a half-written frame so the chain stays intact."""
+        try:
+            self._file.seek(start)
+            self._file.truncate(start)
+        except OSError:
+            self._torn = True
+
     def sync(self) -> None:
         """Flush and fsync — the durability point for batched appends."""
+        self._check_open()
+        if self._torn:
+            raise ValueError(
+                f"write-ahead log {self.path} holds a torn frame from a "
+                f"failed append that could not be rolled back; reset() "
+                f"or reopen to truncate it"
+            )
+        fire("store.wal.sync")
         self._file.flush()
         os.fsync(self._file.fileno())
         self._unsynced = 0
@@ -151,8 +210,10 @@ class WriteAheadLog:
     def reset(self) -> None:
         """Truncate back to the magic (after a checkpoint seals the
         records into a segment) and make the truncation durable."""
+        self._check_open()
         self._file.truncate(len(WAL_MAGIC))
         self._file.seek(len(WAL_MAGIC))
+        self._torn = False  # the truncation erased any torn tail
         self.sync()
         self.recovered = []
 
@@ -164,8 +225,11 @@ class WriteAheadLog:
     def close(self) -> None:
         if self._file.closed:
             return
-        self.sync()
-        self._file.close()
+        try:
+            if not self._torn:
+                self.sync()
+        finally:
+            self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
