@@ -69,8 +69,15 @@ SITES = {
     "live.client.recv": "LiveStatsClient._roundtrip, before each response read",
     "live.server.recv": "LiveStatsServer connection loop, before each frame read",
     "live.server.send": "LiveStatsServer._send, before each response write",
+    # The WAL sites are batch-aware: under group commit, append fires
+    # once per *logical* append even though frames buffer and reach the
+    # file as one write, so an N-append schedule covers the same slots
+    # whatever the fsync policy.  A ``partial`` append drains the
+    # buffered (already-acknowledgeable) frames first, then tears only
+    # its own frame; sync fires before the drain+fsync pair, modelling
+    # a durability barrier that fails as a whole.
     "store.wal.append": "WriteAheadLog.append, before framing the record",
-    "store.wal.sync": "WriteAheadLog.sync, before flush+fsync",
+    "store.wal.sync": "WriteAheadLog.sync, before drain+flush+fsync",
     "store.segment.write": "write_segment, before staging the temp file",
     "parallel.worker": "_replay_shard, before each segment replay",
 }

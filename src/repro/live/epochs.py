@@ -152,9 +152,11 @@ class EpochLedger:
             return
         try:
             start_ns, end_ns = epoch.span_ns
-            for (vm, vdisk), collector in epoch.service.collectors():
-                self.store.append(vm, vdisk, start_ns, end_ns, collector)
-            self.store.sync()
+            # One group commit per epoch: every disk's record is
+            # buffered into the WAL and sync=True lands the whole batch
+            # with a single fsync — the epoch's durability point.
+            self.store.append_epoch(epoch.service, start_ns, end_ns,
+                                    sync=True)
         except (OSError, ValueError) as exc:
             # The store failed mid-seal (disk full, I/O error, closed
             # under our feet).  The epoch itself is fine — it lives in

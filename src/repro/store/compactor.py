@@ -19,6 +19,14 @@ record spanning their union.  Lone records pass through untouched, so
 compaction is idempotent and a freshly compacted store re-compacts to
 itself.
 
+Execution detail (``HistogramStore.compact``): merged groups reduce
+through the codec's vectorized
+:func:`~repro.store.codec.merge_collector_payloads` — bit-identical to
+decode-and-``merge`` — and re-encode at whatever frame version fits
+(a canonical merge lands in columnar v2); passthrough records are
+copied *verbatim*, byte for byte, so v1 frames from an older writer
+stay v1 in place and never pay a decode/re-encode cycle.
+
 Retention is age-based and two-speed: :func:`select_retained` drops
 individual records during a compaction rewrite (exact), and the store's
 ``retire_segments`` unlinks whole segment files whose every record has

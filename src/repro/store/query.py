@@ -19,15 +19,44 @@ exact and associative at every layer.  Because consecutive epochs abut
 half-open, adjacency alone never chains the closure — only records that
 genuinely straddle a selected span pull more in.  The identity is
 Hypothesis-pinned in ``tests/test_store.py``.
+
+Two execution strategies share that contract:
+
+* :func:`range_query` — one-shot over any handle iterable.
+* :class:`QueryIndex` — a reusable index over a fixed handle set (the
+  store caches one per mutation generation): selection runs as numpy
+  interval masks over pre-extracted bound arrays, and the resulting
+  *cover* (chosen handles + covered span) is memoized per query window,
+  so the repeated/overlapping windows of a ``repro watch`` loop skip
+  both scan and closure.  Only the cover is cached — the merge always
+  re-runs, so every call returns a fresh, independently mutable
+  service.
+
+Merging goes through the codec's vectorized
+:func:`~repro.store.codec.merge_collector_payloads` whenever the chosen
+handles expose raw frame payloads (``raw()``), falling back to exact
+per-record ``load()``/``merge()`` otherwise — the two are
+bit-identical by construction.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from itertools import groupby
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.service import HistogramService
+from .codec import merge_collector_payloads
 
-__all__ = ["QueryResult", "range_query"]
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the pure path
+    _np = None
+
+__all__ = ["QueryIndex", "QueryResult", "range_query"]
+
+#: Distinct query windows whose covers a :class:`QueryIndex` memoizes.
+COVER_CACHE_SIZE = 64
 
 
 class QueryResult:
@@ -75,25 +104,50 @@ class QueryResult:
                 f"span=[{self.covered_start_ns},{self.covered_end_ns})>")
 
 
-def range_query(handles: Iterable, start_ns: int, end_ns: int,
-                vm: Optional[str] = None,
-                vdisk: Optional[str] = None) -> QueryResult:
-    """Select, close over, and merge records overlapping ``[t0, t1]``.
+def _merge_group(group: List):
+    """Exactly merge one disk's chosen handles into a collector.
 
-    ``handles`` yields record handles exposing ``vm``, ``vdisk``,
-    ``start_ns``, ``end_ns``, ``records``, ``seq`` and ``load()``
-    (returning a collector snapshot) — the store's
-    :meth:`~repro.store.store.HistogramStore.records` iterator.
-    ``vm``/``vdisk`` filter the disk set before selection.
+    Fast path: every handle exposes a raw frame payload and the
+    vectorized codec merge reduces them without intermediate
+    collectors.  Fallback: per-record decode + ``merge`` (identical
+    result by the codec's merge contract).
     """
-    if end_ns < start_ns:
-        raise ValueError(
-            f"query end {end_ns} precedes query start {start_ns}"
-        )
-    candidates = [
-        h for h in handles
-        if (vm is None or h.vm == vm) and (vdisk is None or h.vdisk == vdisk)
-    ]
+    if _np is not None:
+        payloads = []
+        for h in group:
+            raw = getattr(h, "raw", None)
+            payload = raw() if callable(raw) else None
+            if payload is None:
+                payloads = None
+                break
+            payloads.append(payload)
+        if payloads is not None:
+            return merge_collector_payloads(payloads)
+    merged = group[0].load()
+    for h in group[1:]:
+        merged = merged.merge(h.load())
+    return merged
+
+
+def merge_handles(chosen: List) -> HistogramService:
+    """Merge sorted chosen handles into a per-disk service.
+
+    ``chosen`` must be sorted by ``(vm, vdisk, start_ns, end_ns, seq)``
+    — the deterministic merge order both execution strategies share.
+    """
+    service: Optional[HistogramService] = None
+    for key, group in groupby(chosen, key=lambda h: (h.vm, h.vdisk)):
+        collector = _merge_group(list(group))
+        if service is None:
+            service = HistogramService(window_size=collector.window_size,
+                                       time_slot_ns=collector.time_slot_ns)
+        service.adopt(key, collector)
+    return service if service is not None else HistogramService()
+
+
+def _closure_select(candidates: List, start_ns: int,
+                    end_ns: int) -> Tuple[List, int, int]:
+    """Pure-Python fixpoint selection (shared exactness reference)."""
     # Half-open fixpoint selection: [q_start, q_end) with q_end = t1 + 1
     # so an inclusive integer t1 behaves as the paper of record (records
     # whose span *touches* t1 are in, records starting at t1 + 1 are
@@ -116,20 +170,149 @@ def range_query(handles: Iterable, start_ns: int, end_ns: int,
             else:
                 remaining.append(h)
         candidates = remaining
+    return chosen, q_start, q_end
 
+
+def _result(chosen: List, epochs: int) -> QueryResult:
     if not chosen:
         return QueryResult(HistogramService(), None, None, 0, 0)
-
-    chosen.sort(key=lambda h: (h.vm, h.vdisk, h.start_ns, h.end_ns, h.seq))
     covered_start = min(h.start_ns for h in chosen)
     covered_end = max(h.end_ns for h in chosen)
-    epochs = sum(h.records for h in chosen)
-
-    first = chosen[0].load()
-    service = HistogramService(window_size=first.window_size,
-                               time_slot_ns=first.time_slot_ns)
-    service.adopt((chosen[0].vm, chosen[0].vdisk), first)
-    for h in chosen[1:]:
-        service.adopt((h.vm, h.vdisk), h.load())
-    return QueryResult(service, covered_start, covered_end,
+    return QueryResult(merge_handles(chosen), covered_start, covered_end,
                        len(chosen), epochs)
+
+
+def range_query(handles: Iterable, start_ns: int, end_ns: int,
+                vm: Optional[str] = None,
+                vdisk: Optional[str] = None) -> QueryResult:
+    """Select, close over, and merge records overlapping ``[t0, t1]``.
+
+    ``handles`` yields record handles exposing ``vm``, ``vdisk``,
+    ``start_ns``, ``end_ns``, ``records``, ``seq`` and ``load()``
+    (returning a collector snapshot) — the store's
+    :meth:`~repro.store.store.HistogramStore.records` iterator.
+    Handles additionally exposing ``raw()`` (a framed codec payload)
+    are merged through the vectorized codec path.
+    ``vm``/``vdisk`` filter the disk set before selection.
+    """
+    if end_ns < start_ns:
+        raise ValueError(
+            f"query end {end_ns} precedes query start {start_ns}"
+        )
+    candidates = [
+        h for h in handles
+        if (vm is None or h.vm == vm) and (vdisk is None or h.vdisk == vdisk)
+    ]
+    chosen, _q_start, _q_end = _closure_select(candidates, start_ns, end_ns)
+    chosen.sort(key=lambda h: (h.vm, h.vdisk, h.start_ns, h.end_ns, h.seq))
+    return _result(chosen, sum(h.records for h in chosen))
+
+
+class QueryIndex:
+    """Reusable range-query index over a *fixed* set of record handles.
+
+    Built once per store mutation generation
+    (:meth:`HistogramStore.query` caches one and drops it on
+    append/checkpoint/compact/retire), it pre-extracts every handle's
+    interval bounds into numpy arrays so the closure fixpoint runs as
+    vectorized interval masks, and memoizes the resulting cover per
+    ``(start, end, vm, vdisk)`` window in a small LRU.  The merge is
+    *never* cached: each :meth:`query` call re-merges the cover and
+    returns a fresh service the caller may freely mutate.
+    """
+
+    def __init__(self, handles: Iterable):
+        self.handles: List = list(handles)
+        self._cover_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._starts = self._ends = None
+        self._vm_codes = self._vdisk_codes = None
+        self._vm_index: Dict[str, int] = {}
+        self._vdisk_index: Dict[str, int] = {}
+        if _np is not None and self.handles:
+            n = len(self.handles)
+            self._starts = _np.fromiter((h.start_ns for h in self.handles),
+                                        dtype=_np.int64, count=n)
+            self._ends = _np.fromiter((h.end_ns for h in self.handles),
+                                      dtype=_np.int64, count=n)
+            for attr, index in (("vm", self._vm_index),
+                                ("vdisk", self._vdisk_index)):
+                codes = _np.empty(n, dtype=_np.int32)
+                for i, h in enumerate(self.handles):
+                    value = getattr(h, attr)
+                    code = index.get(value)
+                    if code is None:
+                        code = index[value] = len(index)
+                    codes[i] = code
+                if attr == "vm":
+                    self._vm_codes = codes
+                else:
+                    self._vdisk_codes = codes
+
+    # ------------------------------------------------------------------
+    def _select(self, start_ns: int, end_ns: int, vm: Optional[str],
+                vdisk: Optional[str]) -> List:
+        """Fixpoint-select the cover, vectorized when numpy is around."""
+        if self._starts is None:
+            candidates = [
+                h for h in self.handles
+                if (vm is None or h.vm == vm)
+                and (vdisk is None or h.vdisk == vdisk)
+            ]
+            chosen, _qs, _qe = _closure_select(candidates, start_ns, end_ns)
+            return chosen
+        if vm is not None:
+            code = self._vm_index.get(vm)
+            if code is None:
+                return []
+            base = self._vm_codes == code
+        else:
+            base = None
+        if vdisk is not None:
+            code = self._vdisk_index.get(vdisk)
+            if code is None:
+                return []
+            mask = self._vdisk_codes == code
+            base = mask if base is None else base & mask
+        q_start = start_ns
+        q_end = end_ns + 1
+        while True:
+            sel = (self._starts < q_end) & (self._ends > q_start)
+            if base is not None:
+                sel &= base
+            if not sel.any():
+                return []
+            new_start = min(q_start, int(self._starts[sel].min()))
+            new_end = max(q_end, int(self._ends[sel].max()))
+            if new_start == q_start and new_end == q_end:
+                break
+            q_start, q_end = new_start, new_end
+        return [self.handles[i] for i in _np.nonzero(sel)[0]]
+
+    def _cover(self, start_ns: int, end_ns: int, vm: Optional[str],
+               vdisk: Optional[str]) -> Tuple[List, int]:
+        """Memoized ``(sorted chosen, epochs)`` for one query window."""
+        key = (start_ns, end_ns, vm, vdisk)
+        cached = self._cover_cache.get(key)
+        if cached is not None:
+            self._cover_cache.move_to_end(key)
+            return cached
+        chosen = self._select(start_ns, end_ns, vm, vdisk)
+        chosen.sort(key=lambda h: (h.vm, h.vdisk, h.start_ns, h.end_ns,
+                                   h.seq))
+        cover = (chosen, sum(h.records for h in chosen))
+        self._cover_cache[key] = cover
+        if len(self._cover_cache) > COVER_CACHE_SIZE:
+            self._cover_cache.popitem(last=False)
+        return cover
+
+    def query(self, start_ns: int, end_ns: int,
+              vm: Optional[str] = None,
+              vdisk: Optional[str] = None) -> QueryResult:
+        """Same contract (and bit-identical result) as
+        :func:`range_query` over this index's handles."""
+        if end_ns < start_ns:
+            raise ValueError(
+                f"query end {end_ns} precedes query start {start_ns}"
+            )
+        chosen, epochs = self._cover(start_ns, end_ns, vm, vdisk)
+        return _result(chosen, epochs)

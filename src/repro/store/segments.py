@@ -45,7 +45,7 @@ class SegmentEntry:
     """One record's index entry inside a segment footer."""
 
     __slots__ = ("seq", "vm", "vdisk", "start_ns", "end_ns", "tier",
-                 "records", "offset", "length", "crc")
+                 "records", "offset", "length", "crc", "verified")
 
     def __init__(self, seq: int, vm: str, vdisk: str, start_ns: int,
                  end_ns: int, tier: int, records: int, offset: int,
@@ -60,6 +60,10 @@ class SegmentEntry:
         self.offset = offset
         self.length = length
         self.crc = crc
+        #: Set after the first successful CRC check: the mapping is
+        #: immutable within a process, so repeated reads (a watch
+        #: loop's overlapping queries) skip re-hashing the payload.
+        self.verified = False
 
     def meta(self) -> Dict:
         """Index metadata as a JSON-ready dict (footer form)."""
@@ -167,13 +171,19 @@ class SegmentReader:
 
     # ------------------------------------------------------------------
     def payload(self, entry: SegmentEntry):
-        """CRC-checked zero-copy view of one record's bytes."""
+        """CRC-checked zero-copy view of one record's bytes.
+
+        The check runs once per entry per reader; later reads reuse
+        the verdict (the mmap is immutable for the segment's
+        lifetime)."""
         view = self._view[entry.offset:entry.offset + entry.length]
-        if zlib.crc32(view) & 0xFFFFFFFF != entry.crc:
-            raise ValueError(
-                f"corrupt record (seq {entry.seq}) in {self.path}: "
-                f"CRC mismatch"
-            )
+        if not entry.verified:
+            if zlib.crc32(view) & 0xFFFFFFFF != entry.crc:
+                raise ValueError(
+                    f"corrupt record (seq {entry.seq}) in {self.path}: "
+                    f"CRC mismatch"
+                )
+            entry.verified = True
         return view
 
     def collector(self, entry: SegmentEntry) -> VscsiStatsCollector:

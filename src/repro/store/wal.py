@@ -1,4 +1,4 @@
-"""Append-only write-ahead log with torn-tail crash recovery.
+"""Append-only write-ahead log with group commit and torn-tail recovery.
 
 Every store append lands in the WAL first.  The file is a magic header
 followed by framed records::
@@ -7,14 +7,27 @@ followed by framed records::
     | magic 8  |   | u32 len | u32 crc32    | payload     |
     +----------+   +---------+--------------+-------------+
 
-Durability is a policy, not an accident:
+Appends are *group-committed*: each frame goes into a bounded in-memory
+buffer and many frames reach the file as one ``write`` — and, at the
+durability point, one ``fsync`` — instead of one syscall pair per
+record.  The buffer drains to the OS when it exceeds
+``buffer_bytes`` or has lingered past ``linger_s`` seconds, and drains
+*and* fsyncs at every :meth:`sync` barrier.  Durability is a policy,
+not an accident:
 
 * ``fsync="always"`` — every append is flushed and fsynced before it
   returns; an acknowledged record survives ``kill -9``.
-* ``fsync="batch"`` (default) — appends are flushed to the OS on every
-  call but fsynced once per ``fsync_batch`` records (and on
-  :meth:`sync`/:meth:`close`); the durability point is the last sync.
-* ``fsync="never"`` — flush only; for bulk loads and tests.
+* ``fsync="batch"`` (default) — appends are buffered and fsynced once
+  per ``fsync_batch`` records (and on :meth:`sync`/:meth:`close`); the
+  durability point is the last successful sync.  A record is durable
+  only once a :meth:`sync` covering it has returned — never before.
+* ``fsync="never"`` — buffer and write only; for bulk loads and tests.
+
+If draining the buffer fails (``ENOSPC``, I/O error) the file is
+rolled back to the last frame boundary and the buffered frames are
+*kept*: the records are not lost, the next sync retries them, and no
+sync has claimed durability for them in the meantime.  Only if the
+rollback itself fails is the log marked torn.
 
 Recovery (:func:`scan_wal`, run automatically on open) walks the frame
 chain and stops at the first record whose length runs past the end of
@@ -23,7 +36,8 @@ mid-write.  The torn tail is truncated in place and every record before
 it is returned intact, so an interrupted writer loses at most the
 records it was never acknowledged for.  ``tests/test_store_wal.py``
 pins this by truncating a log at *every byte offset* of its final
-record.
+record; ``tests/test_store_crash.py`` pins the group-commit contract
+under real ``kill -9``.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ from __future__ import annotations
 import errno as _errno
 import os
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -43,6 +58,11 @@ WAL_MAGIC = b"RPHWAL1\n"
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 
 _FSYNC_POLICIES = ("always", "batch", "never")
+
+#: Group-commit thresholds: drain the append buffer to the OS once it
+#: holds this many bytes, or once its oldest frame is this old.
+DEFAULT_BUFFER_BYTES = 1 << 20
+DEFAULT_LINGER_S = 0.1
 
 
 def _fsync_dir(path: Path) -> None:
@@ -89,7 +109,7 @@ def scan_wal(path) -> Tuple[List[bytes], int, int]:
 
 
 class WriteAheadLog:
-    """Appendable frame log over one file.
+    """Appendable frame log over one file, with group commit.
 
     Opening an existing log performs recovery: the torn tail (if any)
     is truncated and the surviving payloads are exposed as
@@ -98,22 +118,33 @@ class WriteAheadLog:
     scribbles over a foreign file.
     """
 
-    def __init__(self, path, fsync: str = "batch", fsync_batch: int = 64):
+    def __init__(self, path, fsync: str = "batch", fsync_batch: int = 64,
+                 buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+                 linger_s: float = DEFAULT_LINGER_S):
         if fsync not in _FSYNC_POLICIES:
             raise ValueError(
                 f"fsync must be one of {_FSYNC_POLICIES}, got {fsync!r}"
             )
         if fsync_batch < 1:
             raise ValueError(f"fsync_batch must be >= 1, got {fsync_batch}")
+        if buffer_bytes < 1:
+            raise ValueError(f"buffer_bytes must be >= 1, got {buffer_bytes}")
         self.path = Path(path)
         self.fsync = fsync
         self.fsync_batch = fsync_batch
+        self.buffer_bytes = buffer_bytes
+        self.linger_s = linger_s
         #: Payloads recovered from an existing log at open time.
         self.recovered: List[bytes] = []
         #: Bytes of torn tail truncated during recovery.
         self.truncated_bytes = 0
         self._unsynced = 0
-        # Set when a failed append's half-written frame could not be
+        # Group-commit buffer: frames appended but not yet written to
+        # the file.  Joined into one write at drain time.
+        self._buffer: List[bytes] = []
+        self._buffered_bytes = 0
+        self._buffer_since: Optional[float] = None
+        # Set when a failed drain's half-written frame could not be
         # rolled back either: the tail is torn and claiming durability
         # for anything after it would be a lie, so sync() refuses
         # until reset() (or a reopen's recovery) truncates the tear.
@@ -151,39 +182,85 @@ class WriteAheadLog:
     def append(self, payload: bytes) -> None:
         """Append one framed record, honouring the fsync policy.
 
-        A failed write (``ENOSPC``, I/O error) rolls the file back to
-        the frame boundary before raising, so the frame chain stays
-        intact and ``_unsynced`` never counts a record that is not in
-        the file — a later :meth:`sync` cannot claim durability for
-        it.  If even the rollback fails, the log is marked torn and
-        :meth:`sync` refuses until :meth:`reset` (or reopening, whose
-        recovery truncates the tear) clears it.
+        Under ``batch``/``never`` the frame is buffered; it reaches
+        the file at the next drain and is durable only after the next
+        successful :meth:`sync`.  A failed write (``ENOSPC``, I/O
+        error) rolls the file back to the frame boundary before
+        raising, so the frame chain stays intact and ``_unsynced``
+        never counts a record whose durability a later :meth:`sync`
+        could falsely claim.  If even the rollback fails, the log is
+        marked torn and :meth:`sync` refuses until :meth:`reset` (or
+        reopening, whose recovery truncates the tear) clears it.
         """
-        self._check_open()
+        if self._file.closed:
+            self._check_open()
         action = fire("store.wal.append")
-        frame = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) \
-            + payload
+        header = _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        if action is not None or self.fsync == "always":
+            start: Optional[int] = None
+            try:
+                if action is not None and action.kind == "partial":
+                    # Injected short write: the buffered frames are
+                    # real appends, so land them first, then persist a
+                    # prefix of this frame and fail as a full disk
+                    # would mid-write.
+                    frame = header + payload
+                    self._drain()
+                    start = self._file.tell()
+                    self._file.write(frame[:max(1, int(len(frame)
+                                                       * action.fraction))])
+                    self._file.flush()
+                    raise OSError(_errno.ENOSPC,
+                                  "injected partial WAL append")
+                if self.fsync == "always":
+                    self._drain()
+                    start = self._file.tell()
+                    self._file.write(header + payload)
+                    self.sync()
+                    return
+            except OSError:
+                if start is not None:
+                    self._rollback(start)
+                raise
+        # Header and payload are buffered as-is — the drain joins the
+        # whole buffer into one write anyway, so the hot path never
+        # concatenates per record.
+        self._buffer += (header, payload)
+        buffered = self._buffered_bytes + _FRAME.size + len(payload)
+        self._buffered_bytes = buffered
+        self._unsynced += 1
+        if self.fsync == "batch" and self._unsynced >= self.fsync_batch:
+            self.sync()
+        elif buffered >= self.buffer_bytes:
+            self._drain()
+        else:
+            since = self._buffer_since
+            if since is None:
+                self._buffer_since = time.monotonic()
+            elif time.monotonic() - since >= self.linger_s:
+                self._drain()
+
+    def _drain(self) -> None:
+        """Write the buffered frames to the file as one group.
+
+        This moves frames to the OS — it is *not* the durability point
+        (:meth:`sync` is).  On failure the file is rolled back to the
+        pre-drain frame boundary and the buffer is **kept**: the frames
+        stay retryable by the next drain, and no durability was ever
+        claimed for them.
+        """
+        if not self._buffer:
+            return
         start = self._file.tell()
         try:
-            if action is not None and action.kind == "partial":
-                # Injected short write: persist a prefix, then fail as
-                # a full disk would mid-write.
-                self._file.write(frame[:max(1, int(len(frame)
-                                                   * action.fraction))])
-                self._file.flush()
-                raise OSError(_errno.ENOSPC,
-                              "injected partial WAL append")
-            self._file.write(frame)
-            if self.fsync == "always":
-                self.sync()
-                return
+            self._file.write(b"".join(self._buffer))
             self._file.flush()
         except OSError:
             self._rollback(start)
             raise
-        self._unsynced += 1
-        if self.fsync == "batch" and self._unsynced >= self.fsync_batch:
-            self.sync()
+        self._buffer.clear()
+        self._buffered_bytes = 0
+        self._buffer_since = None
 
     def _rollback(self, start: int) -> None:
         """Erase a half-written frame so the chain stays intact."""
@@ -194,7 +271,11 @@ class WriteAheadLog:
             self._torn = True
 
     def sync(self) -> None:
-        """Flush and fsync — the durability point for batched appends."""
+        """Drain, flush and fsync — the group-commit durability point.
+
+        Every record appended before a successful ``sync()`` is on
+        stable storage when it returns; records appended after the
+        last successful sync have no durability claim at all."""
         self._check_open()
         if self._torn:
             raise ValueError(
@@ -203,14 +284,20 @@ class WriteAheadLog:
                 f"or reopen to truncate it"
             )
         fire("store.wal.sync")
+        self._drain()
         self._file.flush()
         os.fsync(self._file.fileno())
         self._unsynced = 0
 
     def reset(self) -> None:
         """Truncate back to the magic (after a checkpoint seals the
-        records into a segment) and make the truncation durable."""
+        records into a segment) and make the truncation durable.  Any
+        buffered frames were sealed by that same checkpoint, so the
+        buffer is discarded with the file contents."""
         self._check_open()
+        self._buffer.clear()
+        self._buffered_bytes = 0
+        self._buffer_since = None
         self._file.truncate(len(WAL_MAGIC))
         self._file.seek(len(WAL_MAGIC))
         self._torn = False  # the truncation erased any torn tail
@@ -219,8 +306,8 @@ class WriteAheadLog:
 
     @property
     def size(self) -> int:
-        """Current file offset (magic + framed records)."""
-        return self._file.tell()
+        """Logical size: file offset plus frames still in the buffer."""
+        return self._file.tell() + self._buffered_bytes
 
     def close(self) -> None:
         if self._file.closed:

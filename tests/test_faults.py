@@ -502,6 +502,78 @@ class TestStoreFaults:
 
 
 # ----------------------------------------------------------------------
+# Chaos over the batched (group-commit) WAL: acked appends always
+# recover, exactly once, with the acknowledged contents
+# ----------------------------------------------------------------------
+class TestBatchedWalChaos:
+    def test_failed_batch_sync_retry_recovers_acked_contents(self,
+                                                             tmp_path):
+        """An append whose group-commit sync fails leaves its frame
+        buffered without advancing the sequence; the retried append
+        reuses the seq, and recovery must keep the *acknowledged*
+        (later) frame, not the abandoned one."""
+        store = HistogramStore.create(tmp_path / "hist", fsync="batch",
+                                      fsync_batch=2,
+                                      wal_seal_records=10_000)
+        abandoned = _collector_for(_records(30, seed=3))
+        acked = _collector_for(_records(60, seed=5))
+        plan = FaultPlan().error("store.wal.sync", at=0, errno=errno.EIO)
+        try:
+            store.append("vm", "d0", 0, 10, _collector_for(_records(20)))
+            with inject(plan):
+                # Second append crosses fsync_batch: the sync inside
+                # the WAL append fails *after* the frame is buffered.
+                with pytest.raises(OSError):
+                    store.append("vm", "d0", 10, 20, abandoned)
+            store.append("vm", "d0", 10, 20, acked)  # seq reused
+        finally:
+            store.close()
+
+        with HistogramStore.open(tmp_path / "hist") as reopened:
+            by_seq = {}
+            for h in reopened.records():
+                assert h.seq not in by_seq, "duplicate seq recovered"
+                by_seq[h.seq] = h
+            assert sorted(by_seq) == [1, 2]
+            assert by_seq[2].load() == acked
+
+    @pytest.mark.parametrize("seed", [3, 11, 27])
+    def test_scattered_faults_lose_no_acked_append(self, tmp_path, seed):
+        """Seeded error/partial schedules over the batched WAL sites:
+        every append that returned recovers exactly once with its
+        acknowledged contents; failed appends leave the store usable."""
+        plan = FaultPlan.scattered(
+            seed, ("store.wal.append", "store.wal.sync"),
+            kinds=("error", "partial"), faults=4, horizon=30)
+        store = HistogramStore.create(tmp_path / "hist", fsync="batch",
+                                      fsync_batch=8,
+                                      wal_seal_records=10_000)
+        acked = {}
+        with inject(plan):
+            for i in range(40):
+                collector = _collector_for(
+                    _records(10, seed=seed * 100 + i, start_ns=i * 100))
+                try:
+                    seq = store.append("vm", "d0", i * 10, (i + 1) * 10,
+                                       collector)
+                except OSError:
+                    continue
+                acked[seq] = collector
+        assert len(acked) >= 30  # the schedule failed only a few
+        store.close()  # clean close: every acked frame reaches disk
+
+        with HistogramStore.open(tmp_path / "hist") as reopened:
+            recovered = {}
+            for h in reopened.records():
+                assert h.seq not in recovered, "duplicate seq recovered"
+                recovered[h.seq] = h
+            missing = set(acked) - set(recovered)
+            assert not missing, f"lost acked seqs {sorted(missing)}"
+            for seq, collector in acked.items():
+                assert recovered[seq].load() == collector
+
+
+# ----------------------------------------------------------------------
 # Tentpole: the server degrades (and keeps ingesting) when its store
 # fails mid-seal
 # ----------------------------------------------------------------------

@@ -488,6 +488,73 @@ class TestCompactionIdentity:
                 assert store.query(0, t).service == merge_service(raw)
 
 
+class TestQueryCache:
+    """The store's cached :class:`QueryIndex`: reused across queries,
+    dropped by every mutation, and never a source of stale or shared
+    results."""
+
+    def _seed(self, store, n=6):
+        collectors = []
+        for i in range(n):
+            collector = simple_collector(i)
+            store.append("vm", "d0", i * SECOND_NS, (i + 1) * SECOND_NS,
+                         collector)
+            collectors.append(collector)
+        return collectors
+
+    def test_repeated_queries_reuse_one_index(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            self._seed(store)
+            store.query(0, 3 * SECOND_NS - 1)
+            index = store._index
+            assert index is not None
+            store.query(0, 5 * SECOND_NS - 1)  # different window
+            assert store._index is index       # same generation, reused
+
+    def test_each_query_returns_a_fresh_service(self, tmp_path):
+        """Only the cover is cached — mutating one result must never
+        leak into the next query of the same window."""
+        with HistogramStore.create(tmp_path / "s") as store:
+            collectors = self._seed(store)
+            first = store.query(0, 6 * SECOND_NS - 1)
+            first.service.collector("vm", "d0").commands += 1_000_000
+            again = store.query(0, 6 * SECOND_NS - 1)
+            expected = VscsiStatsCollector()
+            for collector in collectors:
+                expected = expected.merge(collector)
+            assert again.service.collector("vm", "d0") == expected
+
+    @pytest.mark.parametrize("mutate", ["append", "checkpoint",
+                                        "compact", "retire"])
+    def test_every_mutation_invalidates_the_index(self, tmp_path,
+                                                  mutate):
+        with HistogramStore.create(
+                tmp_path / "s", tiers_ns=(2 * SECOND_NS,)) as store:
+            self._seed(store)
+            store.query(0, 6 * SECOND_NS - 1)
+            assert store._index is not None
+            if mutate == "append":
+                store.append("vm", "d0", 6 * SECOND_NS, 7 * SECOND_NS,
+                             simple_collector(6))
+            elif mutate == "checkpoint":
+                store.checkpoint()
+            elif mutate == "compact":
+                store.compact()
+            elif mutate == "retire":
+                store.checkpoint()
+                store.query(0, 6 * SECOND_NS - 1)  # rebuild the index
+                assert store.retire_segments(6 * SECOND_NS)
+            assert store._index is None
+
+    def test_append_after_query_is_visible(self, tmp_path):
+        with HistogramStore.create(tmp_path / "s") as store:
+            self._seed(store)
+            assert store.query(0, 10 * SECOND_NS).epochs == 6
+            store.append("vm", "d0", 6 * SECOND_NS, 7 * SECOND_NS,
+                         simple_collector(6))
+            assert store.query(0, 10 * SECOND_NS).epochs == 7
+
+
 class TestLedgerIntegration:
     def test_sealed_epochs_persist(self, tmp_path):
         with HistogramStore.create(tmp_path / "s") as store:
