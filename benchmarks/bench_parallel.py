@@ -17,21 +17,27 @@ sharded trace directory and replayed through:
 * ``jobs=2`` / ``jobs=4`` / ``jobs=<ncpu>`` — the same zero-copy
   replay fanned out over worker processes (fork where available, else
   spawn), per-worker collectors recombined through the merge API.
+  Worker counts are capped at ``os.cpu_count()``: oversubscribed pools
+  only measure scheduler thrash, so a single-core host runs no
+  multi-process mode at all and a dual-core host stops at ``jobs=2``.
 
 Every mode must produce byte-identical per-disk and aggregate
 snapshots — the benchmark asserts it before reporting a single number,
 so the speedup is pure mechanics, not changed semantics.  The
-acceptance gate is ``jobs=4`` >= ``MIN_SPEEDUP`` x ``jobs=1``; the
-committed record (``BENCH_parallel.json``) notes the host CPU count,
-since on a single-core container the whole win is the zero-copy I/O
-layer while multi-core hosts add near-linear scaling on top.
+acceptance gate is scale-matched: the widest measured fan-out (or
+``jobs=1-zerocopy`` on a single core, where the whole win is the
+zero-copy I/O layer) must beat ``jobs=1`` by ``MIN_SPEEDUP``.  Every
+mode record carries the host ``cpus`` it was measured on, so the
+regression gate never compares fan-out numbers across differently
+sized hosts.
 
 Run styles:
 
 * ``pytest benchmarks/bench_parallel.py --benchmark-only`` — small
   corpus, wall time measured by pytest-benchmark (autosaved).
-* ``python benchmarks/bench_parallel.py [N]`` — the full corpus;
-  writes ``BENCH_parallel.json`` and exits 1 unless the gate holds.
+* ``python benchmarks/bench_parallel.py [N] [--jobs J]`` — the full
+  corpus; writes ``BENCH_parallel.json`` and exits 1 unless the gate
+  holds.  ``--jobs`` widens (never oversubscribes) the measured set.
 """
 
 import json
@@ -64,8 +70,22 @@ FULL_N = 4_000_000
 #: Virtual disks the corpus is spread over (two VMs x four disks).
 VDISKS = 8
 
-#: jobs=4 must beat the serial jobs=1 baseline by this factor.
+#: The widest gated mode must beat the serial jobs=1 baseline by this
+#: factor (jobs=4 on a >=4-core host; the zero-copy inline mode on a
+#: single core, where it is the whole win).
 MIN_SPEEDUP = 3.0
+
+
+def default_jobs_list(ncpu=None, extra=None):
+    """Fan-out widths worth measuring on this host: the usual {2, 4}
+    ladder plus the full core count, capped at ``ncpu`` — a pool wider
+    than the machine only measures scheduler thrash."""
+    if ncpu is None:
+        ncpu = os.cpu_count() or 1
+    candidates = {2, 4, ncpu}
+    if extra:
+        candidates.update(extra)
+    return sorted(j for j in candidates if 1 < j <= ncpu)
 
 
 # ----------------------------------------------------------------------
@@ -213,10 +233,14 @@ if "pytest" in sys.modules:
 # ----------------------------------------------------------------------
 # Full-run script mode: measure, verify, record
 # ----------------------------------------------------------------------
-def measure(n=FULL_N, vdisks=VDISKS, verify=True):
-    """Replay an n-command corpus through every mode; return the record."""
+def measure(n=FULL_N, vdisks=VDISKS, verify=True, jobs=None):
+    """Replay an n-command corpus through every mode; return the record.
+
+    ``jobs`` widens the measured fan-out set; it is still capped at
+    the host's core count.
+    """
     ncpu = os.cpu_count() or 1
-    jobs_list = sorted({2, 4, ncpu} - {1})
+    jobs_list = default_jobs_list(ncpu, extra=[jobs] if jobs else None)
     with tempfile.TemporaryDirectory(prefix="bench_parallel_") as directory:
         make_corpus(directory, n=n, vdisks=vdisks)
         results = {}
@@ -230,6 +254,7 @@ def measure(n=FULL_N, vdisks=VDISKS, verify=True):
             results[label] = {
                 "seconds": round(elapsed, 3),
                 "commands_per_sec": round(n / elapsed, 1),
+                "cpus": ncpu,
             }
             if verify:
                 snap = snapshot(service)
@@ -261,28 +286,45 @@ def measure(n=FULL_N, vdisks=VDISKS, verify=True):
     }
 
 
-def main(argv):
-    n = FULL_N
-    if len(argv) > 1:
-        n = int(argv[1])
-    record = measure(n)
+def gate_mode(modes):
+    """The label whose speedup the acceptance gate checks: the widest
+    measured fan-out, or the zero-copy inline mode on a single core."""
+    fanouts = sorted(
+        (int(label.split("=", 1)[1]), label)
+        for label in modes
+        if label.startswith("jobs=") and label[5:].isdigit()
+        and int(label[5:]) > 1
+    )
+    return fanouts[-1][1] if fanouts else "jobs=1-zerocopy"
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("n", nargs="?", type=int, default=FULL_N,
+                        help="corpus commands (default %(default)s)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="also measure this fan-out width "
+                             "(capped at os.cpu_count())")
+    args = parser.parse_args(argv)
+    record = measure(args.n, jobs=args.jobs)
     print(json.dumps(record, indent=2))
-    if n == FULL_N:
+    if args.n == FULL_N and args.jobs is None:
         BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {BENCH_JSON}")
-    gate = record["modes"].get("jobs=4")
-    if gate is None:  # pragma: no cover - jobs_list always includes 4
-        print("FAIL: no jobs=4 mode measured")
-        return 1
+    label = gate_mode(record["modes"])
+    gate = record["modes"][label]
     if gate["speedup_vs_jobs1"] < MIN_SPEEDUP:
         print(
-            f"FAIL: jobs=4 speedup {gate['speedup_vs_jobs1']}x < "
+            f"FAIL: {label} speedup {gate['speedup_vs_jobs1']}x < "
             f"{MIN_SPEEDUP}x vs jobs=1"
         )
         return 1
-    print(f"OK: jobs=4 speedup {gate['speedup_vs_jobs1']}x >= {MIN_SPEEDUP}x")
+    print(f"OK: {label} speedup {gate['speedup_vs_jobs1']}x >= "
+          f"{MIN_SPEEDUP}x")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())

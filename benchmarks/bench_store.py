@@ -30,11 +30,11 @@ range query >100k epochs/s, recover ≥2× the PR 5 baseline.
 
 The record shares the repo's gate schema — ``{"benchmark": "store",
 "commands": N, "python": ..., "numpy": ..., "modes": {label:
-{"commands_per_sec": ...}}}`` (commands = epochs here) — and is
-registered in ``compare_bench.py``.  The query mode reports
-``epochs_per_sec`` (the honest unit: epochs scanned per second);
-``commands_per_sec`` carries the same value for one release so
-committed records stay comparable.
+{"epochs_per_sec": ...}}}`` — and is registered in
+``compare_bench.py``.  Every mode reports ``epochs_per_sec``, the
+honest unit for this benchmark; the legacy ``commands_per_sec`` alias
+(one release's migration shim) is gone, and the gate refuses records
+that still carry unknown or mismatched units.
 
 Usage::
 
@@ -220,19 +220,16 @@ def measure(n=FULL_N, verify=True):
         "modes": {
             "append": {
                 "seconds": round(append_elapsed, 3),
-                "commands_per_sec": int(n / append_elapsed),
+                "epochs_per_sec": int(n / append_elapsed),
             },
             "recover": {
                 "seconds": round(recover_elapsed, 3),
-                "commands_per_sec": int(n / recover_elapsed),
+                "epochs_per_sec": int(n / recover_elapsed),
             },
             "query": {
                 "seconds": round(query_elapsed, 3),
                 "queried_epochs": queried_epochs,
                 "epochs_per_sec": query_rate,
-                # Same value under the legacy label so committed
-                # records one release apart stay gate-comparable.
-                "commands_per_sec": query_rate,
             },
         },
     }
@@ -242,8 +239,7 @@ def check_targets(record):
     """Return the modes falling short of their PR 6 absolute floors."""
     failures = []
     for mode, floor in TARGETS.items():
-        got = record["modes"][mode].get(
-            "epochs_per_sec", record["modes"][mode]["commands_per_sec"])
+        got = record["modes"][mode]["epochs_per_sec"]
         if got < floor:
             failures.append(f"{mode}: {got}/s < target {floor}/s")
     return failures

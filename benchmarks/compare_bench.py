@@ -9,8 +9,15 @@ non-zero when any mode regresses by more than ``TOLERANCE`` (20%), so
 CI can gate merges on throughput the same way it gates on tests.
 
 Both records share a schema — ``{"commands": N, "modes": {label:
-{"commands_per_sec": ...}}}`` — so one comparison loop covers every
+{"<unit>_per_sec": ...}}}`` — so one comparison loop covers every
 benchmark and any future ``bench_*.py`` only needs a registry entry.
+Each mode must carry exactly one rate in a known unit
+(``commands_per_sec`` or ``epochs_per_sec``); a record with an
+unknown, missing or mismatched unit fails the gate outright — stale
+records are migrated with ``--update``, never guessed at.  A mode
+whose record carries the ``cpus`` it was measured on is skipped (not
+failed) when the current host's core count differs: fan-out throughput
+is only comparable scale-matched.
 
 Usage::
 
@@ -22,6 +29,7 @@ Usage::
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -67,10 +75,22 @@ BENCHMARKS = {
 }
 
 
-def _rate(mode_record, prefer):
-    """A mode's gated rate, preferring ``prefer`` when recorded."""
-    value = mode_record.get(prefer)
-    return value if value is not None else mode_record["commands_per_sec"]
+#: The units a mode record may report its rate in.  Exactly one must
+#: be present; anything else (a legacy alias, a typo, a unit this gate
+#: has never seen) fails the comparison instead of being coerced.
+RATE_UNITS = ("commands_per_sec", "epochs_per_sec")
+
+
+def _rate_unit(name, mode, mode_record):
+    """The single known rate unit a mode record carries, or ``None``
+    (with a diagnostic) when it carries zero or several."""
+    units = [unit for unit in RATE_UNITS if unit in mode_record]
+    if len(units) == 1:
+        return units[0]
+    carried = sorted(key for key in mode_record if key.endswith("_per_sec"))
+    print(f"[{name}] {mode}: expected exactly one rate unit of "
+          f"{list(RATE_UNITS)}, record carries {carried or 'none'}")
+    return None
 
 
 def compare(name, measure, bench_json, n=None, max_n=None):
@@ -91,24 +111,40 @@ def compare(name, measure, bench_json, n=None, max_n=None):
     current = measure(n)
 
     ok = True
+    ncpu = os.cpu_count() or 1
     width = max(len(mode) for mode in committed["modes"])
     print(f"[{name}] {'mode':<{width}} {'committed':>12} "
           f"{'current':>12} {'ratio':>7}")
     for mode, base in committed["modes"].items():
+        unit = _rate_unit(name, mode, base)
+        if unit is None:
+            ok = False
+            continue
+        if base.get("cpus") not in (None, ncpu):
+            # Measured on a differently sized host: fan-out rates are
+            # only meaningful scale-matched, so this mode is explicitly
+            # out of scope here rather than a false verdict either way.
+            print(f"[{name}] {mode:<{width}} {base[unit]:>12} "
+                  f"{'skipped':>12}  (record @ {base['cpus']} cpus, "
+                  f"host has {ncpu})")
+            continue
         now = current["modes"].get(mode)
         if now is None:
             print(f"[{name}] {mode:<{width}} "
-                  f"{base['commands_per_sec']:>12} {'missing':>12}")
+                  f"{base[unit]:>12} {'missing':>12}")
             ok = False
             continue
-        # Gate on the honest unit when both records carry it (the
-        # store query mode reports epochs_per_sec; its legacy
-        # commands_per_sec label is kept one release for old records).
-        prefer = ("epochs_per_sec"
-                  if "epochs_per_sec" in base and "epochs_per_sec" in now
-                  else "commands_per_sec")
-        base_rate = _rate(base, prefer)
-        now_rate = _rate(now, prefer)
+        now_unit = _rate_unit(name, mode, now)
+        if now_unit is None:
+            ok = False
+            continue
+        if now_unit != unit:
+            print(f"[{name}] {mode:<{width}} committed unit {unit} != "
+                  f"measured unit {now_unit}; re-commit with --update")
+            ok = False
+            continue
+        base_rate = base[unit]
+        now_rate = now[unit]
         ratio = now_rate / base_rate
         verdict = ""
         if ratio < 1.0 - TOLERANCE:

@@ -220,19 +220,41 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    from .live import LiveStatsServer
+    if args.workers > 1:
+        from .live import ClusterServer
 
-    server = LiveStatsServer(
-        host=args.host, port=args.port, shards=args.shards,
-        queue_depth=args.queue_depth, backpressure=args.backpressure,
-        idle_timeout=args.idle_timeout, rotate_every=args.rotate_every,
-        store=args.store,
-    )
+        server = ClusterServer(
+            host=args.host, port=args.port, workers=args.workers,
+            shards=args.shards, queue_depth=args.queue_depth,
+            backpressure=args.backpressure,
+            idle_timeout=args.idle_timeout,
+            rotate_every=args.rotate_every, store=args.store,
+        )
+    else:
+        from .live import LiveStatsServer
+
+        server = LiveStatsServer(
+            host=args.host, port=args.port, shards=args.shards,
+            queue_depth=args.queue_depth, backpressure=args.backpressure,
+            idle_timeout=args.idle_timeout, rotate_every=args.rotate_every,
+            store=args.store,
+        )
     server.start()
     host, port = server.address
-    print(f"repro.live: listening on {host}:{port} "
-          f"(shards={args.shards}, backpressure={args.backpressure})",
-          flush=True)
+    if args.workers > 1:
+        mode = ("fd-passing fallback" if server.fd_passing
+                else "SO_REUSEPORT")
+        chost, cport = server.control_address
+        print(f"repro.live: cluster of {args.workers} workers sharing "
+              f"{host}:{port} via {mode} "
+              f"(shards={args.shards}/worker, "
+              f"backpressure={args.backpressure})", flush=True)
+        print(f"repro.live: coordinator control endpoint on "
+              f"{chost}:{cport}", flush=True)
+    else:
+        print(f"repro.live: listening on {host}:{port} "
+              f"(shards={args.shards}, backpressure={args.backpressure})",
+              flush=True)
     if args.store is not None:
         print(f"repro.live: persisting sealed epochs to {args.store}",
               flush=True)
@@ -247,11 +269,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
         info = server.info()
-        print(f"repro.live: drained; {info['records_total']} records in "
-              f"{info['epochs_sealed']} epochs "
-              f"({info['dropped_records_total']} dropped, "
-              f"{info['rejected_frames_total']} rejected frames)",
-              flush=True)
+        if args.workers > 1:
+            print(f"repro.live: drained; {info['epoch_records']} records "
+                  f"in {info['epochs_sealed']} epochs "
+                  f"({info['worker_deaths_total']} worker deaths)",
+                  flush=True)
+        else:
+            print(f"repro.live: drained; {info['records_total']} records "
+                  f"in {info['epochs_sealed']} epochs "
+                  f"({info['dropped_records_total']} dropped, "
+                  f"{info['rejected_frames_total']} rejected frames)",
+                  flush=True)
         if info["degraded"]:
             errors = "; ".join(e["error"] for e in info["persist_errors"])
             print(f"repro.live: DEGRADED — store persistence failed "
@@ -425,8 +453,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="TCP port (0 picks a free port and prints it)",
     )
     serve_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="ingest worker processes sharing the port via SO_REUSEPORT "
+        "(N > 1 runs the multi-process cluster; 1 runs the classic "
+        "single-process daemon)",
+    )
+    serve_parser.add_argument(
         "--shards", type=int, default=2, metavar="N",
-        help="shard worker threads (disks hash to shards)",
+        help="shard worker threads (disks hash to shards; per worker "
+        "process in cluster mode)",
     )
     serve_parser.add_argument(
         "--queue-depth", type=int, default=64, metavar="N",

@@ -80,6 +80,13 @@ SITES = {
     "store.wal.sync": "WriteAheadLog.sync, before drain+flush+fsync",
     "store.segment.write": "write_segment, before staging the temp file",
     "parallel.worker": "_replay_shard, before each segment replay",
+    # Fires inside cluster worker processes: once right after the
+    # startup HELLO and once per coordinator-driven worker-rotate, with
+    # ``worker_index`` in the context for per-worker ``when`` routing
+    # and ``point`` = "start" | "rotate".  A crash here exercises the
+    # coordinator's dead-worker path: the fan-in pipe EOFs, the hash
+    # ring is rebuilt over the survivors and publishers are redirected.
+    "live.cluster.worker": "cluster _worker_main, after HELLO and per rotate",
 }
 
 _KINDS = ("error", "reset", "delay", "partial", "crash")

@@ -18,6 +18,7 @@ from .client import (
     LiveError,
     LiveStatsClient,
 )
+from .cluster import ClusterServer, HashRing, SnapshotLedger, WorkerRouter
 from .epochs import Epoch, EpochLedger
 from .exposition import render_openmetrics
 from .protocol import ProtocolError
@@ -32,9 +33,13 @@ from .server import LiveStatsServer
 from .stream import DiskStream
 
 __all__ = [
+    "ClusterServer",
     "DEFAULT_FRAME_RECORDS",
     "DEFAULT_RETRIES",
     "DiskStream",
+    "HashRing",
+    "SnapshotLedger",
+    "WorkerRouter",
     "Epoch",
     "EpochLedger",
     "LiveConnectionError",

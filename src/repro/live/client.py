@@ -29,6 +29,20 @@ Control operations are *not* retried — ``rotate`` is not idempotent —
 so a transport failure there surfaces to the caller, who knows whether
 repeating the op is safe.
 
+Cluster awareness
+-----------------
+Against a :mod:`repro.live.cluster` edge, a data frame for a disk this
+worker does not own is answered with a redirect error naming the
+owner's direct address.  The client follows it transparently: it keeps
+an independent ``(session, seq)`` stream per destination (each
+worker's ack cache sees a gapless sequence), reconnects to the owner
+and re-sends there.  On every reconnect to a peer it has published to
+before, it first re-sends a session ``hello`` declaring the last
+acknowledged sequence number — so a brand-new server process (a
+worker that just inherited the session after a crash, or a restarted
+daemon) learns the watermark *before* unacked frames are replayed,
+instead of racing the empty ack cache.
+
 A server-side error arrives as an ``ERROR`` frame and is raised as
 :class:`LiveError`; the connection stays usable unless the transport
 itself failed.  A mid-publish failure attaches the totals accumulated
@@ -79,6 +93,11 @@ DEFAULT_RETRIES = 4
 DEFAULT_RETRY_BACKOFF = 0.05
 DEFAULT_RETRY_BACKOFF_CAP = 2.0
 
+#: Redirect hops (and dead-route fallbacks) tolerated per data chunk
+#: before giving up — bounds a routing loop during a cluster
+#: generation change.
+_MAX_REDIRECTS = 8
+
 
 class LiveError(RuntimeError):
     """An ``ERROR`` response from the daemon, or a failed publish.
@@ -87,11 +106,34 @@ class LiveError(RuntimeError):
     "accepted", "dropped", "ignored", "retried"}`` totals accumulated
     before a mid-stream failure, so a publisher can resume from the
     first unacknowledged frame instead of restarting blind.
+
+    ``redirect`` (when set) is the ``[host, port]`` of the cluster
+    worker that owns the frame's disk; the data plane follows it
+    automatically, so callers only see it on control-plane errors.
     """
 
-    def __init__(self, message: str, partial: Optional[Dict] = None):
+    def __init__(self, message: str, partial: Optional[Dict] = None,
+                 redirect=None):
         super().__init__(message)
         self.partial = partial
+        self.redirect = redirect
+
+
+class _PeerState:
+    """Retry identity against one destination address.
+
+    Each cluster worker runs its own ack cache, so the gapless
+    ``(session, seq)`` contract must hold *per destination*: one
+    session id and one monotone counter per peer, derived from the
+    client's base session so the streams never collide.
+    """
+
+    __slots__ = ("session", "seq", "last_acked")
+
+    def __init__(self, session: str):
+        self.session = session
+        self.seq = 0
+        self.last_acked = 0
 
 
 class LiveConnectionError(LiveError, ConnectionError):
@@ -134,23 +176,84 @@ class LiveStatsClient:
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._wfile = None
-        # Retry identity: one session per client object, a monotone
-        # frame counter across every publish on it.  The session id
-        # survives reconnects — that is the point.
+        self._connected_to: Optional[tuple] = None
+        # Retry identity: one base session per client object; each
+        # destination address gets its own derived session id and
+        # monotone frame counter (see _PeerState).  Session ids
+        # survive reconnects — that is the point.
         self._session = uuid.uuid4().hex
-        self._seq = 0
+        self._peers: Dict[tuple, _PeerState] = {}
+        # Disk -> owning worker address, learned from redirects.
+        self._routes: Dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def _advertised(self) -> tuple:
+        return (self.host, self.port)
+
+    def _peer_state(self, addr: tuple) -> _PeerState:
+        state = self._peers.get(addr)
+        if state is None:
+            session = (self._session if addr == self._advertised
+                       else f"{self._session}@{addr[0]}:{addr[1]}")
+            state = _PeerState(session)
+            self._peers[addr] = state
+        return state
+
     def connect(self) -> "LiveStatsClient":
         """Open the connection (idempotent)."""
-        if self._sock is None:
-            sock = socket.create_connection((self.host, self.port),
-                                            timeout=self.timeout)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._sock = sock
-            self._rfile = sock.makefile("rb")
-            self._wfile = sock.makefile("wb")
+        self._ensure_peer(self._advertised)
         return self
+
+    def _ensure_peer(self, addr: tuple) -> None:
+        """Connect to ``addr``, reusing a live connection to it.
+
+        A (re)connect to a peer this client has already published to
+        first re-sends the session hello declaring the last
+        acknowledged seq, *before* any frame replay — the reconnect
+        half of the ack-cache contract.
+        """
+        if self._sock is not None:
+            if self._connected_to == addr:
+                return
+            self.close()
+        sock = socket.create_connection(addr, timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+        self._connected_to = addr
+        state = self._peers.get(addr)
+        if state is not None and state.seq > 0:
+            self._hello_roundtrip(state)
+
+    def _hello_roundtrip(self, state: _PeerState) -> None:
+        """Declare ``state``'s ack watermark on a fresh connection.
+
+        Written directly to the new socket (no reconnect recursion,
+        no data-plane fault sites).  Transport failures discard the
+        connection and propagate as the OSError the data plane's
+        retry loop already handles.
+        """
+        frame = pack_control({"op": "hello", "session": state.session,
+                              "seq": state.last_acked})
+        try:
+            self._wfile.write(frame)
+            self._wfile.flush()
+            response = read_frame(self._rfile)
+        except (OSError, ValueError):
+            self.close()
+            raise
+        if response is None:
+            self.close()
+            raise LiveConnectionError("connection closed during hello")
+        ftype, payload = response
+        if ftype == FRAME_ERROR:
+            self.close()
+            raise LiveError(
+                f"session hello rejected: "
+                f"{payload.decode('utf-8', 'replace')}"
+            )
 
     def close(self) -> None:
         if self._sock is not None:
@@ -160,6 +263,7 @@ class LiveStatsClient:
                 self._sock = None
                 self._rfile = None
                 self._wfile = None
+                self._connected_to = None
 
     def __enter__(self) -> "LiveStatsClient":
         return self.connect()
@@ -168,8 +272,8 @@ class LiveStatsClient:
         self.close()
 
     # ------------------------------------------------------------------
-    def _roundtrip(self, frame: bytes):
-        self.connect()
+    def _roundtrip(self, frame: bytes, addr: Optional[tuple] = None):
+        self._ensure_peer(addr if addr is not None else self._advertised)
         try:
             action = fire("live.client.send")
             if action is not None and action.kind == "partial":
@@ -195,18 +299,21 @@ class LiveStatsClient:
             raise LiveConnectionError("connection closed by server")
         ftype, payload = response
         if ftype == FRAME_ERROR:
+            redirect = None
             try:
-                message = json.loads(payload.decode("utf-8"))["error"]
+                document = json.loads(payload.decode("utf-8"))
+                message = document["error"]
+                redirect = document.get("redirect")
             except Exception:  # pragma: no cover - defensive
                 message = payload.decode("utf-8", "replace")
-            raise LiveError(message)
+            raise LiveError(message, redirect=redirect)
         if ftype == FRAME_OK:
             return json.loads(payload.decode("utf-8"))
         if ftype == FRAME_TEXT:
             return payload.decode("utf-8")
         raise ProtocolError(f"unexpected response type 0x{ftype:02x}")
 
-    def _data_roundtrip(self, frame: bytes):
+    def _data_roundtrip(self, frame: bytes, addr: Optional[tuple] = None):
         """Round-trip one sequenced data frame with bounded retry.
 
         Retries transport failures only (``OSError`` including
@@ -220,7 +327,7 @@ class LiveStatsClient:
         attempt = 0
         while True:
             try:
-                return self._roundtrip(frame)
+                return self._roundtrip(frame, addr)
             except (ProtocolError, OSError):
                 attempt += 1
                 if attempt > self.retries:
@@ -234,6 +341,59 @@ class LiveStatsClient:
         body = {"op": op}
         body.update({k: v for k, v in fields.items() if v is not None})
         return self._roundtrip(pack_control(body))
+
+    def _publish_chunk(self, vm: str, vdisk: str, chunk: bytes) -> Dict:
+        """Send one data chunk to whichever worker owns the disk.
+
+        Seq numbers are assigned once per ``(chunk, peer)``: a
+        transport retry to the same peer re-sends the same seq (the
+        server's ack cache deduplicates), while a redirect releases
+        the slot — the refusing worker never reserved it — and the
+        chunk restarts on the owner's own sequence stream.  A routed
+        peer that died is dropped from the route cache and the chunk
+        falls back to the advertised address, which knows the new
+        owner.
+        """
+        key = (vm, vdisk)
+        hops = 0
+        assigned: Dict[tuple, int] = {}
+        while True:
+            addr = self._routes.get(key, self._advertised)
+            state = self._peer_state(addr)
+            seq = assigned.get(addr)
+            if seq is None:
+                state.seq += 1
+                seq = state.seq
+                assigned[addr] = seq
+            frame = pack_data_seq(state.session, seq, vm, vdisk, chunk)
+            try:
+                ack = self._data_roundtrip(frame, addr)
+            except LiveError as exc:
+                if exc.redirect is not None and hops < _MAX_REDIRECTS:
+                    hops += 1
+                    # The redirecting worker never touched the
+                    # session: release the slot if it is still the
+                    # newest one on that peer.
+                    if assigned.pop(addr, None) == state.seq:
+                        state.seq -= 1
+                    self._routes[key] = (str(exc.redirect[0]),
+                                         int(exc.redirect[1]))
+                    continue
+                raise
+            except (ProtocolError, OSError):
+                if addr != self._advertised and hops < _MAX_REDIRECTS:
+                    # The owning worker is unreachable (crashed or
+                    # handed off): fall back to the advertised
+                    # address for a fresh redirect.  The seq slot
+                    # stays assigned — if routing leads back to this
+                    # peer, the frame is retried with the same seq
+                    # and deduplicated server-side.
+                    hops += 1
+                    self._routes.pop(key, None)
+                    continue
+                raise
+            state.last_acked = max(state.last_acked, seq)
+            return ack
 
     # ------------------------------------------------------------------
     # Data plane
@@ -267,10 +427,7 @@ class LiveStatsClient:
         try:
             for offset in range(0, len(body), step):
                 chunk = body[offset:offset + step]
-                self._seq += 1
-                ack = self._data_roundtrip(
-                    pack_data_seq(self._session, self._seq, vm, vdisk, chunk)
-                )
+                ack = self._publish_chunk(vm, vdisk, chunk)
                 total["frames"] += 1
                 total["accepted"] += ack.get("accepted", 0)
                 total["dropped"] += ack.get("dropped", 0)
@@ -326,3 +483,17 @@ class LiveStatsClient:
 
     def info(self) -> Dict:
         return self._control("info")
+
+    def route(self) -> Dict:
+        """The cluster worker table (single-server: one entry)."""
+        return self._control("route")
+
+    def hello(self) -> Dict:
+        """Explicitly declare this client's ack watermark.
+
+        Normally implicit — every reconnect to a previously published
+        peer sends it — but exposed for tests and manual recovery.
+        """
+        state = self._peer_state(self._advertised)
+        return self._control("hello", session=state.session,
+                             seq=state.last_acked)

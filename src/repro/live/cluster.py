@@ -1,0 +1,1265 @@
+"""``repro.live.cluster`` — the multi-process ingest edge.
+
+One :class:`~repro.live.server.LiveStatsServer` tops out around one
+core: frame decode, shard queues and the batch kernels all run in a
+single interpreter.  The cluster spreads the *ingest* edge across N
+worker **processes** while keeping everything the paper's tool promises
+— exact histograms, epoch rotation, one durable store, one OpenMetrics
+endpoint — byte-identical to a one-process run.
+
+Topology::
+
+                   shared port (SO_REUSEPORT)
+    publishers ──┬───────────────┬───────────────┐
+                 ▼               ▼               ▼
+           worker 0        worker 1   ...   worker N-1      (processes)
+           LiveStatsServer (unchanged shard loop, 1 ledger epoch)
+                 │ sealed-epoch snapshots (RPHCOL2 frames over a pipe)
+                 ▼               ▼               ▼
+           ──────────────── fan-in pipes ────────────────
+                            coordinator                      (this process)
+                 merged history · durable store · /metrics
+
+* Every worker binds the same public ``(host, port)`` with
+  ``SO_REUSEPORT``; the kernel load-balances accepted connections.
+  Where the option does not exist (or ``force_fd_passing`` is set) the
+  coordinator accepts on a single listener and round-robins the
+  connected sockets to workers over ``SCM_RIGHTS`` fd-passing.
+* Disk ownership is decided by a consistent-hash ring over ``(vm,
+  vdisk)`` — the whole-stream ownership rule that makes DATA_SEQ
+  ordering and ack-cache dedup per-worker correct.  A frame landing on
+  the wrong worker is *redirected* (an ``ERROR`` frame naming the
+  owner's private address) before any session state is touched;
+  :class:`~repro.live.client.LiveStatsClient` follows redirects and
+  caches the route.
+* Workers seal epochs locally (coordinator-driven ``worker-rotate``)
+  and push the sealed snapshot — per-disk ``RPHCOL2`` collector
+  records behind a JSON extent header — down a private pipe.  The
+  coordinator merges rounds of snapshots with the vectorized v2
+  payload merge (:func:`repro.store.codec.merge_collector_payloads`),
+  seals them into its own :class:`~repro.live.epochs.EpochLedger`, and
+  alone owns the durable store writer and the exposition.
+* A dead worker (pipe EOF without a BYE) bumps the route generation:
+  the ring is rebuilt over the survivors and broadcast, publishers get
+  redirected to the new owners and replay unacked ``DATA_SEQ`` frames
+  there.  Acked-but-unsealed records on the dead worker are lost —
+  the cluster trades replication for exactness of everything that
+  reached a seal, and says so in ``worker_deaths_total``.
+
+Byte-identity contract: the ``vscsi_*`` exposition block, snapshot
+documents and store contents equal a one-process run fed the same
+records (pinned by the partition-invariance tests in
+``tests/test_live_cluster.py``); the ``live_*`` daemon counters
+describe the daemon itself and legitimately differ across topologies.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import multiprocessing
+import os
+import socket
+import struct
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..core.collector import DEFAULT_TIME_SLOT_NS, VscsiStatsCollector
+from ..core.service import DiskKey, HistogramService
+from ..core.window import DEFAULT_WINDOW_SIZE
+from ..faults import activate_from_env, fire
+from ..store.codec import collector_to_bytes, merge_collector_payloads
+from .client import LiveError
+from .epochs import Epoch, EpochLedger
+from .exposition import render_openmetrics
+from .protocol import (
+    FRAME_CONTROL,
+    FRAME_ERROR,
+    FRAME_OK,
+    ProtocolError,
+    pack_control,
+    pack_error,
+    pack_ok,
+    pack_text,
+    read_frame,
+    unpack_control,
+)
+from .server import LiveStatsServer
+
+__all__ = [
+    "ClusterServer",
+    "HashRing",
+    "SnapshotLedger",
+    "WorkerRouter",
+    "encode_snapshot",
+]
+
+#: Virtual nodes per worker on the hash ring.  Enough that removing a
+#: worker spreads its ranges across every survivor instead of dumping
+#: them on one neighbour.
+DEFAULT_RING_REPLICAS = 64
+
+# ---------------------------------------------------------------------------
+# Fan-in frame protocol (worker → coordinator pipe)
+# ---------------------------------------------------------------------------
+#
+#   u32 BE frame length | u8 type | u32 BE header length |
+#   header (JSON, UTF-8) | payload bytes
+#
+# The payload of a SNAPSHOT frame is the concatenation of one
+# ``RPHCOL2`` collector record per disk; the header's ``disks`` list
+# carries ``{vm, vdisk, off, len}`` extents into it, so the coordinator
+# slices records out without copying or decoding until merge time.
+
+FANIN_HELLO = 0x10    #: worker announces {worker, pid, host, port}
+FANIN_SNAPSHOT = 0x11  #: sealed epoch: extent header + RPHCOL2 records
+FANIN_BYE = 0x12      #: clean shutdown marker (EOF without it = crash)
+
+#: Fan-in frames carry whole sealed epochs (one ~1 KiB record per
+#: disk), so the ceiling is per-epoch, not per-batch.
+MAX_FANIN_BYTES = 256 * 1024 * 1024
+
+_FANIN_HEAD = struct.Struct("!IBI")  # frame length, type, header length
+
+_ROUND_TIMEOUT = 30.0   #: seconds to wait for one rotation's snapshots
+_HELLO_TIMEOUT = 30.0   #: seconds to wait for worker startup
+_RPC_TIMEOUT = 30.0     #: per-command worker RPC timeout
+
+_now = time.monotonic
+
+
+def _pack_fanin(ftype: int, header: Dict, payload: bytes = b"") -> bytes:
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    length = 5 + len(head) + len(payload)
+    if length > MAX_FANIN_BYTES:
+        raise ValueError(
+            f"fan-in frame of {length} bytes exceeds the "
+            f"{MAX_FANIN_BYTES} byte ceiling"
+        )
+    return _FANIN_HEAD.pack(length, ftype, len(head)) + head + payload
+
+
+def _read_fanin(rfile) -> Optional[Tuple[int, Dict, memoryview]]:
+    """One fan-in frame, or ``None`` on clean EOF.
+
+    Raises ``ValueError`` on a torn or oversized frame — the reader
+    treats either as the worker dying mid-write.
+    """
+    prefix = rfile.read(4)
+    if not prefix:
+        return None
+    if len(prefix) != 4:
+        raise ValueError("torn fan-in length prefix")
+    (length,) = struct.unpack("!I", prefix)
+    if length < 5 or length > MAX_FANIN_BYTES:
+        raise ValueError(f"implausible fan-in frame length {length}")
+    body = rfile.read(length)
+    if len(body) != length:
+        raise ValueError("torn fan-in frame body")
+    ftype = body[0]
+    (head_len,) = struct.unpack_from("!I", body, 1)
+    if 5 + head_len > length:
+        raise ValueError("fan-in header overruns its frame")
+    try:
+        header = json.loads(bytes(body[5:5 + head_len]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"bad fan-in header: {exc}") from None
+    return ftype, header, memoryview(body)[5 + head_len:]
+
+
+def encode_snapshot(worker: int, epoch_index: int, pairs,
+                    records: int) -> Tuple[Dict, bytes]:
+    """Encode one sealed epoch as a SNAPSHOT header + payload.
+
+    ``pairs`` is an iterable of ``((vm, vdisk), collector)``; each
+    collector becomes one ``RPHCOL2`` record and an extent entry, so
+    the coordinator can slice per-disk payloads without decoding.
+    """
+    disks = []
+    chunks = []
+    offset = 0
+    for (vm, vdisk), collector in pairs:
+        record = collector_to_bytes(collector)
+        disks.append({"vm": vm, "vdisk": vdisk,
+                      "off": offset, "len": len(record)})
+        chunks.append(record)
+        offset += len(record)
+    header = {"worker": worker, "epoch": epoch_index,
+              "records": records, "disks": disks}
+    return header, b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash routing
+# ---------------------------------------------------------------------------
+class HashRing:
+    """Consistent-hash ring of worker indices.
+
+    Each worker contributes ``replicas`` virtual tokens (crc32 of
+    ``worker-<i>/<r>``); a disk hashes (crc32 of ``vm\\x00vdisk`` —
+    the same digest the in-process shard hash uses) to the first token
+    clockwise.  Removing a worker moves only the ranges it owned.
+    """
+
+    __slots__ = ("_hashes", "_owners")
+
+    def __init__(self, indices, replicas: int = DEFAULT_RING_REPLICAS):
+        tokens = []
+        for index in indices:
+            for replica in range(replicas):
+                digest = zlib.crc32(f"worker-{index}/{replica}".encode())
+                tokens.append((digest, index))
+        tokens.sort()
+        self._hashes = [digest for digest, _ in tokens]
+        self._owners = [index for _, index in tokens]
+
+    def owner(self, vm: str, vdisk: str) -> int:
+        if not self._hashes:
+            raise ValueError("hash ring has no workers")
+        digest = zlib.crc32(f"{vm}\x00{vdisk}".encode("utf-8"))
+        slot = bisect.bisect_right(self._hashes, digest) % len(self._hashes)
+        return self._owners[slot]
+
+
+class WorkerRouter:
+    """One worker's view of the routing table.
+
+    Installed as ``LiveStatsServer.router``: the data plane asks
+    :meth:`redirect_for` before touching any session state.  Updates
+    carry a generation; a stale broadcast (reordered during a
+    reassignment storm) never rolls the table back.
+    """
+
+    def __init__(self, index: int, replicas: int = DEFAULT_RING_REPLICAS):
+        self.index = index
+        self.replicas = replicas
+        self.generation = 0
+        self._lock = threading.Lock()
+        self._table: Dict[int, Tuple[str, int]] = {}
+        self._ring: Optional[HashRing] = None
+
+    def update(self, workers, generation: int) -> bool:
+        """Install ``[[index, host, port], ...]`` if newer."""
+        with self._lock:
+            if self._ring is not None and generation <= self.generation:
+                return False
+            self._table = {int(i): (str(host), int(port))
+                           for i, host, port in workers}
+            self._ring = HashRing(sorted(self._table), self.replicas)
+            self.generation = generation
+            return True
+
+    def redirect_for(self, vm: str, vdisk: str) -> Optional[Tuple[str, int]]:
+        with self._lock:
+            ring = self._ring
+            table = self._table
+        if ring is None:
+            return None  # no table yet: accept everything
+        owner = ring.owner(vm, vdisk)
+        if owner == self.index:
+            return None
+        return table[owner]
+
+    def route_info(self) -> Dict:
+        with self._lock:
+            return {
+                "generation": self.generation,
+                "replicas": self.replicas,
+                "workers": [[index, host, port]
+                            for index, (host, port)
+                            in sorted(self._table.items())],
+            }
+
+
+# ---------------------------------------------------------------------------
+# Coordinator-side snapshot history
+# ---------------------------------------------------------------------------
+class SnapshotLedger:
+    """Epoch history built from worker SNAPSHOT frames.
+
+    Wraps an :class:`EpochLedger` (store persistence, quarantine,
+    retirement, span bookkeeping) and keeps the raw per-disk
+    ``RPHCOL2`` payloads alongside each sealed epoch, so the lifetime
+    merge is a single vectorized
+    :func:`~repro.store.codec.merge_collector_payloads` column-stack
+    reduce per disk instead of a Python histogram-merge chain per
+    epoch.
+    """
+
+    def __init__(self, window_size: int = DEFAULT_WINDOW_SIZE,
+                 time_slot_ns: int = DEFAULT_TIME_SLOT_NS,
+                 max_epochs: Optional[int] = None, store=None):
+        self.window_size = window_size
+        self.time_slot_ns = time_slot_ns
+        self.ledger = EpochLedger(window_size=window_size,
+                                  time_slot_ns=time_slot_ns,
+                                  max_epochs=max_epochs, store=store)
+        #: Parallel to ``ledger.epochs``: per sealed epoch, the raw
+        #: collector records by disk (usually one per disk; several
+        #: when a reassignment made two workers see the same disk in
+        #: one round — the merge is exact either way).
+        self._epoch_payloads: List[Dict[DiskKey, List[bytes]]] = []
+
+    def seal_round(self, snapshots) -> Epoch:
+        """Seal one cluster epoch from ``(header, payload)`` snapshots.
+
+        Slices each worker's payload into per-disk records via the
+        header extents, merges them vectorized, and seals the result
+        into the wrapped ledger (which persists to the store and
+        advances the epoch clock).
+        """
+        by_disk: Dict[DiskKey, List[bytes]] = {}
+        for header, payload in snapshots:
+            view = memoryview(payload)
+            for extent in header["disks"]:
+                key = (extent["vm"], extent["vdisk"])
+                record = bytes(view[extent["off"]:
+                                    extent["off"] + extent["len"]])
+                by_disk.setdefault(key, []).append(record)
+        pairs = [(key, merge_collector_payloads(records))
+                 for key, records in by_disk.items()]
+        epoch = self.ledger.seal(pairs)
+        self._epoch_payloads.append(by_disk)
+        # Mirror the ledger's max_epochs retirement: the retired
+        # aggregate (already merged, bins not payloads) takes over for
+        # anything the ledger no longer retains individually.
+        while len(self._epoch_payloads) > len(self.ledger.epochs):
+            self._epoch_payloads.pop(0)
+        return epoch
+
+    def merged_history(self) -> HistogramService:
+        """Lifetime merge of every sealed epoch, vectorized.
+
+        One column-stack reduce per disk across all retained epochs'
+        raw payloads, plus the ledger's retired aggregate — exact and
+        byte-identical to folding the epochs one by one.
+        """
+        service = HistogramService(window_size=self.window_size,
+                                   time_slot_ns=self.time_slot_ns)
+        service = service.merge(self.ledger.retired)
+        per_disk: Dict[DiskKey, List[bytes]] = {}
+        for epoch_map in self._epoch_payloads:
+            for key, records in epoch_map.items():
+                per_disk.setdefault(key, []).extend(records)
+        for key, records in per_disk.items():
+            service.adopt(key, merge_collector_payloads(records))
+        return service
+
+    def __len__(self) -> int:
+        return len(self.ledger)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+def _forward_to_coordinator(address: Tuple[str, int],
+                            payload: bytes) -> bytes:
+    """Relay a control payload to the coordinator, returning its
+    response frame bytes verbatim (the worker's connection handler
+    passes them straight through)."""
+    from .protocol import pack_frame
+    with socket.create_connection(address, timeout=_RPC_TIMEOUT) as sock:
+        sock.sendall(pack_frame(FRAME_CONTROL, payload))
+        rfile = sock.makefile("rb")
+        frame = read_frame(rfile)
+        if frame is None:
+            raise ValueError("coordinator closed the control connection")
+        ftype, body = frame
+        return pack_frame(ftype, body)
+
+
+def _fd_receive_loop(channel: socket.socket, server: LiveStatsServer) -> None:
+    """fd-passing fallback: adopt connections the coordinator sends."""
+    while True:
+        try:
+            _msg, fds, _flags, _addr = socket.recv_fds(channel, 1, 4)
+        except OSError:
+            return
+        if not fds:
+            if not _msg:
+                return  # EOF: coordinator is gone
+            continue
+        for fd in fds:
+            try:
+                conn = socket.socket(fileno=fd)
+            except OSError:
+                os.close(fd)
+                continue
+            server.adopt_connection(conn)
+
+
+def _worker_main(index: int, config: Dict, fanin_wfd: int,
+                 fdpass_fd: Optional[int], close_fds) -> None:
+    """Entry point of one worker process.
+
+    Forked children inherit every sibling's pipe ends; ``close_fds``
+    lists the ones this worker must drop so that a sibling's death
+    actually EOFs its pipe at the coordinator.
+    """
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    activate_from_env()
+
+    fanin = os.fdopen(fanin_wfd, "wb")
+    fanin_lock = threading.Lock()
+    stop = threading.Event()
+
+    def send_fanin(ftype: int, header: Dict, payload: bytes = b"") -> None:
+        frame = _pack_fanin(ftype, header, payload)
+        with fanin_lock:
+            fanin.write(frame)
+            fanin.flush()
+
+    def on_seal(epoch: Epoch) -> None:
+        header, payload = encode_snapshot(
+            index, epoch.index, epoch.service.collectors(), epoch.records)
+        send_fanin(FANIN_SNAPSHOT, header, payload)
+
+    reuse_port = bool(config["reuse_port"])
+    server = LiveStatsServer(
+        host=config["host"],
+        port=int(config["port"]) if reuse_port else 0,
+        shards=int(config["shards"]),
+        queue_depth=int(config["queue_depth"]),
+        backpressure=config["backpressure"],
+        idle_timeout=config["idle_timeout"],
+        window_size=int(config["window_size"]),
+        time_slot_ns=int(config["time_slot_ns"]),
+        backend=config["backend"],
+        rotate_every=None,          # the coordinator drives rotation
+        max_epochs=1,               # history lives at the coordinator
+        start_enabled=bool(config["start_enabled"]),
+        store=None,                 # the coordinator owns the store
+        reuse_port=reuse_port,
+        direct_port=0 if reuse_port else None,
+        on_seal=on_seal,
+        cluster_member=True,
+    )
+    router = WorkerRouter(index, replicas=int(config["replicas"]))
+    server.router = router
+    coordinator = (config["control"][0], int(config["control"][1]))
+    server.forward_control = (
+        lambda payload: _forward_to_coordinator(coordinator, payload))
+
+    def op_rotate(op: Dict) -> Dict:
+        fire("live.cluster.worker", crashable=True, worker_index=index,
+             point="rotate")
+        epoch = server.rotate()
+        return {"worker": index, "epoch": epoch.index,
+                "records": epoch.records}
+
+    def op_stop(op: Dict) -> Dict:
+        stop.set()
+        return {"worker": index, "stopping": True}
+
+    def op_route(op: Dict) -> Dict:
+        installed = router.update(op["workers"], int(op["generation"]))
+        return {"worker": index, "generation": router.generation,
+                "installed": installed}
+
+    def op_snapshot(op: Dict) -> Dict:
+        return server.snapshot_dict(scope=op.get("scope", "current"),
+                                    epoch=op.get("epoch"),
+                                    aggregate=bool(op.get("aggregate",
+                                                          False)))
+
+    def op_info(op: Dict) -> Dict:
+        return server.info()
+
+    def op_enable(op: Dict) -> Dict:
+        server._gate.enable(op.get("vm"), op.get("vdisk"))
+        return {"worker": index, "enabled": True}
+
+    def op_disable(op: Dict) -> Dict:
+        server._gate.disable(op.get("vm"), op.get("vdisk"))
+        return {"worker": index, "enabled": False}
+
+    server.control_handlers.update({
+        "worker-rotate": op_rotate,
+        "worker-stop": op_stop,
+        "worker-route": op_route,
+        "worker-snapshot": op_snapshot,
+        "worker-info": op_info,
+        "worker-enable": op_enable,
+        "worker-disable": op_disable,
+    })
+
+    fd_channel = None
+    try:
+        server.start()
+        address = server.direct_address if reuse_port else server.address
+        send_fanin(FANIN_HELLO, {"worker": index, "pid": os.getpid(),
+                                 "host": address[0], "port": address[1]})
+        fire("live.cluster.worker", crashable=True, worker_index=index,
+             point="start")
+        if fdpass_fd is not None:
+            fd_channel = socket.socket(fileno=fdpass_fd)
+            threading.Thread(target=_fd_receive_loop,
+                             args=(fd_channel, server),
+                             name=f"live-fdpass-{index}",
+                             daemon=True).start()
+        stop.wait()
+    finally:
+        try:
+            server.close(drain=True)  # final partial epoch → on_seal
+        finally:
+            if fd_channel is not None:
+                try:
+                    fd_channel.close()
+                except OSError:
+                    pass
+            try:
+                send_fanin(FANIN_BYE, {"worker": index,
+                                       "pid": os.getpid()})
+                fanin.close()
+            except (OSError, ValueError):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+class ClusterServer:
+    """N-process ingest edge behind one public address.
+
+    The coordinator is not on the data path: records flow from
+    publishers straight into workers; only sealed epoch snapshots and
+    control traffic reach this process.  It owns the durable store,
+    the merged history and the canonical exposition, and it is the
+    only rotation driver — workers never rotate on their own.
+
+    Parameters mirror :class:`~repro.live.server.LiveStatsServer`
+    where they mean the same thing; ``workers`` is the process count
+    and ``shards`` the shard-thread count *per worker* (the default of
+    one thread per process is the multi-core sweet spot — parallelism
+    comes from processes here, not threads).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2, shards: int = 1,
+                 queue_depth: int = 64, backpressure: str = "block",
+                 idle_timeout: Optional[float] = 60.0,
+                 window_size: int = DEFAULT_WINDOW_SIZE,
+                 time_slot_ns: int = DEFAULT_TIME_SLOT_NS,
+                 backend: Optional[str] = None,
+                 rotate_every: Optional[float] = None,
+                 max_epochs: Optional[int] = None,
+                 start_enabled: bool = True,
+                 store=None,
+                 force_fd_passing: bool = False,
+                 ring_replicas: int = DEFAULT_RING_REPLICAS):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "cluster mode needs the fork start method (worker "
+                "processes inherit pipe and listener descriptors)"
+            )
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.fd_passing = (force_fd_passing
+                           or not hasattr(socket, "SO_REUSEPORT"))
+        self.ring_replicas = ring_replicas
+        self.rotate_every = rotate_every
+        self.window_size = window_size
+        self.time_slot_ns = time_slot_ns
+        self._worker_config = {
+            "host": host, "port": 0,  # filled in start()
+            "reuse_port": not self.fd_passing,
+            "shards": shards, "queue_depth": queue_depth,
+            "backpressure": backpressure, "idle_timeout": idle_timeout,
+            "window_size": window_size, "time_slot_ns": time_slot_ns,
+            "backend": backend, "start_enabled": start_enabled,
+            "replicas": ring_replicas, "control": None,
+        }
+
+        self._owns_store = False
+        if store is not None and not hasattr(store, "append"):
+            from ..store import HistogramStore
+            store = HistogramStore.open_or_create(store)
+            self._owns_store = True
+        self.store = store
+        self.snapshots = SnapshotLedger(window_size=window_size,
+                                        time_slot_ns=time_slot_ns,
+                                        max_epochs=max_epochs, store=store)
+
+        self.control_address: Optional[Tuple[str, int]] = None
+        self.worker_deaths = 0
+        self._generation = 0
+        self._procs: List = []
+        self._worker_addrs: Dict[int, Tuple[str, int]] = {}
+        self._alive: set = set()
+        self._clean: set = set()
+        self._inbox: Dict[int, deque] = {}
+        self._inbox_cond = threading.Condition()
+        self._reader_threads: List[threading.Thread] = []
+        self._route_lock = threading.Lock()
+        self._control_lock = threading.Lock()
+        self._rotate_timer: Optional[threading.Timer] = None
+        self._stopping = threading.Event()
+        self._started = False
+        self._closed = False
+        self._reserve: Optional[socket.socket] = None
+        self._control_listener: Optional[socket.socket] = None
+        self._control_threads: List[threading.Thread] = []
+        self._public_listener: Optional[socket.socket] = None
+        self._fdpass_socks: Dict[int, socket.socket] = {}
+        self._fdpass_rr = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterServer":
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+
+        self._start_control_server()
+        self._worker_config["control"] = list(self.control_address)
+
+        if self.fd_passing:
+            # Single listener: the coordinator accepts and deals the
+            # connected sockets to workers over SCM_RIGHTS.
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(64)
+            self._public_listener = listener
+            self.port = listener.getsockname()[1]
+        else:
+            # SO_REUSEPORT group: reserve the port number (bound, never
+            # listening — a closed-state socket takes no connections)
+            # so an ephemeral choice is pinned before any worker binds.
+            reserve = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            reserve.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            reserve.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            reserve.bind((self.host, self.port))
+            self._reserve = reserve
+            self.port = reserve.getsockname()[1]
+        self._worker_config["port"] = self.port
+
+        ctx = multiprocessing.get_context("fork")
+        pipes = [os.pipe() for _ in range(self.workers)]
+        channels = ([socket.socketpair() for _ in range(self.workers)]
+                    if self.fd_passing else None)
+        for index in range(self.workers):
+            self._inbox[index] = deque()
+            self._alive.add(index)
+        for index in range(self.workers):
+            rfd, wfd = pipes[index]
+            close_fds = [r for r, _ in pipes]
+            close_fds += [w for j, (_, w) in enumerate(pipes) if j != index]
+            child_fd = None
+            if channels is not None:
+                child_fd = channels[index][1].fileno()
+                close_fds += [pair[0].fileno() for pair in channels]
+                close_fds += [pair[1].fileno()
+                              for j, pair in enumerate(channels)
+                              if j != index]
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(index, dict(self._worker_config), wfd, child_fd,
+                      close_fds),
+                name=f"live-cluster-w{index}", daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        for index, (rfd, wfd) in enumerate(pipes):
+            os.close(wfd)  # the worker holds the only write end now
+            rfile = os.fdopen(rfd, "rb")
+            thread = threading.Thread(target=self._fanin_reader,
+                                      args=(index, rfile),
+                                      name=f"live-fanin-{index}",
+                                      daemon=True)
+            thread.start()
+            self._reader_threads.append(thread)
+        if channels is not None:
+            for index, (parent, child) in enumerate(channels):
+                child.close()
+                self._fdpass_socks[index] = parent
+
+        self._await_hellos()
+        if self._reserve is not None:
+            self._reserve.close()
+            self._reserve = None
+        self._rebuild_routes()
+        if self.fd_passing:
+            threading.Thread(target=self._fdpass_accept_loop,
+                             name="live-cluster-accept",
+                             daemon=True).start()
+        if self.rotate_every:
+            self._schedule_rotate()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The shared public ingest ``(host, port)``."""
+        return (self.host, self.port)
+
+    def __enter__(self) -> "ClusterServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _await_hellos(self) -> None:
+        """Wait for every worker to announce (or die trying).
+
+        A worker crashing during startup — the ``live.cluster.worker``
+        fault site fires right after HELLO — is survivable: the ring
+        simply starts without it.  Only a full wipe-out fails start.
+        """
+        deadline = _now() + _HELLO_TIMEOUT
+        stragglers: List[int] = []
+        with self._inbox_cond:
+            while True:
+                pending = [i for i in range(self.workers)
+                           if i not in self._worker_addrs
+                           and i in self._alive]
+                if not pending:
+                    break
+                remaining = deadline - _now()
+                if remaining <= 0:
+                    stragglers = pending
+                    break
+                self._inbox_cond.wait(timeout=min(remaining, 0.5))
+            announced = bool(self._alive & set(self._worker_addrs))
+        if stragglers:
+            self.close(drain=False)
+            raise RuntimeError(
+                f"workers {stragglers} never announced within "
+                f"{_HELLO_TIMEOUT}s")
+        if not announced:
+            self.close(drain=False)
+            raise RuntimeError("every cluster worker died on startup")
+
+    def close(self, drain: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        while True:
+            timer = self._rotate_timer
+            if timer is None:
+                break
+            timer.cancel()
+            if timer is not threading.current_thread():
+                timer.join(timeout=10.0)
+            if self._rotate_timer is timer:
+                break
+        if self._public_listener is not None:
+            try:
+                socket.create_connection(self.address, timeout=1.0).close()
+            except OSError:
+                pass
+            try:
+                self._public_listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        with self._control_lock:
+            with self._inbox_cond:
+                targets = [(i, self._worker_addrs[i])
+                           for i in sorted(self._alive)
+                           if i in self._worker_addrs]
+            for _index, addr in targets:
+                try:
+                    self._rpc(addr, {"op": "worker-stop"}, timeout=10.0)
+                except (OSError, ValueError, LiveError, ProtocolError):
+                    pass  # already dead, or died while answering
+            for proc in self._procs:
+                proc.join(timeout=15.0)
+            for proc in self._procs:
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for thread in self._reader_threads:
+                thread.join(timeout=5.0)
+            if drain:
+                # Workers drain on close and forward their final
+                # partial epochs; seal whatever arrived as the
+                # cluster's own final epoch.
+                with self._inbox_cond:
+                    leftovers = []
+                    for queue in self._inbox.values():
+                        while queue:
+                            leftovers.append(queue.popleft())
+                if leftovers:
+                    self.snapshots.seal_round(leftovers)
+            for sock in self._fdpass_socks.values():
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+            if self._reserve is not None:
+                try:
+                    self._reserve.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._reserve = None
+            self._stop_control_server()
+            if self.store is not None and self._owns_store:
+                try:
+                    self.store.checkpoint()
+                except (OSError, ValueError) as exc:
+                    self.snapshots.ledger.note_store_failure(
+                        f"checkpoint on close: {exc}")
+                try:
+                    self.store.close()
+                except (OSError, ValueError) as exc:
+                    self.snapshots.ledger.note_store_failure(
+                        f"store close: {exc}")
+
+    def _schedule_rotate(self) -> None:
+        if self._stopping.is_set():
+            return
+        timer = threading.Timer(self.rotate_every, self._timed_rotate)
+        timer.daemon = True
+        self._rotate_timer = timer
+        timer.start()
+
+    def _timed_rotate(self) -> None:
+        if self._stopping.is_set():
+            return
+        try:
+            self.rotate()
+        except ValueError:
+            return
+        finally:
+            self._schedule_rotate()
+
+    # ------------------------------------------------------------------
+    # Fan-in / worker liveness
+    # ------------------------------------------------------------------
+    def _fanin_reader(self, index: int, rfile) -> None:
+        try:
+            while True:
+                frame = _read_fanin(rfile)
+                if frame is None:
+                    break
+                ftype, header, payload = frame
+                if ftype == FANIN_HELLO:
+                    with self._inbox_cond:
+                        self._worker_addrs[index] = (header["host"],
+                                                     int(header["port"]))
+                        self._inbox_cond.notify_all()
+                elif ftype == FANIN_SNAPSHOT:
+                    with self._inbox_cond:
+                        self._inbox[index].append(
+                            (header, bytes(payload)))
+                        self._inbox_cond.notify_all()
+                elif ftype == FANIN_BYE:
+                    with self._inbox_cond:
+                        self._clean.add(index)
+        except (OSError, ValueError):
+            pass  # torn frame: the worker died mid-write
+        finally:
+            try:
+                rfile.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._worker_gone(index)
+
+    def _worker_gone(self, index: int) -> None:
+        with self._inbox_cond:
+            if index not in self._alive:
+                return
+            self._alive.discard(index)
+            crashed = index not in self._clean
+            self._inbox_cond.notify_all()
+        if crashed and not self._stopping.is_set():
+            self.worker_deaths += 1
+            self._rebuild_routes()
+
+    def _rebuild_routes(self) -> None:
+        """Recompute the ring over the survivors and broadcast it."""
+        with self._route_lock:
+            self._generation += 1
+            generation = self._generation
+            with self._inbox_cond:
+                table = [[i, *self._worker_addrs[i]]
+                         for i in sorted(self._alive)
+                         if i in self._worker_addrs]
+        op = {"op": "worker-route", "workers": table,
+              "generation": generation}
+        for index, host, port in table:
+            try:
+                self._rpc((host, port), op, timeout=10.0)
+            except (OSError, ValueError, LiveError, ProtocolError):
+                pass  # its reader thread will notice the death
+
+    # ------------------------------------------------------------------
+    # Worker RPC
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rpc(address: Tuple[str, int], op: Dict,
+             timeout: float = _RPC_TIMEOUT) -> Dict:
+        with socket.create_connection(address, timeout=timeout) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.sendall(pack_control(op))
+            rfile = sock.makefile("rb")
+            frame = read_frame(rfile)
+        if frame is None:
+            raise ValueError(f"worker at {address} closed mid-command")
+        ftype, payload = frame
+        if ftype == FRAME_ERROR:
+            document = json.loads(payload.decode("utf-8"))
+            raise LiveError(document.get("error", "worker error"))
+        if ftype != FRAME_OK:
+            raise ValueError(f"unexpected worker frame 0x{ftype:02x}")
+        return json.loads(payload.decode("utf-8"))
+
+    def _alive_targets(self) -> List[Tuple[int, Tuple[str, int]]]:
+        with self._inbox_cond:
+            return [(i, self._worker_addrs[i])
+                    for i in sorted(self._alive)
+                    if i in self._worker_addrs]
+
+    def _broadcast(self, op: Dict) -> Dict[int, Dict]:
+        results: Dict[int, Dict] = {}
+        for index, addr in self._alive_targets():
+            try:
+                results[index] = self._rpc(addr, op)
+            except (OSError, ValueError, LiveError, ProtocolError):
+                pass  # dead worker: liveness handled by its reader
+        return results
+
+    # ------------------------------------------------------------------
+    # Rotation
+    # ------------------------------------------------------------------
+    def rotate(self) -> Epoch:
+        """Rotate every worker and seal one merged cluster epoch.
+
+        Each alive worker seals locally and pushes its snapshot down
+        the fan-in; this collects exactly one snapshot per worker that
+        survived the round and merges them vectorized.  A worker that
+        dies mid-round contributes nothing — its acked-but-unsealed
+        records are lost with it (the documented crash contract).
+        """
+        with self._control_lock:
+            if self._closed:
+                raise ValueError("cluster is closed")
+            targets = self._alive_targets()
+            for _index, addr in targets:
+                try:
+                    self._rpc(addr, {"op": "worker-rotate"})
+                except (OSError, ValueError, LiveError, ProtocolError):
+                    pass  # died before sealing; handled below
+            snapshots = self._collect_round([i for i, _ in targets])
+            return self.snapshots.seal_round(snapshots)
+
+    def _collect_round(self, indices) -> List[Tuple[Dict, bytes]]:
+        deadline = _now() + _ROUND_TIMEOUT
+        collected: List[Tuple[Dict, bytes]] = []
+        pending = set(indices)
+        with self._inbox_cond:
+            while pending:
+                for index in sorted(pending):
+                    if self._inbox[index]:
+                        collected.append(self._inbox[index].popleft())
+                        pending.discard(index)
+                    elif index not in self._alive:
+                        pending.discard(index)  # died without a snapshot
+                if not pending:
+                    break
+                remaining = deadline - _now()
+                if remaining <= 0:
+                    break  # stragglers: their snapshot joins the next round
+                self._inbox_cond.wait(timeout=min(remaining, 0.5))
+        return collected
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _current_service(self) -> HistogramService:
+        """Merge of every alive worker's live (unsealed) epoch."""
+        service = HistogramService(window_size=self.window_size,
+                                   time_slot_ns=self.time_slot_ns)
+        snapshots = self._broadcast({"op": "worker-snapshot",
+                                     "scope": "current"})
+        for _index, snapshot in sorted(snapshots.items()):
+            for disk, document in snapshot["disks"].items():
+                vm, _, vdisk = disk.partition("/")
+                service.adopt((vm, vdisk),
+                              VscsiStatsCollector.from_dict(document))
+        return service
+
+    def merged_service(self) -> HistogramService:
+        """Lifetime merge: sealed history plus every worker's live
+        epoch — the cluster analogue of
+        :meth:`LiveStatsServer.merged_service`."""
+        service = self.snapshots.merged_history()
+        current = self._current_service()
+        for key, collector in current.collectors():
+            service.adopt(key, collector)
+        return service
+
+    def snapshot_dict(self, scope: str = "all",
+                      epoch: Optional[int] = None,
+                      aggregate: bool = False) -> Dict:
+        """JSON-ready snapshot document, same shape as the
+        single-process server's."""
+        ledger = self.snapshots.ledger
+        if scope == "epoch":
+            if not len(ledger) and epoch is None:
+                raise ProtocolError("no sealed epochs yet")
+            if epoch is None:
+                target = ledger.last
+            else:
+                try:
+                    target = ledger.epoch(epoch)
+                except KeyError as exc:
+                    raise ProtocolError(str(exc)) from None
+            service = target.service
+            meta: Dict = {"scope": "epoch", "epoch": target.index,
+                          "records": target.records}
+        elif scope == "current":
+            service = self._current_service()
+            meta = {"scope": "current", "epoch": len(ledger)}
+        elif scope == "all":
+            service = self.merged_service()
+            meta = {"scope": "all", "epochs": len(ledger)}
+        else:
+            raise ProtocolError(f"unknown snapshot scope {scope!r}")
+        meta["disks"] = {
+            f"{vm}/{vdisk}": collector.to_dict()
+            for (vm, vdisk), collector in service.collectors()
+        }
+        if aggregate:
+            meta["aggregate"] = service.aggregate().to_dict()
+        return meta
+
+    def openmetrics(self) -> str:
+        """Canonical exposition: the lifetime merge plus summed worker
+        counters and cluster liveness gauges."""
+        service = self.merged_service()
+        infos = self._broadcast({"op": "worker-info"})
+        ledger = self.snapshots.ledger
+
+        def total(field: str) -> int:
+            return sum(info.get(field, 0) for info in infos.values())
+
+        daemon = {
+            "epochs_sealed_total": len(ledger),
+            "ingest_frames_total": total("frames_total"),
+            "ingest_records_total": total("records_total"),
+            "ignored_records_total": total("ignored_records_total"),
+            "dropped_records_total": total("dropped_records_total"),
+            "rejected_frames_total": total("rejected_frames_total"),
+            "duplicate_frames_total": total("duplicate_frames_total"),
+            "redirected_frames_total": total("redirected_frames_total"),
+            "persist_failures_total": len(ledger.persist_errors),
+            "degraded": 1 if ledger.degraded else 0,
+            "connections_open": total("connections_open"),
+            "connections_total": total("connections_total"),
+            "cluster_workers": self.workers,
+            "cluster_workers_alive": len(infos),
+            "cluster_worker_deaths_total": self.worker_deaths,
+            "cluster_route_generation": self._generation,
+        }
+        return render_openmetrics(service.collectors(), daemon)
+
+    def route_info(self) -> Dict:
+        with self._route_lock:
+            generation = self._generation
+        with self._inbox_cond:
+            table = [[i, *self._worker_addrs[i]]
+                     for i in sorted(self._alive)
+                     if i in self._worker_addrs]
+        return {"generation": generation, "replicas": self.ring_replicas,
+                "workers": table}
+
+    def info(self) -> Dict:
+        ledger = self.snapshots.ledger
+        workers = self._broadcast({"op": "worker-info"})
+        info = {
+            "cluster": True,
+            "address": list(self.address),
+            "control_address": list(self.control_address),
+            "fd_passing": self.fd_passing,
+            "workers": self.workers,
+            "workers_alive": sorted(
+                int(i) for i in workers),
+            "worker_deaths_total": self.worker_deaths,
+            "route_generation": self._generation,
+            "epochs_sealed": len(ledger),
+            "epoch_records": ledger.records,
+            "degraded": ledger.degraded,
+            "persist_errors": list(ledger.persist_errors),
+            "worker_info": {str(i): doc for i, doc in workers.items()},
+        }
+        info["ledger"] = ledger.to_dict()
+        info["ledger"].pop("retained", None)
+        if self.store is not None:
+            entry = {"path": str(self.store.path),
+                     "owned": self._owns_store,
+                     "closed": self.store.closed}
+            if not self.store.closed:
+                entry["records"] = len(self.store)
+                entry["epochs"] = self.store.epochs
+            info["store"] = entry
+        return info
+
+    def export_json(self) -> str:
+        return json.dumps(self.snapshot_dict(scope="all"), indent=2,
+                          sort_keys=True)
+
+    def enable(self, vm: Optional[str] = None,
+               vdisk: Optional[str] = None) -> None:
+        self._broadcast({"op": "worker-enable", "vm": vm, "vdisk": vdisk})
+
+    def disable(self, vm: Optional[str] = None,
+                vdisk: Optional[str] = None) -> None:
+        self._broadcast({"op": "worker-disable", "vm": vm, "vdisk": vdisk})
+
+    # ------------------------------------------------------------------
+    # Control endpoint (the address `repro serve --workers` publishes
+    # for rotate/metrics/snapshot; workers relay public ops here)
+    # ------------------------------------------------------------------
+    def _start_control_server(self) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(16)
+        self._control_listener = listener
+        self.control_address = (self.host, listener.getsockname()[1])
+        thread = threading.Thread(target=self._control_accept_loop,
+                                  name="live-cluster-control",
+                                  daemon=True)
+        thread.start()
+        self._control_threads.append(thread)
+
+    def _stop_control_server(self) -> None:
+        if self._control_listener is None:
+            return
+        try:
+            socket.create_connection(self.control_address,
+                                     timeout=1.0).close()
+        except OSError:
+            pass
+        try:
+            self._control_listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        for thread in self._control_threads:
+            thread.join(timeout=5.0)
+
+    def _control_accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._control_listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._serve_control, args=(conn,),
+                             name="live-cluster-ctl-conn",
+                             daemon=True).start()
+
+    def _serve_control(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(60.0)
+            rfile = conn.makefile("rb")
+            wfile = conn.makefile("wb")
+            while not self._stopping.is_set():
+                try:
+                    frame = read_frame(rfile)
+                except ProtocolError as exc:
+                    wfile.write(pack_error(str(exc)))
+                    wfile.flush()
+                    return
+                except (socket.timeout, TimeoutError):
+                    return
+                if frame is None:
+                    return
+                ftype, payload = frame
+                try:
+                    if ftype != FRAME_CONTROL:
+                        raise ProtocolError(
+                            "the coordinator does not ingest data "
+                            "frames; publish to the shared ingest port")
+                    response = self._handle_control_op(
+                        unpack_control(payload))
+                except ProtocolError as exc:
+                    response = pack_error(str(exc))
+                except ValueError as exc:
+                    response = pack_error(str(exc))
+                wfile.write(response)
+                wfile.flush()
+        except (OSError, ValueError):
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _handle_control_op(self, op: Dict) -> bytes:
+        name = op["op"]
+        if name == "ping":
+            return pack_ok({"pong": True, "version": 1, "cluster": True,
+                            "workers": self.workers,
+                            "workers_alive": len(self._alive)})
+        if name == "rotate":
+            epoch = self.rotate()
+            return pack_ok({"epoch": epoch.index,
+                            "records": epoch.records,
+                            "disks": len(list(
+                                epoch.service.collectors()))})
+        if name == "snapshot":
+            return pack_ok(self.snapshot_dict(
+                scope=op.get("scope", "all"),
+                epoch=op.get("epoch"),
+                aggregate=bool(op.get("aggregate", False))))
+        if name == "metrics":
+            return pack_text(self.openmetrics())
+        if name == "info":
+            return pack_ok(self.info())
+        if name == "route":
+            return pack_ok(self.route_info())
+        if name == "enable":
+            self.enable(op.get("vm"), op.get("vdisk"))
+            return pack_ok({"enabled": True})
+        if name == "disable":
+            self.disable(op.get("vm"), op.get("vdisk"))
+            return pack_ok({"enabled": False})
+        raise ProtocolError(f"unknown control op {name!r}")
+
+    # ------------------------------------------------------------------
+    # fd-passing fallback data path
+    # ------------------------------------------------------------------
+    def _fdpass_accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._public_listener.accept()
+            except OSError:
+                return
+            targets = sorted(self._fdpass_socks.keys() & self._alive)
+            sent = False
+            if targets:
+                index = targets[self._fdpass_rr % len(targets)]
+                self._fdpass_rr += 1
+                try:
+                    socket.send_fds(self._fdpass_socks[index], [b"c"],
+                                    [conn.fileno()])
+                    sent = True
+                except OSError:
+                    pass
+            # SCM_RIGHTS dup'd the descriptor into the worker; this
+            # process's copy is closed either way.
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            if not sent:
+                continue
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            "running" if self._started else "new")
+        return (f"<ClusterServer {state} {self.host}:{self.port} "
+                f"workers={len(self._alive)}/{self.workers}>")

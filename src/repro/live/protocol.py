@@ -73,8 +73,10 @@ __all__ = [
     "pack_error",
     "pack_frame",
     "pack_ok",
+    "pack_redirect",
     "pack_text",
     "read_frame",
+    "read_frame_view",
     "records_to_bytes",
     "sort_columns_for_stream",
     "unpack_control",
@@ -153,6 +155,40 @@ def read_frame(stream) -> Optional[Tuple[int, bytes]]:
     return body[0], body[1:]
 
 
+def read_frame_view(stream, head=None) -> Optional[Tuple[int, memoryview]]:
+    """:func:`read_frame` for the server's zero-copy ingest path.
+
+    Same contract, two allocation differences: the 4-byte length
+    prefix is read into a caller-preallocated scratch buffer
+    (``head``, a ``bytearray`` of at least 4 bytes, reused across
+    every frame on a connection), and the payload is returned as a
+    :class:`memoryview` over the single body read — no ``body[1:]``
+    copy — so ``np.frombuffer`` downstream views the received bytes
+    directly.
+    """
+    if head is None:
+        head = bytearray(_LEN.size)
+    got = 0
+    while got < _LEN.size:
+        n = stream.readinto(memoryview(head)[got:_LEN.size])
+        if not n:
+            if got == 0:
+                return None
+            raise ProtocolError("truncated frame length prefix")
+        got += n
+    (length,) = _LEN.unpack_from(head)
+    if length < 1:
+        raise ProtocolError("frame missing its type byte")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES"
+        )
+    body = stream.read(length)
+    if len(body) != length:
+        raise ProtocolError("truncated frame body")
+    return body[0], memoryview(body)[1:]
+
+
 # ----------------------------------------------------------------------
 # Data frames
 # ----------------------------------------------------------------------
@@ -173,8 +209,16 @@ def pack_data(vm: str, vdisk: str, body: bytes) -> bytes:
     return pack_frame(FRAME_DATA, _pack_name(vm) + _pack_name(vdisk) + body)
 
 
-def unpack_data(payload: bytes) -> Tuple[str, str, bytes]:
-    """Split a ``DATA`` payload into ``(vm, vdisk, record bytes)``."""
+def unpack_data(payload) -> Tuple[str, str, memoryview]:
+    """Split a ``DATA`` payload into ``(vm, vdisk, record bytes)``.
+
+    The returned body is a :class:`memoryview` over ``payload`` —
+    never a copy — so a server that read the frame with
+    :func:`read_frame_view` hands the received bytes straight to
+    ``np.frombuffer``.  It compares equal to the equivalent ``bytes``
+    and everything downstream (:func:`bytes_to_columns`, the pure
+    ``struct`` path) accepts it.
+    """
     view = memoryview(payload)
     offset = 0
     names = []
@@ -196,7 +240,7 @@ def unpack_data(payload: bytes) -> Tuple[str, str, bytes]:
             f"data body of {len(body)} bytes is not a whole number of "
             f"{RECORD_BYTES}-byte records"
         )
-    return names[0], names[1], bytes(body)
+    return names[0], names[1], body
 
 
 def pack_data_seq(session: str, seq: int, vm: str, vdisk: str,
@@ -224,7 +268,7 @@ def pack_data_seq(session: str, seq: int, vm: str, vdisk: str,
     )
 
 
-def unpack_data_seq(payload: bytes) -> Tuple[str, int, str, str, bytes]:
+def unpack_data_seq(payload) -> Tuple[str, int, str, str, memoryview]:
     """Split a ``DATA_SEQ`` payload into
     ``(session, seq, vm, vdisk, record bytes)``."""
     view = memoryview(payload)
@@ -246,7 +290,7 @@ def unpack_data_seq(payload: bytes) -> Tuple[str, int, str, str, bytes]:
             "data frame needs a non-empty session id and a sequence "
             "number >= 1"
         )
-    vm, vdisk, body = unpack_data(bytes(view[offset:]))
+    vm, vdisk, body = unpack_data(view[offset:])
     return session, seq, vm, vdisk, body
 
 
@@ -342,6 +386,19 @@ def sort_columns_for_stream(columns: TraceColumns) -> TraceColumns:
     chunking so any trace, however stored, replays as a valid stream.
     """
     if _np is not None and isinstance(columns.issue_ns, _np.ndarray):
+        issue = columns.issue_ns
+        serial = columns.serial
+        # Most real streams (capture points, replayed trace files)
+        # arrive already ordered; detecting that is one vectorized
+        # pass, much cheaper than an O(n log n) lexsort plus six
+        # gather copies.
+        if len(issue) < 2 or bool(
+            _np.all(
+                (issue[:-1] < issue[1:])
+                | ((issue[:-1] == issue[1:]) & (serial[:-1] <= serial[1:]))
+            )
+        ):
+            return columns
         order = _np.lexsort((columns.serial, columns.issue_ns))
         return TraceColumns(*(col[order] for col in columns.columns()))
     order = sorted(range(len(columns)),
@@ -359,9 +416,11 @@ def pack_control(op: Dict) -> bytes:
     return pack_frame(FRAME_CONTROL, json.dumps(op).encode("utf-8"))
 
 
-def unpack_control(payload: bytes) -> Dict:
+def unpack_control(payload) -> Dict:
     """Parse a ``CONTROL`` payload; must be a JSON object with "op"."""
     try:
+        if isinstance(payload, memoryview):
+            payload = bytes(payload)
         op = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"undecodable control frame: {exc}") from None
@@ -384,3 +443,19 @@ def pack_error(message: str) -> bytes:
     """Build an ``ERROR`` response frame."""
     return pack_frame(FRAME_ERROR,
                       json.dumps({"error": message}).encode("utf-8"))
+
+
+def pack_redirect(message: str, host: str, port: int) -> bytes:
+    """Build an ``ERROR`` frame carrying a cluster redirect target.
+
+    A cluster worker answers a data frame for a disk it does not own
+    with one of these; the client re-routes the frame to ``(host,
+    port)`` (see :class:`repro.live.client.LiveStatsClient` and
+    :mod:`repro.live.cluster`).  Non-cluster-aware clients see a plain
+    error, which is the correct degradation.
+    """
+    return pack_frame(
+        FRAME_ERROR,
+        json.dumps({"error": message,
+                    "redirect": [host, port]}).encode("utf-8"),
+    )

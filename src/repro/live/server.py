@@ -71,8 +71,9 @@ from .protocol import (
     bytes_to_columns,
     pack_error,
     pack_ok,
+    pack_redirect,
     pack_text,
-    read_frame,
+    read_frame_view,
     unpack_control,
     unpack_data,
     unpack_data_seq,
@@ -91,6 +92,14 @@ _MAX_SESSIONS = 1024
 #: How long a retried frame waits for the original's in-flight ingest
 #: before giving up (matches the order of a worst-case blocked queue).
 _DUPLICATE_WAIT_SECONDS = 30.0
+
+#: Control ops with cluster-wide meaning.  A cluster worker does not
+#: answer these from its own partial view — it relays them to the
+#: coordinator (``forward_control``), which owns the merged history,
+#: the durable store and the canonical exposition.
+_CLUSTER_FORWARDED_OPS = frozenset(
+    {"rotate", "snapshot", "metrics", "info", "enable", "disable"}
+)
 
 
 class _SessionEntry:
@@ -207,6 +216,26 @@ class LiveStatsServer:
         daemon's history after it exits.  A path-opened store is owned
         (checkpointed and closed) by the server; a passed-in instance
         is the caller's to close.
+    reuse_port:
+        Bind the listener with ``SO_REUSEPORT`` so several worker
+        processes can share one public port (the cluster mode of
+        :mod:`repro.live.cluster`); the kernel load-balances accepted
+        connections across them.
+    direct_port:
+        When not ``None``, bind a second listener on this port (``0``
+        for ephemeral — see :attr:`direct_address`) serving the same
+        protocol.  A cluster worker uses it as its worker-private
+        address: redirects and coordinator commands name it
+        unambiguously even though every worker shares the public port.
+    on_seal:
+        Optional callback invoked with each sealed
+        :class:`~repro.live.epochs.Epoch` (rotation and the final
+        drain-on-close seal), under the control lock.  The cluster
+        worker's fan-in forwarding hangs off this hook.
+    cluster_member:
+        Enables the worker-internal control ops (``worker-*``) that a
+        cluster coordinator drives; plain standalone servers reject
+        them.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -219,7 +248,11 @@ class LiveStatsServer:
                  rotate_every: Optional[float] = None,
                  max_epochs: Optional[int] = None,
                  start_enabled: bool = True,
-                 store=None):
+                 store=None,
+                 reuse_port: bool = False,
+                 direct_port: Optional[int] = None,
+                 on_seal=None,
+                 cluster_member: bool = False):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if queue_depth < 1:
@@ -229,8 +262,29 @@ class LiveStatsServer:
                 f'backpressure must be "block" or "drop", '
                 f"got {backpressure!r}"
             )
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ValueError(
+                "SO_REUSEPORT is not available on this platform"
+            )
         self.host = host
         self.port = port
+        self.reuse_port = reuse_port
+        self.direct_port = direct_port
+        #: ``(host, port)`` of the direct listener once started.
+        self.direct_address: Optional[Tuple[str, int]] = None
+        self.cluster_member = cluster_member
+        #: Cluster routing: an object with ``redirect_for(vm, vdisk)``
+        #: returning the owning worker's ``(host, port)`` (or ``None``
+        #: when this worker owns the disk / no table is installed).
+        self.router = None
+        #: Cluster relay: ``callable(payload) -> response frame
+        #: bytes`` for control ops with cluster-wide meaning.
+        self.forward_control = None
+        #: Extension control ops (``{"op-name": callable(op) ->
+        #: dict}``) — the cluster worker registers its ``worker-*``
+        #: handlers here instead of subclassing.
+        self.control_handlers: Dict[str, "object"] = {}
+        self._on_seal = on_seal
         self.backpressure = backpressure
         self.idle_timeout = idle_timeout
         self.window_size = window_size
@@ -260,7 +314,8 @@ class LiveStatsServer:
             _ShardWorker(index, self, queue_depth) for index in range(shards)
         ]
         self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
+        self._direct_listener: Optional[socket.socket] = None
+        self._accept_threads: List[threading.Thread] = []
         self._rotate_timer: Optional[threading.Timer] = None
         self._stopping = threading.Event()
         self._started = False
@@ -272,6 +327,7 @@ class LiveStatsServer:
         self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
         self._conns: set = set()
         self.duplicate_frames_total = 0  # retries answered from cache
+        self.redirected_frames_total = 0  # non-owned disks bounced
         self.frames_total = 0
         self.records_total = 0
         self.ignored_records_total = 0   # disabled-disk data frames
@@ -282,23 +338,39 @@ class LiveStatsServer:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _bind_listener(self, port: int, reuse_port: bool) -> socket.socket:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        listener.bind((self.host, port))
+        listener.listen(32)
+        return listener
+
     def start(self) -> "LiveStatsServer":
         """Bind, listen and start worker/acceptor threads."""
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.host, self.port))
-        listener.listen(32)
+        listener = self._bind_listener(self.port, self.reuse_port)
         self._listener = listener
         self.port = listener.getsockname()[1]
+        if self.direct_port is not None:
+            direct = self._bind_listener(self.direct_port, False)
+            self._direct_listener = direct
+            self.direct_address = (self.host, direct.getsockname()[1])
         for worker in self._workers:
             worker.start()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="live-accept", daemon=True
-        )
-        self._accept_thread.start()
+        for name, sock in (("live-accept", self._listener),
+                           ("live-accept-direct", self._direct_listener)):
+            if sock is None:
+                continue
+            thread = threading.Thread(
+                target=self._accept_loop, args=(sock,), name=name,
+                daemon=True,
+            )
+            thread.start()
+            self._accept_threads.append(thread)
         if self.rotate_every:
             self._schedule_rotate()
         return self
@@ -339,15 +411,19 @@ class LiveStatsServer:
                 timer.join(timeout=10.0)
             if self._rotate_timer is timer:
                 break
-        if self._listener is not None:
+        for listener, address in ((self._listener, self.address),
+                                  (self._direct_listener,
+                                   self.direct_address)):
+            if listener is None:
+                continue
             # A blocked accept() is not reliably woken by closing the
             # listener from another thread; a loopback connect is.
             try:
-                socket.create_connection(self.address, timeout=1.0).close()
+                socket.create_connection(address, timeout=1.0).close()
             except OSError:
                 pass
             try:
-                self._listener.close()
+                listener.close()
             except OSError:  # pragma: no cover
                 pass
         with self._stats_lock:
@@ -375,8 +451,8 @@ class LiveStatsServer:
                         pass
                 worker.queue.put(_SHUTDOWN)
                 worker.join(timeout=10.0)
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
+        for thread in self._accept_threads:
+            thread.join(timeout=5.0)
         # The control lock serializes this final seal and the store
         # shutdown against any straggling rotate() (timer or client):
         # no double-seal of the same collectors, no append to a closed
@@ -387,7 +463,8 @@ class LiveStatsServer:
                 # queryable.
                 pairs = self._seal_all_streams()
                 if pairs:
-                    self.ledger.seal(pairs)
+                    epoch = self.ledger.seal(pairs)
+                    self._fire_on_seal(epoch)
             if self.store is not None and self._owns_store:
                 # A store that fails at the very end must not lose the
                 # in-memory state or leave the flock held: record the
@@ -426,20 +503,40 @@ class LiveStatsServer:
     # ------------------------------------------------------------------
     # Accept / connection handling
     # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
+    def _accept_loop(self, listener: socket.socket) -> None:
         while not self._stopping.is_set():
             try:
-                conn, _addr = self._listener.accept()
+                conn, _addr = listener.accept()
             except OSError:
                 return  # listener closed
-            with self._stats_lock:
-                self._conns.add(conn)
-                self.connections_total += 1
-            thread = threading.Thread(
-                target=self._serve_connection, args=(conn,),
-                name="live-conn", daemon=True,
-            )
-            thread.start()
+            self._start_connection(conn)
+
+    def _start_connection(self, conn: socket.socket) -> None:
+        with self._stats_lock:
+            self._conns.add(conn)
+            self.connections_total += 1
+        thread = threading.Thread(
+            target=self._serve_connection, args=(conn,),
+            name="live-conn", daemon=True,
+        )
+        thread.start()
+
+    def adopt_connection(self, conn: socket.socket) -> None:
+        """Serve an externally accepted connection.
+
+        The fd-passing fallback of :mod:`repro.live.cluster` accepts
+        on a single listener and hands the connected sockets to worker
+        processes over ``SCM_RIGHTS``; the receiving side re-wraps the
+        descriptor and injects it here, after which it is
+        indistinguishable from a locally accepted connection.
+        """
+        if self._stopping.is_set() or not self._started:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            return
+        self._start_connection(conn)
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
@@ -447,10 +544,14 @@ class LiveStatsServer:
                 conn.settimeout(self.idle_timeout)
             rfile = conn.makefile("rb")
             wfile = conn.makefile("wb")
+            # One preallocated length-prefix scratch per connection:
+            # the frame reader fills it in place instead of
+            # allocating a 4-byte object per frame.
+            head = bytearray(4)
             while not self._stopping.is_set():
                 try:
                     fire("live.server.recv")
-                    frame = read_frame(rfile)
+                    frame = read_frame_view(rfile, head)
                 except ProtocolError as exc:
                     # Framing is broken; report and drop the link
                     # (there is no way to resynchronize a byte stream
@@ -516,8 +617,29 @@ class LiveStatsServer:
         digest = zlib.crc32(f"{key[0]}\x00{key[1]}".encode("utf-8"))
         return self._workers[digest % len(self._workers)]
 
+    def _redirect_for(self, vm: str, vdisk: str) -> Optional[bytes]:
+        """A redirect response when another cluster worker owns the
+        disk, else ``None``.  Checked *before* any session-state
+        mutation, so a bounced frame leaves no trace here — the owner
+        sees the untouched ``(session, seq)`` stream."""
+        if self.router is None:
+            return None
+        target = self.router.redirect_for(vm, vdisk)
+        if target is None:
+            return None
+        with self._stats_lock:
+            self.redirected_frames_total += 1
+        host, port = target
+        return pack_redirect(
+            f"disk {vm}/{vdisk} is owned by worker at {host}:{port}",
+            host, port,
+        )
+
     def _handle_data(self, payload: bytes) -> bytes:
         vm, vdisk, body = unpack_data(payload)
+        redirect = self._redirect_for(vm, vdisk)
+        if redirect is not None:
+            return redirect
         return self._ingest(vm, vdisk, body)
 
     def _handle_data_seq(self, payload: bytes) -> bytes:
@@ -534,6 +656,9 @@ class LiveStatsServer:
         the client's view consistent.
         """
         session, seq, vm, vdisk, body = unpack_data_seq(payload)
+        redirect = self._redirect_for(vm, vdisk)
+        if redirect is not None:
+            return redirect
         with self._session_lock:
             entry = self._sessions.get(session)
             if entry is not None and seq == entry.seq:
@@ -631,8 +756,28 @@ class LiveStatsServer:
     def _handle_control(self, payload: bytes) -> bytes:
         op = unpack_control(payload)
         name = op["op"]
+        if self.forward_control is not None \
+                and name in _CLUSTER_FORWARDED_OPS:
+            # Cluster-wide op landing on one worker: relay to the
+            # coordinator and pass its response frame through.
+            try:
+                return self.forward_control(bytes(payload))
+            except (OSError, ValueError) as exc:
+                raise ProtocolError(
+                    f"cluster coordinator unreachable: {exc}"
+                ) from None
+        handler = self.control_handlers.get(name)
+        if handler is not None:
+            return pack_ok(handler(op))
         if name == "ping":
             return pack_ok({"pong": True, "version": 1})
+        if name == "hello":
+            return pack_ok(self._handle_hello(op))
+        if name == "route":
+            if self.router is not None:
+                return pack_ok(self.router.route_info())
+            return pack_ok({"workers": [list(self.address)],
+                            "generation": 0})
         if name == "rotate":
             epoch = self.rotate()
             return pack_ok({"epoch": epoch.index,
@@ -655,6 +800,55 @@ class LiveStatsServer:
         if name == "info":
             return pack_ok(self.info())
         raise ProtocolError(f"unknown control op {name!r}")
+
+    def _handle_hello(self, op: Dict) -> Dict:
+        """Seed (or confirm) a session's retry watermark.
+
+        ``{"op": "hello", "session": s, "seq": n}`` declares "frames
+        of session ``s`` up to ``n`` are already acknowledged".  A
+        reconnecting client sends it before replaying unacked
+        ``DATA_SEQ`` frames so that a *brand-new* server process — a
+        cluster worker that just inherited the session after a crash,
+        or a restarted daemon — learns the watermark instead of
+        re-ingesting a replayed frame it never saw acked (the ack-
+        cache race this op exists to close).  On a server that
+        already knows the session, the richer state wins: an
+        established entry at ``seq >= n`` is left untouched.
+        """
+        session = op.get("session")
+        seq = op.get("seq", 0)
+        if not isinstance(session, str) or not session:
+            raise ProtocolError("hello needs a non-empty session id")
+        if not isinstance(seq, int) or seq < 0:
+            raise ProtocolError("hello seq must be an integer >= 0")
+        with self._session_lock:
+            entry = self._sessions.get(session)
+            if entry is None or (entry.response is not None
+                                 and entry.seq < seq):
+                if seq > 0:
+                    seeded = _SessionEntry(seq)
+                    # The cached ack for the seeded watermark: a
+                    # replay of an already-acknowledged frame is
+                    # answered without ingesting (accepted: 0 — the
+                    # records were counted when originally acked).
+                    seeded.response = pack_ok(
+                        {"accepted": 0, "deduplicated": True}
+                    )
+                    seeded.done.set()
+                    self._sessions[session] = seeded
+                    self._sessions.move_to_end(session)
+                    while len(self._sessions) > _MAX_SESSIONS:
+                        oldest = next(iter(self._sessions))
+                        if self._sessions[oldest].response is None:
+                            break  # never evict an in-flight entry
+                        del self._sessions[oldest]
+                elif entry is not None:
+                    # seq == 0 from a client that knows nothing acked:
+                    # nothing to seed, and an existing completed entry
+                    # still wins below.
+                    return {"session": session, "seq": entry.seq}
+                return {"session": session, "seq": seq}
+            return {"session": session, "seq": entry.seq}
 
     # ------------------------------------------------------------------
     # Atomic swap machinery
@@ -701,9 +895,27 @@ class LiveStatsServer:
             barriers = self._pause_workers()
             try:
                 pairs = self._seal_all_streams()
-                return self.ledger.seal(pairs)
+                epoch = self.ledger.seal(pairs)
             finally:
                 self._resume_workers(barriers)
+            self._fire_on_seal(epoch)
+            return epoch
+
+    def _fire_on_seal(self, epoch: Epoch) -> None:
+        """Invoke the seal hook; a dead fan-in must not kill rotation.
+
+        The cluster hook writes to a pipe whose reader is the
+        coordinator — if that end is gone the worker is being torn
+        down anyway, so the failure is swallowed rather than raised
+        into ``rotate()``; the epoch stays sealed in the local ledger
+        either way.
+        """
+        if self._on_seal is None:
+            return
+        try:
+            self._on_seal(epoch)
+        except (OSError, ValueError):
+            pass
 
     # ------------------------------------------------------------------
     # Queries (also usable in-process, e.g. after close())
@@ -804,6 +1016,7 @@ class LiveStatsServer:
                 "dropped_records_total": self.dropped_records_total,
                 "rejected_frames_total": self.rejected_frames_total,
                 "duplicate_frames_total": self.duplicate_frames_total,
+                "redirected_frames_total": self.redirected_frames_total,
                 "persist_failures_total": len(self.ledger.persist_errors),
                 "degraded": 1 if self.ledger.degraded else 0,
                 "connections_open": len(self._conns),
@@ -816,6 +1029,8 @@ class LiveStatsServer:
         with self._stats_lock:
             info = {
                 "address": list(self.address),
+                "direct_address": (list(self.direct_address)
+                                   if self.direct_address else None),
                 "shards": len(self._workers),
                 "backpressure": self.backpressure,
                 "enabled": self._gate.enabled,
@@ -827,6 +1042,7 @@ class LiveStatsServer:
                 "dropped_records_total": self.dropped_records_total,
                 "rejected_frames_total": self.rejected_frames_total,
                 "duplicate_frames_total": self.duplicate_frames_total,
+                "redirected_frames_total": self.redirected_frames_total,
                 "connections_open": len(self._conns),
                 "connections_total": self.connections_total,
                 "queue_depths": [w.queue.qsize() for w in self._workers],
