@@ -35,6 +35,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import bench_fleet
 import bench_hotpath
 import bench_live
 import bench_parallel
@@ -62,6 +63,8 @@ def _measure_store_gate(_n):
 #: 200000`` exercises the store at gate scale through the dedicated
 #: ``store-200k`` entry (with its own 200k committed record).
 BENCHMARKS = {
+    "fleet": (bench_fleet.measure, bench_fleet.BENCH_JSON,
+              bench_fleet.FULL_N, bench_fleet.FULL_N),
     "hotpath": (bench_hotpath.measure, bench_hotpath.BENCH_JSON,
                 bench_hotpath.FULL_N, None),
     "live": (bench_live.measure, bench_live.BENCH_JSON,
@@ -78,7 +81,7 @@ BENCHMARKS = {
 #: The units a mode record may report its rate in.  Exactly one must
 #: be present; anything else (a legacy alias, a typo, a unit this gate
 #: has never seen) fails the comparison instead of being coerced.
-RATE_UNITS = ("commands_per_sec", "epochs_per_sec")
+RATE_UNITS = ("commands_per_sec", "epochs_per_sec", "snapshots_per_sec")
 
 
 def _rate_unit(name, mode, mode_record):
@@ -154,6 +157,23 @@ def compare(name, measure, bench_json, n=None, max_n=None):
             f"[{name}] {mode:<{width}} {base_rate:>12} "
             f"{now_rate:>12} {ratio:>6.2f}x{verdict}"
         )
+        # Latency ceilings gate absolutely, not by ratio: a committed
+        # ``staleness_p99_ceiling_ms`` is a hard bound the current
+        # measurement must stay under regardless of throughput.
+        ceiling = base.get("staleness_p99_ceiling_ms")
+        if ceiling is not None:
+            p99 = now.get("staleness_p99_ms")
+            if p99 is None:
+                print(f"[{name}] {mode:<{width}} staleness p99 missing "
+                      f"from the current measurement")
+                ok = False
+            elif p99 > ceiling:
+                print(f"[{name}] {mode:<{width}} staleness p99 "
+                      f"{p99}ms > {ceiling}ms ceiling  REGRESSION")
+                ok = False
+            else:
+                print(f"[{name}] {mode:<{width}} staleness p99 "
+                      f"{p99}ms <= {ceiling}ms ceiling")
     return ok
 
 

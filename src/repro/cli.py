@@ -18,6 +18,10 @@ Subcommands:
 * ``store`` — operate on a durable histogram store
   (:mod:`repro.store`): ``query`` a time range, ``compact`` into
   coarser tiers, ``inspect`` segments and spans.
+* ``fleet`` — the hierarchical aggregation tier (:mod:`repro.fleet`):
+  ``serve`` an aggregator node (root or regional), ``attach`` a
+  simulated leaf publisher, and query the tree with ``topk``,
+  ``percentile`` and ``status``.
 """
 
 from __future__ import annotations
@@ -218,7 +222,18 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import socket as socket_module
     import time
+
+    uplink = None
+    if args.uplink is not None:
+        from .faults import activate_from_env
+        from .fleet import FleetUplink, parse_parents
+
+        activate_from_env()
+        host_id = args.host_id or socket_module.gethostname()
+        uplink = FleetUplink(parse_parents(args.uplink), host=host_id)
+    on_seal = uplink.on_seal if uplink is not None else None
 
     if args.workers > 1:
         from .live import ClusterServer
@@ -229,6 +244,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backpressure=args.backpressure,
             idle_timeout=args.idle_timeout,
             rotate_every=args.rotate_every, store=args.store,
+            on_seal=on_seal,
         )
     else:
         from .live import LiveStatsServer
@@ -237,8 +253,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host, port=args.port, shards=args.shards,
             queue_depth=args.queue_depth, backpressure=args.backpressure,
             idle_timeout=args.idle_timeout, rotate_every=args.rotate_every,
-            store=args.store,
+            store=args.store, on_seal=on_seal,
         )
+    if uplink is not None:
+        uplink.start()
     server.start()
     host, port = server.address
     if args.workers > 1:
@@ -258,6 +276,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.store is not None:
         print(f"repro.live: persisting sealed epochs to {args.store}",
               flush=True)
+    if uplink is not None:
+        print(f"repro.live: forwarding sealed epochs as host "
+              f"{uplink.host} to fleet parents {args.uplink}", flush=True)
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -268,6 +289,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+        if uplink is not None:
+            uplink.drain(timeout=30.0)
+            uplink.close()
+            up = uplink.info()
+            print(f"repro.live: uplink forwarded "
+                  f"{up['forwarded_total']} epoch snapshots "
+                  f"({up['retries_total']} retries, "
+                  f"{up['reparents_total']} re-parents, "
+                  f"{up['pending']} unsent)", flush=True)
         info = server.info()
         if args.workers > 1:
             print(f"repro.live: drained; {info['epoch_records']} records "
@@ -404,6 +434,217 @@ def _cmd_store(args: argparse.Namespace) -> int:
         store.close()
 
 
+def _fleet_address(spec: str):
+    from .fleet import parse_parents
+
+    parents = parse_parents(spec)
+    if len(parents) != 1:
+        raise ValueError(f"expected one HOST:PORT address, got {spec!r}")
+    return parents[0]
+
+
+def _fleet_source_columns(args: argparse.Namespace):
+    """Load the attach source as trace columns (demo or VSCSITR1 file)."""
+    from pathlib import Path
+
+    if args.source == "demo":
+        from .live import capture_workload
+
+        return capture_workload(seconds=args.demo_seconds, vm=args.vm,
+                                vdisk=args.vdisk)
+    path = Path(args.source)
+    if not path.is_file():
+        raise ValueError(f"no such trace source: {path}")
+    from .parallel.trace_io import read_binary_columns
+
+    return read_binary_columns(path)
+
+
+def _fleet_epoch_chunks(columns, epochs: int):
+    """Split columns into ``epochs`` contiguous-in-time chunks.
+
+    Rows are ordered by ``(issue_ns, serial)`` first so each chunk's
+    span abuts the next — the order ``DiskStream``'s watermark needs.
+    """
+    from .parallel.trace_io import TraceColumns
+
+    rows = sorted(zip(*columns.columns()), key=lambda r: (r[1], r[0]))
+    total = len(rows)
+    if total == 0:
+        return []
+    epochs = max(1, min(epochs, total))
+    base, extra = divmod(total, epochs)
+    chunks, start = [], 0
+    for i in range(epochs):
+        size = base + (1 if i < extra else 0)
+        part = rows[start:start + size]
+        start += size
+        chunks.append(TraceColumns(*(list(col) for col in zip(*part))))
+    return chunks
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .faults import activate_from_env
+    from .fleet import FleetAggregator, parse_parents
+
+    activate_from_env()
+    parents = parse_parents(args.parents) if args.parents else None
+    aggregator = FleetAggregator(
+        host=args.host, port=args.port, node=args.node, parents=parents,
+        store=args.store, idle_timeout=args.idle_timeout,
+    )
+    aggregator.start()
+    host, port = aggregator.address
+    print(f"repro.fleet: {aggregator.role} node {aggregator.node} "
+          f"listening on {host}:{port}", flush=True)
+    if parents is not None:
+        print(f"repro.fleet: relaying applied snapshots to {args.parents}",
+              flush=True)
+    if args.store is not None:
+        print(f"repro.fleet: persisting applied snapshots to {args.store}",
+              flush=True)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive mode
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        aggregator.close()
+        info = aggregator.info()
+        stale = info["staleness"]
+        p99 = stale.get("p99")
+        stale_note = (f", staleness p99 {p99:.3f}s"
+                      if p99 is not None else "")
+        print(f"repro.fleet: drained; applied "
+              f"{info['epochs_applied_total']} epochs from "
+              f"{info['hosts']} hosts "
+              f"({info['duplicate_snapshots_total']} duplicates, "
+              f"{info['rejected_frames_total']} rejected frames"
+              f"{stale_note})", flush=True)
+        if info["degraded"]:
+            errors = "; ".join(e["error"] for e in info["persist_errors"])
+            print(f"repro.fleet: DEGRADED — store persistence failed "
+                  f"({errors})", flush=True)
+    return 0
+
+
+def _cmd_fleet_attach(args: argparse.Namespace) -> int:
+    from .faults import activate_from_env
+    from .fleet import FleetUplink, parse_parents
+    from .live import EpochLedger
+    from .live.stream import DiskStream
+
+    activate_from_env()
+    try:
+        columns = _fleet_source_columns(args)
+        chunks = _fleet_epoch_chunks(columns, args.epochs)
+    except (OSError, ValueError) as exc:
+        print(f"fleet attach: {exc}", file=sys.stderr)
+        return 1
+    uplink = FleetUplink(parse_parents(args.parents), host=args.host_id,
+                         jitter_seed=args.jitter_seed)
+    stream = DiskStream()
+    ledger = EpochLedger()
+    key = (args.vm, args.vdisk)
+    uplink.start()
+    try:
+        for chunk in chunks:
+            stream.ingest(chunk)
+            collector = stream.seal()
+            if collector is None:
+                continue
+            epoch = ledger.seal([(key, collector)])
+            uplink.forward_epoch(epoch)
+        drained = uplink.drain(timeout=args.timeout)
+    finally:
+        uplink.close()
+        info = uplink.info()
+        print(f"repro.fleet: host {uplink.host} forwarded "
+              f"{info['forwarded_total']}/{len(ledger)} epochs "
+              f"({len(columns)} records) to {args.parents} "
+              f"({info['retries_total']} retries, "
+              f"{info['reconnects_total']} reconnects, "
+              f"{info['reparents_total']} re-parents)", flush=True)
+    if not drained or info["pending"]:
+        print(f"fleet attach: {info['pending']} snapshots unsent after "
+              f"{args.timeout:.0f}s", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _fleet_query(address: str, op, timeout: float):
+    from .fleet import fleet_rpc
+
+    return fleet_rpc(_fleet_address(address), op, timeout=timeout)
+
+
+def _cmd_fleet_topk(args: argparse.Namespace) -> int:
+    from .live import LiveError
+
+    try:
+        doc = _fleet_query(args.address,
+                           {"op": "topk", "metric": args.metric,
+                            "k": args.k}, args.timeout)
+    except (LiveError, ValueError, OSError) as exc:
+        print(f"fleet topk: {exc}", file=sys.stderr)
+        return 1
+    print(f"top {len(doc['top'])} of {doc['disks']} disks "
+          f"by {doc['metric']}:")
+    for rank, row in enumerate(doc["top"], start=1):
+        print(f"  {rank:2d}. {row['vm']}/{row['vdisk']}  "
+              f"{row['value']:g}")
+    return 0
+
+
+def _cmd_fleet_percentile(args: argparse.Namespace) -> int:
+    from .live import LiveError
+
+    try:
+        doc = _fleet_query(args.address,
+                           {"op": "percentile", "family": args.family,
+                            "q": args.q, "io": args.io}, args.timeout)
+    except (LiveError, ValueError, OSError) as exc:
+        print(f"fleet percentile: {exc}", file=sys.stderr)
+        return 1
+    estimate = doc["estimate"]
+    shown = "overflow" if estimate is None else f"<= {estimate:g}"
+    unit = f" {doc['unit']}" if doc.get("unit") else ""
+    print(f"fleet p{doc['q'] * 100:g} {doc['family']}.{doc['op']}: "
+          f"{shown}{unit} ({doc['count']} samples)")
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .live import LiveError
+
+    op = {"op": "metrics"} if args.metrics else {"op": "status"}
+    try:
+        doc = _fleet_query(args.address, op, args.timeout)
+    except (LiveError, ValueError, OSError) as exc:
+        print(f"fleet status: {exc}", file=sys.stderr)
+        return 1
+    if args.metrics:
+        print(doc, end="")
+    else:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    handlers = {"serve": _cmd_fleet_serve, "attach": _cmd_fleet_attach,
+                "topk": _cmd_fleet_topk,
+                "percentile": _cmd_fleet_percentile,
+                "status": _cmd_fleet_status}
+    return handlers[args.fleet_command](args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="vscsistats",
@@ -488,6 +729,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--store", metavar="DIR", default=None,
         help="persist every sealed epoch to a durable histogram store "
         "at DIR (created if missing)",
+    )
+    serve_parser.add_argument(
+        "--uplink", metavar="HOST:PORT[,HOST:PORT...]", default=None,
+        help="forward every sealed epoch snapshot to these fleet "
+        "aggregator parents (first is primary, rest are failovers)",
+    )
+    serve_parser.add_argument(
+        "--host-id", default=None, metavar="NAME",
+        help="host identity stamped on forwarded snapshots "
+        "(default: the machine hostname)",
     )
 
     publish_parser = subparsers.add_parser(
@@ -586,10 +837,116 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     store_inspect.add_argument("directory", help="store directory")
 
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="hierarchical fleet-wide snapshot aggregation"
+    )
+    fleet_sub = fleet_parser.add_subparsers(dest="fleet_command",
+                                            required=True)
+
+    fleet_serve = fleet_sub.add_parser(
+        "serve", help="run an aggregator node (root or regional)"
+    )
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument(
+        "--port", type=int, default=7401,
+        help="TCP port (0 picks a free port and prints it)",
+    )
+    fleet_serve.add_argument(
+        "--node", default=None, metavar="NAME",
+        help="node name shown in status documents",
+    )
+    fleet_serve.add_argument(
+        "--parents", metavar="HOST:PORT[,HOST:PORT...]", default=None,
+        help="relay applied snapshots upward to these parents "
+        "(omit to run as the root)",
+    )
+    fleet_serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persist every applied snapshot to a durable histogram "
+        "store at DIR (root nodes typically set this)",
+    )
+    fleet_serve.add_argument(
+        "--idle-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="disconnect children silent for this long",
+    )
+    fleet_serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for a fixed time then drain and exit "
+        "(default: run until interrupted)",
+    )
+
+    fleet_attach = fleet_sub.add_parser(
+        "attach",
+        help="publish a source as one leaf host's epoch snapshots",
+    )
+    fleet_attach.add_argument(
+        "parents", metavar="HOST:PORT[,HOST:PORT...]",
+        help="aggregator parents (first is primary, rest failovers)",
+    )
+    fleet_attach.add_argument(
+        "source",
+        help="a VSCSITR1 trace file or 'demo' to synthesize a workload",
+    )
+    fleet_attach.add_argument(
+        "--host-id", default=None, metavar="NAME",
+        help="host identity stamped on snapshots (default: generated)",
+    )
+    fleet_attach.add_argument("--vm", default="live-demo")
+    fleet_attach.add_argument("--vdisk", default="scsi0:0")
+    fleet_attach.add_argument(
+        "--epochs", type=int, default=4, metavar="N",
+        help="split the source into N contiguous epoch snapshots",
+    )
+    fleet_attach.add_argument(
+        "--demo-seconds", type=float, default=2.0, metavar="SECONDS",
+        help="simulated duration for the 'demo' source",
+    )
+    fleet_attach.add_argument(
+        "--jitter-seed", type=int, default=None, metavar="SEED",
+        help="seed the retry-backoff jitter (reproducible schedules)",
+    )
+    fleet_attach.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait for every snapshot to be acked",
+    )
+
+    fleet_topk = fleet_sub.add_parser(
+        "topk", help="fleet-wide hottest disks by a metric"
+    )
+    fleet_topk.add_argument("address", metavar="HOST:PORT",
+                            help="any aggregator node")
+    fleet_topk.add_argument(
+        "--metric", default="commands",
+        help="a scalar (commands, bytes, ...) or "
+        "<family>[.<op>][.<stat>] spec, e.g. latency_us.read.mean",
+    )
+    fleet_topk.add_argument("--k", type=int, default=10)
+    fleet_topk.add_argument("--timeout", type=float, default=30.0)
+
+    fleet_pct = fleet_sub.add_parser(
+        "percentile", help="fleet-wide percentile from merged bins"
+    )
+    fleet_pct.add_argument("address", metavar="HOST:PORT")
+    fleet_pct.add_argument("--family", default="latency_us")
+    fleet_pct.add_argument("--q", type=float, default=0.99)
+    fleet_pct.add_argument("--io", choices=["read", "write", "all"],
+                           default="all")
+    fleet_pct.add_argument("--timeout", type=float, default=30.0)
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="print a node's status document"
+    )
+    fleet_status.add_argument("address", metavar="HOST:PORT")
+    fleet_status.add_argument(
+        "--metrics", action="store_true",
+        help="print the OpenMetrics exposition instead",
+    )
+    fleet_status.add_argument("--timeout", type=float, default=30.0)
+
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "demo": _cmd_demo,
                 "serve": _cmd_serve, "publish": _cmd_publish,
-                "store": _cmd_store}
+                "store": _cmd_store, "fleet": _cmd_fleet}
     return handlers[args.command](args)
 
 

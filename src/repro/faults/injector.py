@@ -87,6 +87,13 @@ SITES = {
     # coordinator's dead-worker path: the fan-in pipe EOFs, the hash
     # ring is rebuilt over the survivors and publishers are redirected.
     "live.cluster.worker": "cluster _worker_main, after HELLO and per rotate",
+    # Fires in the fleet uplink's sender thread, once per snapshot send
+    # attempt (retries fire again), with ``node``, ``host``, ``epoch``
+    # and ``point`` = "send" in the context for ``when`` routing.  A
+    # reset/error here exercises the reconnect + ack-cache replay path;
+    # enough consecutive failures trigger the bounded-backoff failover
+    # to the next parent with a full (watermark-deduplicated) replay.
+    "fleet.uplink": "FleetUplink sender, before each snapshot send",
 }
 
 _KINDS = ("error", "reset", "delay", "partial", "crash")

@@ -1,0 +1,554 @@
+"""``FleetAggregator`` — one node of the hierarchical merge tree.
+
+Every aggregator speaks the same protocol downward (children publish
+``SNAPSHOT`` frames) and upward (an optional
+:class:`~repro.fleet.uplink.FleetUplink` relays every *applied*
+snapshot to its own parent, header and payload byte-for-byte).  A node
+with no parents is the global root; give it a store and it persists
+every applied host epoch, so the fleet's history survives restarts and
+is queryable with the ordinary ``repro store`` tooling.
+
+Exactness at this layer (see :mod:`repro.fleet.state` for the model):
+
+* Per-link ``(session, seq)`` ack cache — a retried frame is answered
+  with the original ack bytes, never re-merged.  ``fleet-hello`` seeds
+  the watermark on reconnect, exactly like the live daemon's session
+  hello.
+* Per-``(host, epoch)`` watermarks — a duplicate arriving through a
+  *different* link (re-parented child, full replay) is acknowledged
+  ``{"applied": false, "duplicate": true}`` and not merged.  Relay
+  happens only on apply, so duplicates also never travel further up.
+
+The control plane exposes the fleet queries: ``topk`` (hottest disks
+by any metric spec), ``percentile`` (fleet-wide estimates from merged
+bins), ``hosts``/``tenants`` rollups, ``status``, ``snapshot`` and the
+OpenMetrics ``metrics`` exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..core.collector import DEFAULT_TIME_SLOT_NS
+from ..core.service import HistogramService
+from ..core.window import DEFAULT_WINDOW_SIZE
+from ..live.exposition import render_openmetrics
+from ..live.protocol import (
+    FRAME_CONTROL,
+    ProtocolError,
+    pack_error,
+    pack_ok,
+    pack_text,
+    read_frame_view,
+    unpack_control,
+)
+from ..store.codec import collector_from_bytes
+from .protocol import FRAME_SNAPSHOT, snapshot_extents, unpack_snapshot
+from .queries import percentile_doc, topk
+from .state import FleetLedger
+from .uplink import FleetUplink
+
+__all__ = ["FleetAggregator"]
+
+#: LRU ceiling on remembered child sessions; in-flight entries are
+#: always retained (each holds its ack), old idle links age out.
+_MAX_SESSIONS = 4096
+
+
+class _ChildSession:
+    __slots__ = ("seq", "response", "last_unix", "snapshots")
+
+    def __init__(self, seq: int, response: bytes):
+        self.seq = seq
+        self.response = response
+        self.last_unix = time.time()
+        self.snapshots = 0
+
+
+class FleetAggregator:
+    """One TCP aggregation node (root or regional).
+
+    ``parents`` (optional) makes this a regional node relaying upward;
+    ``store`` (a path or an open
+    :class:`~repro.store.HistogramStore`) makes it persist applied
+    epochs — typically only the root does.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 node: Optional[str] = None,
+                 parents=None,
+                 window_size: int = DEFAULT_WINDOW_SIZE,
+                 time_slot_ns: int = DEFAULT_TIME_SLOT_NS,
+                 store=None,
+                 idle_timeout: Optional[float] = 60.0,
+                 uplink_jitter_seed=None,
+                 uplink_failover_attempts: Optional[int] = None,
+                 uplink_max_replay: Optional[int] = None):
+        self.host = host
+        self.port = port
+        self.node = node or f"agg-{uuid.uuid4().hex[:8]}"
+        self.window_size = window_size
+        self.time_slot_ns = time_slot_ns
+        self.idle_timeout = idle_timeout
+        self.ledger = FleetLedger(window_size=window_size,
+                                  time_slot_ns=time_slot_ns)
+
+        self._owns_store = False
+        if store is not None and not hasattr(store, "append"):
+            from ..store import HistogramStore
+            store = HistogramStore.open_or_create(store)
+            self._owns_store = True
+        self.store = store
+        self.degraded = False
+        self.persist_errors: List[Dict] = []
+
+        self.uplink: Optional[FleetUplink] = None
+        if parents:
+            kwargs = {}
+            if uplink_jitter_seed is not None:
+                kwargs["jitter_seed"] = uplink_jitter_seed
+            if uplink_failover_attempts is not None:
+                kwargs["failover_attempts"] = uplink_failover_attempts
+            if uplink_max_replay is not None:
+                kwargs["max_replay"] = uplink_max_replay
+            self.uplink = FleetUplink(parents, host=self.node,
+                                      node=self.node, **kwargs)
+        self.role = "regional" if self.uplink is not None else "root"
+
+        self._lock = threading.Lock()
+        self._sessions: "OrderedDict[str, _ChildSession]" = OrderedDict()
+        self.duplicate_frames_total = 0
+        self.rejected_frames_total = 0
+        self.connections_total = 0
+
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._started = False
+        self._closed = False
+        self._started_unix: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetAggregator":
+        if self._started:
+            raise RuntimeError("aggregator already started")
+        self._started = True
+        self._started_unix = time.time()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"fleet-accept-{self.node}",
+            daemon=True)
+        self._accept_thread.start()
+        if self.uplink is not None:
+            self.uplink.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def __enter__(self) -> "FleetAggregator":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self, drain: bool = True,
+              drain_timeout: float = 10.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                socket.create_connection(self.address, timeout=1.0).close()
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in list(self._conn_threads):
+            thread.join(timeout=5.0)
+        if self.uplink is not None:
+            if drain:
+                self.uplink.drain(timeout=drain_timeout)
+            self.uplink.close()
+        if self.store is not None and self._owns_store:
+            try:
+                self.store.checkpoint()
+                self.store.close()
+            except (OSError, ValueError) as exc:
+                self._note_persist_failure(None, f"close: {exc}")
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            self.connections_total += 1
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name=f"fleet-conn-{self.node}", daemon=True)
+            thread.start()
+            self._conn_threads.append(thread)
+            # Forget finished handler threads so a long-lived node does
+            # not accumulate thread objects.
+            if len(self._conn_threads) > 64:
+                self._conn_threads = [t for t in self._conn_threads
+                                      if t.is_alive()]
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            if self.idle_timeout is not None:
+                conn.settimeout(self.idle_timeout)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            rfile = conn.makefile("rb")
+            wfile = conn.makefile("wb")
+            head = bytearray(4)
+            while not self._stopping.is_set():
+                try:
+                    frame = read_frame_view(rfile, head)
+                except ProtocolError as exc:
+                    self.rejected_frames_total += 1
+                    wfile.write(pack_error(str(exc)))
+                    wfile.flush()
+                    return
+                except (socket.timeout, TimeoutError):
+                    return
+                if frame is None:
+                    return
+                ftype, payload = frame
+                try:
+                    if ftype == FRAME_SNAPSHOT:
+                        response = self._handle_snapshot(payload)
+                    elif ftype == FRAME_CONTROL:
+                        response = self._handle_control(
+                            unpack_control(payload))
+                    else:
+                        raise ProtocolError(
+                            f"aggregators accept SNAPSHOT and CONTROL "
+                            f"frames only, got 0x{ftype:02x}")
+                except (ProtocolError, ValueError) as exc:
+                    self.rejected_frames_total += 1
+                    response = pack_error(str(exc))
+                wfile.write(response)
+                wfile.flush()
+        except (OSError, ValueError):
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # Snapshot ingestion
+    # ------------------------------------------------------------------
+    def _session(self, session: str) -> Optional[_ChildSession]:
+        entry = self._sessions.get(session)
+        if entry is not None:
+            self._sessions.move_to_end(session)
+        return entry
+
+    def _remember(self, session: str, entry: _ChildSession) -> None:
+        self._sessions[session] = entry
+        self._sessions.move_to_end(session)
+        while len(self._sessions) > _MAX_SESSIONS:
+            self._sessions.popitem(last=False)
+
+    def _handle_snapshot(self, payload) -> bytes:
+        session, seq, header, body = unpack_snapshot(payload)
+        relay: Optional[Tuple[Dict, bytes]] = None
+        with self._lock:
+            entry = self._session(session)
+            if entry is not None:
+                if seq == entry.seq:
+                    # Retry of the frame we just acked (or a seeded
+                    # watermark): answer with the original bytes.
+                    self.duplicate_frames_total += 1
+                    entry.last_unix = time.time()
+                    return entry.response
+                if seq < entry.seq:
+                    raise ProtocolError(
+                        f"stale sequence {seq} for session {session!r} "
+                        f"(last processed {entry.seq})")
+                if seq > entry.seq + 1:
+                    raise ProtocolError(
+                        f"sequence gap for session {session!r}: got "
+                        f"{seq}, expected {entry.seq + 1}")
+            elif seq != 1:
+                raise ProtocolError(
+                    f"unknown session {session!r} must start at "
+                    f"sequence 1, got {seq} (send fleet-hello after a "
+                    f"reconnect)")
+            payload_bytes = bytes(body)
+            applied, staleness = self.ledger.apply(header, payload_bytes,
+                                                   via=session)
+            doc = {"applied": applied, "duplicate": not applied,
+                   "host": header["host"], "epoch": header["epoch"],
+                   "seq": seq, "node": self.node}
+            if staleness is not None:
+                doc["staleness_seconds"] = staleness
+            if applied and self.store is not None:
+                self._persist(header, payload_bytes)
+            response = pack_ok(doc)
+            if entry is None:
+                entry = _ChildSession(seq, response)
+                self._remember(session, entry)
+            else:
+                entry.seq = seq
+                entry.response = response
+                entry.last_unix = time.time()
+            entry.snapshots += 1
+            if applied and self.uplink is not None:
+                relay = (header, payload_bytes)
+        if relay is not None:
+            self.uplink.enqueue(*relay)
+        return response
+
+    def _persist(self, header: Dict, payload: bytes) -> None:
+        """Append one applied snapshot to the store (root only).
+
+        A store failure degrades instead of crashing — the snapshot is
+        already merged in memory and acked exactly-once; losing its
+        durability is recorded, not fatal.
+        """
+        try:
+            service = HistogramService(window_size=self.window_size,
+                                       time_slot_ns=self.time_slot_ns)
+            for key, record in snapshot_extents(header, payload):
+                service.adopt(key, collector_from_bytes(record))
+            start_ns = int(header.get("start_ns", 0))
+            end_ns = max(int(header.get("end_ns", start_ns + 1)),
+                         start_ns + 1)
+            self.store.append_epoch(service, start_ns, end_ns, sync=True)
+        except (OSError, ValueError) as exc:
+            self._note_persist_failure(header, str(exc))
+
+    def _note_persist_failure(self, header: Optional[Dict],
+                              message: str) -> None:
+        self.degraded = True
+        if len(self.persist_errors) < 64:
+            self.persist_errors.append({
+                "host": header.get("host") if header else None,
+                "epoch": header.get("epoch") if header else None,
+                "error": message,
+            })
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _handle_control(self, op: Dict) -> bytes:
+        name = op["op"]
+        if name == "ping":
+            return pack_ok({"pong": True, "fleet": True, "node": self.node,
+                            "role": self.role,
+                            "hosts": len(self.ledger.hosts)})
+        if name == "fleet-hello":
+            return pack_ok(self._handle_hello(op))
+        if name in ("status", "info"):
+            return pack_ok(self.info())
+        if name == "topk":
+            return pack_ok(self.topk(metric=op.get("metric", "commands"),
+                                     k=int(op.get("k", 10))))
+        if name == "percentile":
+            return pack_ok(self.percentile(
+                family=op.get("family", "latency_us"),
+                q=float(op.get("q", 0.99)),
+                op_name=op.get("io", "all")))
+        if name == "hosts":
+            return pack_ok(self.host_rollup())
+        if name == "tenants":
+            return pack_ok(self.tenant_rollup())
+        if name == "snapshot":
+            return pack_ok(self.snapshot_dict())
+        if name == "metrics":
+            return pack_text(self.openmetrics())
+        raise ProtocolError(f"unknown control op {name!r}")
+
+    def _handle_hello(self, op: Dict) -> Dict:
+        session = op.get("node") or op.get("session")
+        if not isinstance(session, str) or not session:
+            raise ProtocolError("fleet-hello needs a session id")
+        try:
+            seq = int(op.get("seq", 0))
+        except (TypeError, ValueError):
+            raise ProtocolError("fleet-hello seq must be an integer") \
+                from None
+        if seq < 0:
+            raise ProtocolError(f"fleet-hello seq must be >= 0, got {seq}")
+        with self._lock:
+            entry = self._session(session)
+            if entry is None and seq > 0:
+                # Seed the watermark: a replay of seq itself is
+                # answered from this cached (duplicate) ack, and seq+1
+                # continues the stream gaplessly.
+                entry = _ChildSession(seq, pack_ok(
+                    {"applied": False, "duplicate": True, "seq": seq,
+                     "node": self.node, "seeded": True}))
+                self._remember(session, entry)
+            known = entry.seq if entry is not None else 0
+        return {"session": session, "seq": known, "node": self.node}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def topk(self, metric: str = "commands", k: int = 10) -> Dict:
+        with self._lock:
+            pairs = self.ledger.global_pairs()
+        try:
+            ranking = topk(pairs, metric, k)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        return {"metric": metric, "k": k, "disks": len(pairs),
+                "top": ranking}
+
+    def percentile(self, family: str = "latency_us", q: float = 0.99,
+                   op_name: str = "all") -> Dict:
+        with self._lock:
+            pairs = self.ledger.global_pairs()
+        if not pairs:
+            raise ProtocolError("no snapshots applied yet")
+        aggregate = pairs[0][1]
+        # Fold the per-disk merges into one fleet-wide collector; the
+        # merge is exact, so the estimate equals one-shot aggregation.
+        for _key, collector in pairs[1:]:
+            aggregate = aggregate.merge(collector)
+        try:
+            return percentile_doc(aggregate, family, q, op=op_name)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+
+    def host_rollup(self) -> Dict:
+        with self._lock:
+            hosts = self.ledger.hosts_doc()
+            for host in hosts:
+                collector = self.ledger.host_collector(host)
+                if collector is not None:
+                    hosts[host]["commands"] = collector.commands
+                    hosts[host]["bytes"] = collector.total_bytes
+        return {"hosts": hosts}
+
+    def tenant_rollup(self) -> Dict:
+        with self._lock:
+            tenants = {
+                vm: {"commands": collector.commands,
+                     "reads": collector.read_commands,
+                     "writes": collector.write_commands,
+                     "bytes": collector.total_bytes}
+                for vm, collector in self.ledger.tenant_pairs()
+            }
+        return {"tenants": tenants}
+
+    def snapshot_dict(self) -> Dict:
+        """Global merged snapshot, same per-disk shape as the live
+        daemon's documents — the byte-identity surface the tests pin."""
+        with self._lock:
+            pairs = self.ledger.global_pairs()
+            meta = {
+                "node": self.node,
+                "role": self.role,
+                "hosts": len(self.ledger.hosts),
+                "epochs_applied": self.ledger.epochs_applied_total,
+                "records": self.ledger.records_total,
+            }
+        meta["disks"] = {f"{vm}/{vdisk}": collector.to_dict()
+                        for (vm, vdisk), collector in pairs}
+        return meta
+
+    def info(self) -> Dict:
+        with self._lock:
+            staleness = self.ledger.staleness_summary()
+            children = {
+                session: {"seq": entry.seq,
+                          "snapshots": entry.snapshots,
+                          "last_unix": entry.last_unix}
+                for session, entry in self._sessions.items()
+            }
+            doc = {
+                "fleet": True,
+                "node": self.node,
+                "role": self.role,
+                "address": list(self.address),
+                "started_unix": self._started_unix,
+                "hosts": len(self.ledger.hosts),
+                "host_states": self.ledger.hosts_doc(),
+                "children": len(children),
+                "child_sessions": children,
+                "epochs_applied_total": self.ledger.epochs_applied_total,
+                "duplicate_snapshots_total": self.ledger.duplicates_total,
+                "duplicate_frames_total": self.duplicate_frames_total,
+                "rejected_frames_total": self.rejected_frames_total,
+                "records_total": self.ledger.records_total,
+                "connections_total": self.connections_total,
+                "staleness": staleness,
+                "degraded": self.degraded,
+                "persist_errors": list(self.persist_errors),
+            }
+        if self.uplink is not None:
+            doc["uplink"] = self.uplink.info()
+        if self.store is not None:
+            entry = {"path": str(self.store.path),
+                     "owned": self._owns_store,
+                     "closed": self.store.closed}
+            if not self.store.closed:
+                entry["records"] = len(self.store)
+                entry["epochs"] = self.store.epochs
+            doc["store"] = entry
+        return doc
+
+    def openmetrics(self) -> str:
+        """Fleet exposition: the global merge plus ``fleet_*``-style
+        node counters (rendered under the shared ``live_`` prefix so
+        one scraper config covers daemons and aggregators)."""
+        with self._lock:
+            pairs = self.ledger.global_pairs()
+            staleness = self.ledger.staleness_summary()
+            daemon = {
+                "fleet_hosts": len(self.ledger.hosts),
+                "fleet_children": len(self._sessions),
+                "fleet_epochs_applied_total":
+                    self.ledger.epochs_applied_total,
+                "fleet_duplicate_snapshots_total":
+                    self.ledger.duplicates_total,
+                "fleet_records_total": self.ledger.records_total,
+                "fleet_rejected_frames_total": self.rejected_frames_total,
+                "fleet_degraded": 1 if self.degraded else 0,
+                "fleet_persist_failures_total": len(self.persist_errors),
+            }
+            if staleness["p99"] is not None:
+                daemon["fleet_staleness_p50_seconds"] = staleness["p50"]
+                daemon["fleet_staleness_p99_seconds"] = staleness["p99"]
+        if self.uplink is not None:
+            up = self.uplink.info()
+            daemon["fleet_relayed_total"] = up["forwarded_total"]
+            daemon["fleet_uplink_pending"] = up["pending"]
+            daemon["fleet_uplink_reparents_total"] = up["reparents_total"]
+        return render_openmetrics(pairs, daemon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            "running" if self._started else "new")
+        return (f"<FleetAggregator {self.role} {state} "
+                f"{self.host}:{self.port} hosts={len(self.ledger.hosts)}>")

@@ -1,0 +1,234 @@
+"""Merged fleet state: per-host epoch watermarks + payload history.
+
+The fleet's exactness story has two layers.  The ``(session, seq)``
+ack cache on each link deduplicates *retries* cheaply (the common
+case: an ack lost to a broken connection).  This module provides the
+second layer — per-``(host, epoch)`` watermarks — which makes the
+*whole tree* idempotent: a re-parented uplink replaying its entire
+history to a new parent, or a duplicate snapshot arriving through two
+different regional nodes, is detected here and acknowledged without
+being merged twice.  Together they give the acceptance guarantee: no
+schedule of resets, crashes and replays loses or double-counts an
+epoch.
+
+Payloads are kept raw (``RPHCOL2`` records per disk) so the global
+merge is one vectorized
+:func:`~repro.store.codec.merge_collector_payloads` reduce per disk.
+Long-running aggregators compact each disk's list once it exceeds
+:data:`COMPACT_AT` records — the merge is associative, so folding a
+prefix into a single record is exact and bounds memory at
+O(disks × hosts), not O(epochs).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.collector import DEFAULT_TIME_SLOT_NS, VscsiStatsCollector
+from ..core.service import DiskKey, HistogramService
+from ..core.window import DEFAULT_WINDOW_SIZE
+from ..store.codec import collector_to_bytes, merge_collector_payloads
+
+__all__ = ["COMPACT_AT", "FleetLedger", "HostState"]
+
+#: Per-disk raw-payload list length that triggers an exact in-place
+#: compaction (merge the list into one record).
+COMPACT_AT = 32
+
+#: Staleness samples retained for the percentile summary.
+_STALENESS_SAMPLES = 4096
+
+
+class HostState:
+    """Everything one aggregator knows about one publishing host.
+
+    The dedup core is ``watermark`` + ``sparse``: every epoch index
+    ``<= watermark`` has been applied, plus the (usually empty) sparse
+    set of applied indices above it — out-of-order delivery through
+    different tree paths keeps the set small and it collapses back
+    into the watermark as gaps fill.
+    """
+
+    __slots__ = ("watermark", "sparse", "payloads", "records",
+                 "epochs_applied", "last_epoch", "last_sealed_unix",
+                 "last_applied_unix", "last_staleness", "via")
+
+    def __init__(self):
+        self.watermark = -1
+        self.sparse: Set[int] = set()
+        #: Per-disk raw RPHCOL2 records (compacted past COMPACT_AT).
+        self.payloads: Dict[DiskKey, List[bytes]] = {}
+        self.records = 0
+        self.epochs_applied = 0
+        self.last_epoch: Optional[int] = None
+        self.last_sealed_unix: Optional[float] = None
+        self.last_applied_unix: Optional[float] = None
+        self.last_staleness: Optional[float] = None
+        #: Session id of the link the latest snapshot arrived on.
+        self.via: Optional[str] = None
+
+    def seen(self, epoch: int) -> bool:
+        return epoch <= self.watermark or epoch in self.sparse
+
+    def mark(self, epoch: int) -> None:
+        self.sparse.add(epoch)
+        while self.watermark + 1 in self.sparse:
+            self.watermark += 1
+            self.sparse.discard(self.watermark)
+
+    def to_dict(self) -> Dict:
+        return {
+            "watermark": self.watermark,
+            "sparse": sorted(self.sparse),
+            "epochs_applied": self.epochs_applied,
+            "records": self.records,
+            "last_epoch": self.last_epoch,
+            "last_sealed_unix": self.last_sealed_unix,
+            "last_applied_unix": self.last_applied_unix,
+            "last_staleness_seconds": self.last_staleness,
+            "via": self.via,
+            "disks": len(self.payloads),
+        }
+
+
+class FleetLedger:
+    """Deduplicated, mergeable history of every host's sealed epochs.
+
+    Not thread-safe on its own — the owning
+    :class:`~repro.fleet.aggregator.FleetAggregator` serializes access
+    under its session lock.
+    """
+
+    def __init__(self, window_size: int = DEFAULT_WINDOW_SIZE,
+                 time_slot_ns: int = DEFAULT_TIME_SLOT_NS,
+                 compact_at: int = COMPACT_AT):
+        self.window_size = window_size
+        self.time_slot_ns = time_slot_ns
+        self.compact_at = compact_at
+        self.hosts: Dict[str, HostState] = {}
+        self.epochs_applied_total = 0
+        self.duplicates_total = 0
+        self.records_total = 0
+        #: Recent (bounded) staleness samples in seconds: wall-clock
+        #: age of each snapshot at the moment it was applied here.
+        self.staleness_samples = deque(maxlen=_STALENESS_SAMPLES)
+
+    # ------------------------------------------------------------------
+    def seen(self, host: str, epoch: int) -> bool:
+        state = self.hosts.get(host)
+        return state is not None and state.seen(epoch)
+
+    def apply(self, header: Dict, payload: bytes,
+              via: Optional[str] = None,
+              now: Optional[float] = None
+              ) -> Tuple[bool, Optional[float]]:
+        """Merge one snapshot; returns ``(applied, staleness_seconds)``.
+
+        A ``(host, epoch)`` already recorded is a duplicate: counted,
+        not merged, ``(False, None)``.  Staleness is measured against
+        the header's ``sealed_unix`` when present.
+        """
+        host = header["host"]
+        epoch = header["epoch"]
+        state = self.hosts.get(host)
+        if state is None:
+            state = self.hosts[host] = HostState()
+        if state.seen(epoch):
+            self.duplicates_total += 1
+            return False, None
+        state.mark(epoch)
+        view = memoryview(payload)
+        for extent in header["disks"]:
+            key = (extent["vm"], extent["vdisk"])
+            record = bytes(view[extent["off"]:extent["off"] + extent["len"]])
+            bucket = state.payloads.setdefault(key, [])
+            bucket.append(record)
+            if len(bucket) > self.compact_at:
+                # Exact: the merge is associative, so folding the list
+                # into one record now and merging more records later
+                # equals merging everything at once.
+                folded = collector_to_bytes(merge_collector_payloads(bucket))
+                bucket.clear()
+                bucket.append(folded)
+        records = int(header.get("records", 0))
+        state.records += records
+        state.epochs_applied += 1
+        state.last_epoch = epoch
+        state.via = via
+        self.epochs_applied_total += 1
+        self.records_total += records
+        if now is None:
+            now = time.time()
+        state.last_applied_unix = now
+        staleness = None
+        sealed = header.get("sealed_unix")
+        if isinstance(sealed, (int, float)):
+            state.last_sealed_unix = float(sealed)
+            staleness = max(0.0, now - float(sealed))
+            state.last_staleness = staleness
+            self.staleness_samples.append(staleness)
+        return True, staleness
+
+    # ------------------------------------------------------------------
+    # Merged views
+    # ------------------------------------------------------------------
+    def global_pairs(self) -> List[Tuple[DiskKey, VscsiStatsCollector]]:
+        """Fleet-wide ``((vm, vdisk), collector)`` pairs, exactly merged
+        across every host (one vectorized reduce per disk)."""
+        per_disk: Dict[DiskKey, List[bytes]] = {}
+        for state in self.hosts.values():
+            for key, records in state.payloads.items():
+                per_disk.setdefault(key, []).extend(records)
+        return [(key, merge_collector_payloads(records))
+                for key, records in sorted(per_disk.items())]
+
+    def global_service(self) -> HistogramService:
+        service = HistogramService(window_size=self.window_size,
+                                   time_slot_ns=self.time_slot_ns)
+        for key, collector in self.global_pairs():
+            service.adopt(key, collector)
+        return service
+
+    def host_collector(self, host: str) -> Optional[VscsiStatsCollector]:
+        """One host's aggregate across its disks (the fleet analogue of
+        ``HistogramService.aggregate``)."""
+        state = self.hosts.get(host)
+        if state is None:
+            return None
+        records = [record for bucket in state.payloads.values()
+                   for record in bucket]
+        if not records:
+            return None
+        return merge_collector_payloads(records)
+
+    def tenant_pairs(self) -> List[Tuple[str, VscsiStatsCollector]]:
+        """Per-tenant (= per-VM) aggregates across every host and
+        vdisk."""
+        per_vm: Dict[str, List[bytes]] = {}
+        for state in self.hosts.values():
+            for (vm, _vdisk), records in state.payloads.items():
+                per_vm.setdefault(vm, []).extend(records)
+        return [(vm, merge_collector_payloads(records))
+                for vm, records in sorted(per_vm.items())]
+
+    # ------------------------------------------------------------------
+    # Staleness
+    # ------------------------------------------------------------------
+    def staleness_summary(self) -> Dict:
+        samples = sorted(self.staleness_samples)
+        if not samples:
+            return {"samples": 0, "p50": None, "p99": None, "max": None}
+
+        def rank(q: float) -> float:
+            index = min(len(samples) - 1,
+                        max(0, int(q * len(samples) + 0.5) - 1))
+            return samples[index]
+
+        return {"samples": len(samples), "p50": rank(0.50),
+                "p99": rank(0.99), "max": samples[-1]}
+
+    def hosts_doc(self) -> Dict[str, Dict]:
+        return {host: state.to_dict()
+                for host, state in sorted(self.hosts.items())}

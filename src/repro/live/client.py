@@ -52,6 +52,7 @@ so far as ``LiveError.partial``.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 import uuid
@@ -76,6 +77,7 @@ from .protocol import (
 __all__ = [
     "DEFAULT_FRAME_RECORDS",
     "DEFAULT_RETRIES",
+    "DEFAULT_RETRY_JITTER",
     "LiveConnectionError",
     "LiveError",
     "LiveStatsClient",
@@ -92,6 +94,13 @@ DEFAULT_RETRIES = 4
 #: First backoff sleep; doubles per retry up to the cap.
 DEFAULT_RETRY_BACKOFF = 0.05
 DEFAULT_RETRY_BACKOFF_CAP = 2.0
+
+#: Fraction of each backoff sleep randomized away.  A fleet of clients
+#: (or uplinks) reconnecting after one shared event — a parent restart,
+#: a network blip — would otherwise all retry on the identical
+#: exponential schedule and thundering-herd the server in lockstep
+#: waves; subtracting up to half of every sleep decorrelates them.
+DEFAULT_RETRY_JITTER = 0.5
 
 #: Redirect hops (and dead-route fallbacks) tolerated per data chunk
 #: before giving up — bounds a routing loop during a cluster
@@ -151,19 +160,29 @@ class LiveStatsClient:
     ``retries``/``retry_backoff``/``retry_backoff_cap`` bound the
     data-plane retry loop: up to ``retries`` resends per frame,
     sleeping ``retry_backoff * 2**attempt`` (capped) between attempts.
-    ``retries=0`` disables retry entirely.
+    ``retries=0`` disables retry entirely.  ``retry_jitter`` randomizes
+    each sleep downward by up to that fraction (``0`` reproduces the
+    exact exponential schedule); the jitter stream is seeded from
+    ``jitter_seed`` when given, else from this client's session id —
+    deterministic per client, decorrelated across a fleet of them.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  timeout: Optional[float] = 30.0,
                  retries: int = DEFAULT_RETRIES,
                  retry_backoff: float = DEFAULT_RETRY_BACKOFF,
-                 retry_backoff_cap: float = DEFAULT_RETRY_BACKOFF_CAP):
+                 retry_backoff_cap: float = DEFAULT_RETRY_BACKOFF_CAP,
+                 retry_jitter: float = DEFAULT_RETRY_JITTER,
+                 jitter_seed=None):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if retry_backoff < 0:
             raise ValueError(
                 f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if not 0.0 <= retry_jitter <= 1.0:
+            raise ValueError(
+                f"retry_jitter must be in [0, 1], got {retry_jitter}"
             )
         self.host = host
         self.port = port
@@ -171,6 +190,7 @@ class LiveStatsClient:
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.retry_backoff_cap = retry_backoff_cap
+        self.retry_jitter = retry_jitter
         #: Lifetime count of data-frame resends (for tests/telemetry).
         self.retries_total = 0
         self._sock: Optional[socket.socket] = None
@@ -182,6 +202,8 @@ class LiveStatsClient:
         # monotone frame counter (see _PeerState).  Session ids
         # survive reconnects — that is the point.
         self._session = uuid.uuid4().hex
+        self._backoff_rng = random.Random(
+            jitter_seed if jitter_seed is not None else self._session)
         self._peers: Dict[tuple, _PeerState] = {}
         # Disk -> owning worker address, learned from redirects.
         self._routes: Dict[tuple, tuple] = {}
@@ -333,8 +355,12 @@ class LiveStatsClient:
                 if attempt > self.retries:
                     raise
                 self.retries_total += 1
-                if delay > 0:
-                    time.sleep(min(delay, self.retry_backoff_cap))
+                sleep = min(delay, self.retry_backoff_cap)
+                if sleep > 0 and self.retry_jitter > 0:
+                    sleep *= 1.0 - self.retry_jitter \
+                        * self._backoff_rng.random()
+                if sleep > 0:
+                    time.sleep(sleep)
                 delay *= 2
 
     def _control(self, op: str, **fields) -> Dict:

@@ -553,7 +553,8 @@ class ClusterServer:
                  start_enabled: bool = True,
                  store=None,
                  force_fd_passing: bool = False,
-                 ring_replicas: int = DEFAULT_RING_REPLICAS):
+                 ring_replicas: int = DEFAULT_RING_REPLICAS,
+                 on_seal=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -590,8 +591,16 @@ class ClusterServer:
                                         time_slot_ns=time_slot_ns,
                                         max_epochs=max_epochs, store=store)
 
+        #: Called with each sealed merged :class:`Epoch` (rotation and
+        #: drain-on-close) — the fleet tier's uplink attach point,
+        #: mirroring :class:`LiveStatsServer`'s hook.
+        self.on_seal = on_seal
         self.control_address: Optional[Tuple[str, int]] = None
         self.worker_deaths = 0
+        #: Per-worker wall-clock time of the last fan-in snapshot —
+        #: the freshness signal ``info()`` reports as
+        #: ``worker_snapshot_age``.
+        self._last_snapshot_unix: Dict[int, float] = {}
         self._generation = 0
         self._procs: List = []
         self._worker_addrs: Dict[int, Tuple[str, int]] = {}
@@ -791,7 +800,7 @@ class ClusterServer:
                         while queue:
                             leftovers.append(queue.popleft())
                 if leftovers:
-                    self.snapshots.seal_round(leftovers)
+                    self._fire_on_seal(self.snapshots.seal_round(leftovers))
             for sock in self._fdpass_socks.values():
                 try:
                     sock.close()
@@ -853,6 +862,7 @@ class ClusterServer:
                     with self._inbox_cond:
                         self._inbox[index].append(
                             (header, bytes(payload)))
+                        self._last_snapshot_unix[index] = time.time()
                         self._inbox_cond.notify_all()
                 elif ftype == FANIN_BYE:
                     with self._inbox_cond:
@@ -952,7 +962,19 @@ class ClusterServer:
                 except (OSError, ValueError, LiveError, ProtocolError):
                     pass  # died before sealing; handled below
             snapshots = self._collect_round([i for i, _ in targets])
-            return self.snapshots.seal_round(snapshots)
+            epoch = self.snapshots.seal_round(snapshots)
+            self._fire_on_seal(epoch)
+            return epoch
+
+    def _fire_on_seal(self, epoch: Epoch) -> None:
+        """Invoke the seal hook; a failing hook must not break
+        rotation (mirrors :class:`LiveStatsServer`)."""
+        if self.on_seal is None:
+            return
+        try:
+            self.on_seal(epoch)
+        except (OSError, ValueError):
+            pass
 
     def _collect_round(self, indices) -> List[Tuple[Dict, bytes]]:
         deadline = _now() + _ROUND_TIMEOUT
@@ -1078,6 +1100,9 @@ class ClusterServer:
     def info(self) -> Dict:
         ledger = self.snapshots.ledger
         workers = self._broadcast({"op": "worker-info"})
+        now = time.time()
+        with self._inbox_cond:
+            last_snapshot = dict(self._last_snapshot_unix)
         info = {
             "cluster": True,
             "address": list(self.address),
@@ -1087,6 +1112,17 @@ class ClusterServer:
             "workers_alive": sorted(
                 int(i) for i in workers),
             "worker_deaths_total": self.worker_deaths,
+            # Per-worker health without a second probe: open ingest
+            # sessions (from the worker's own info doc) and seconds
+            # since its last fan-in snapshot (None before the first
+            # rotation) — what a fleet tier polls to judge a host.
+            "worker_sessions": {str(i): doc.get("sessions", 0)
+                                for i, doc in workers.items()},
+            "worker_snapshot_age": {
+                str(i): (now - last_snapshot[i]
+                         if i in last_snapshot else None)
+                for i in workers
+            },
             "route_generation": self._generation,
             "epochs_sealed": len(ledger),
             "epoch_records": ledger.records,
