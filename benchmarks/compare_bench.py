@@ -39,6 +39,7 @@ import bench_fleet
 import bench_hotpath
 import bench_live
 import bench_parallel
+import bench_ssd
 import bench_store
 
 #: Maximum tolerated drop in commands/sec relative to the committed
@@ -71,6 +72,8 @@ BENCHMARKS = {
              bench_live.FULL_N, None),
     "parallel": (bench_parallel.measure, bench_parallel.BENCH_JSON,
                  bench_parallel.FULL_N, None),
+    "ssd": (bench_ssd.measure, bench_ssd.BENCH_JSON,
+            bench_ssd.FULL_N, None),
     "store": (bench_store.measure, bench_store.BENCH_JSON,
               bench_store.FULL_N, bench_store.FULL_N),
     "store-200k": (_measure_store_gate, bench_store.BENCH_200K_JSON,
@@ -87,6 +90,11 @@ RATE_UNITS = ("commands_per_sec", "epochs_per_sec", "snapshots_per_sec")
 def _rate_unit(name, mode, mode_record):
     """The single known rate unit a mode record carries, or ``None``
     (with a diagnostic) when it carries zero or several."""
+    if not isinstance(mode_record, dict):
+        print(f"[{name}] {mode}: record entry is "
+              f"{type(mode_record).__name__}, expected an object with "
+              f"one of {list(RATE_UNITS)}; re-commit with --update")
+        return None
     units = [unit for unit in RATE_UNITS if unit in mode_record]
     if len(units) == 1:
         return units[0]
@@ -104,9 +112,26 @@ def compare(name, measure, bench_json, n=None, max_n=None):
     """
     if not bench_json.exists():
         print(f"[{name}] no committed record at {bench_json}; "
-              "run with --update")
+              f"run `python benchmarks/compare_bench.py --only {name} "
+              "--update` to create it")
         return False
-    committed = json.loads(bench_json.read_text())
+    try:
+        committed = json.loads(bench_json.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        print(f"[{name}] committed record {bench_json} is not valid "
+              f"JSON ({exc}); re-create it with `python "
+              f"benchmarks/compare_bench.py --only {name} --update`")
+        return False
+    if not isinstance(committed, dict) or \
+            not isinstance(committed.get("modes"), dict) or \
+            not committed.get("modes") or \
+            not isinstance(committed.get("commands"), int):
+        print(f"[{name}] committed record {bench_json} is missing the "
+              "required 'commands'/'modes' fields (schema: "
+              '{"commands": N, "modes": {label: {"<unit>_per_sec": '
+              "...}}}); re-create it with `python "
+              f"benchmarks/compare_bench.py --only {name} --update`")
+        return False
     if n is None:
         n = committed["commands"]
     if max_n is not None and n > max_n:

@@ -5,6 +5,7 @@ from .characterize import (
     characterize,
     describe,
     interleaved_stream_signal,
+    is_seekless,
     random_fraction,
     reverse_fraction,
     sequential_fraction,
@@ -39,6 +40,7 @@ __all__ = [
     "characterize",
     "describe",
     "interleaved_stream_signal",
+    "is_seekless",
     "random_fraction",
     "reverse_fraction",
     "sequential_fraction",

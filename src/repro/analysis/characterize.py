@@ -21,6 +21,7 @@ __all__ = [
     "random_fraction",
     "reverse_fraction",
     "interleaved_stream_signal",
+    "is_seekless",
     "WorkloadProfile",
     "characterize",
     "describe",
@@ -69,6 +70,27 @@ def reverse_fraction(seek: Histogram) -> float:
     return negative / seek.count
 
 
+def is_seekless(collector: VscsiStatsCollector) -> bool:
+    """Whether the vdisk's backing device reports flash telemetry.
+
+    The seek-distance histograms are recorded at the vSCSI layer from
+    LBA deltas, so they exist for every backend — but on a seekless
+    device a "seek" is just an address delta, with no head movement
+    behind it.  SSD backends surface per-write write-amplification
+    samples (and GC pauses) through the ``write_amp_pct`` /
+    ``gc_pause_us`` families; their presence marks the collector as
+    flash-backed.  A read-only stream on an SSD produces no WA samples
+    and is not auto-detected — callers that know the backend can pass
+    ``seekless=True`` to :func:`characterize` explicitly.
+    """
+    wa = collector.write_amp_pct
+    gc = collector.gc_pause_us
+    return bool(
+        wa.reads.count or wa.writes.count
+        or gc.reads.count or gc.writes.count
+    )
+
+
 def interleaved_stream_signal(collector: VscsiStatsCollector) -> float:
     """How much sequentiality the look-behind window recovers (§3.1).
 
@@ -103,14 +125,24 @@ class WorkloadProfile:
     typical_latency_us: str
     typical_interarrival_us: str
     burstiness: float  # fraction of interarrivals <= 100 us
+    #: Backed by a device with no head: sequential/random/reverse are
+    #: LBA-locality readings, not mechanical seek costs.
+    seekless: bool = False
 
 
-def characterize(collector: VscsiStatsCollector) -> WorkloadProfile:
-    """Summarize a collector into a :class:`WorkloadProfile`."""
+def characterize(collector: VscsiStatsCollector,
+                 seekless: Optional[bool] = None) -> WorkloadProfile:
+    """Summarize a collector into a :class:`WorkloadProfile`.
+
+    ``seekless`` overrides backend detection; the default ``None``
+    auto-detects via :func:`is_seekless`.
+    """
     if not collector.commands:
         raise ValueError("collector has observed no commands")
     io = collector.io_length
     seek = collector.seek_distance
+    if seekless is None:
+        seekless = is_seekless(collector)
     return WorkloadProfile(
         commands=collector.commands,
         read_fraction=collector.read_fraction,
@@ -146,6 +178,7 @@ def characterize(collector: VscsiStatsCollector) -> WorkloadProfile:
         burstiness=collector.interarrival_us.all.fraction_in(
             float("-inf"), 100
         ),
+        seekless=seekless,
     )
 
 
@@ -163,11 +196,20 @@ def describe(profile: WorkloadProfile) -> str:
             and profile.dominant_io_size_writes
             else ""
         ),
-        f"sequential: {profile.sequential:.0%} overall "
-        f"(reads {profile.sequential_reads:.0%}, "
-        f"writes {profile.sequential_writes:.0%}); "
-        f"random (edge seeks): {profile.random:.0%}; "
-        f"reverse: {profile.reverse:.0%}",
+        (
+            ("LBA locality" if profile.seekless else "sequential")
+            + f": {profile.sequential:.0%} overall "
+            f"(reads {profile.sequential_reads:.0%}, "
+            f"writes {profile.sequential_writes:.0%}); "
+            f"random (edge seeks): {profile.random:.0%}; "
+            f"reverse: {profile.reverse:.0%}"
+            + (
+                " [seekless device: distances are address deltas, "
+                "not head movement]"
+                if profile.seekless
+                else ""
+            )
+        ),
         f"typical outstanding I/Os: {profile.typical_outstanding}"
         + (
             f" (writes: {profile.typical_outstanding_writes})"

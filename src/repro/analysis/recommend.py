@@ -26,6 +26,7 @@ from typing import List
 from ..core.collector import VscsiStatsCollector
 from .characterize import (
     interleaved_stream_signal,
+    is_seekless,
     random_fraction,
     reverse_fraction,
     sequential_fraction,
@@ -95,12 +96,18 @@ def recommend(collector: VscsiStatsCollector) -> List[Recommendation]:
     findings: List[Recommendation] = []
     if collector.commands < _MIN_COMMANDS:
         return findings
+    # Spindle-mechanics rules (reverse scans, stream separation, the
+    # write-back-cache heuristic) presume seeks and rotational caches;
+    # on a flash-backed vdisk they misfire — flash programs are
+    # inherently slower than flash reads, and address deltas cost
+    # nothing — so they are gated off and replaced by WA/GC rules.
+    seekless = is_seekless(collector)
 
     # --- reverse scans (§3.1) -------------------------------------
     # A uniformly random workload is ~50% negative by symmetry, so the
     # detector requires a clear backwards *bias*, not just negatives.
     reverse = reverse_fraction(collector.seek_distance.all)
-    if reverse > 0.65:
+    if not seekless and reverse > 0.65:
         findings.append(
             Recommendation(
                 rule="reverse-scans",
@@ -115,7 +122,7 @@ def recommend(collector: VscsiStatsCollector) -> List[Recommendation]:
 
     # --- interleaved sequential streams (§3.1/§3.6) ----------------
     signal = interleaved_stream_signal(collector)
-    if signal > 0.3:
+    if not seekless and signal > 0.3:
         findings.append(
             Recommendation(
                 rule="split-streams",
@@ -147,7 +154,8 @@ def recommend(collector: VscsiStatsCollector) -> List[Recommendation]:
 
     # --- write-back cache health (§3.4) ----------------------------
     latency = collector.latency_us
-    if latency.reads.count >= 50 and latency.writes.count >= 50:
+    if (not seekless
+            and latency.reads.count >= 50 and latency.writes.count >= 50):
         read_mean = latency.reads.mean
         write_mean = latency.writes.mean
         if read_mean > 0 and write_mean > 3.0 * read_mean:
@@ -177,6 +185,40 @@ def recommend(collector: VscsiStatsCollector) -> List[Recommendation]:
                         f"{high:.0%} of arrivals found more than 32 "
                         "commands outstanding; verify the device queue "
                         "depth matches the workload's parallelism."
+                    ),
+                )
+            )
+
+    # --- flash write amplification --------------------------------
+    wa = collector.write_amp_pct.writes
+    if wa.count >= 50 and wa.mean > 150.0:
+        findings.append(
+            Recommendation(
+                rule="flash-write-amp",
+                severity="warn",
+                message=(
+                    f"write amplification averages {wa.mean / 100:.2f}x "
+                    "on the flash backend; raise over-provisioning or "
+                    "separate hot and cold data onto different virtual "
+                    "disks to cut garbage-collection copying."
+                ),
+            )
+        )
+
+    # --- flash GC pause tail --------------------------------------
+    gc = collector.gc_pause_us.writes.merge(collector.gc_pause_us.reads)
+    if gc.count:
+        long_pauses = 1.0 - gc.fraction_in(float("-inf"), 10_000)
+        if long_pauses > 0.5:
+            findings.append(
+                Recommendation(
+                    rule="flash-gc-pauses",
+                    severity="tune",
+                    message=(
+                        f"{gc.count} commands absorbed garbage-collection "
+                        f"pauses ({long_pauses:.0%} above 10 ms); spread "
+                        "write bursts or raise the GC reserve so "
+                        "collection runs ahead of the write front."
                     ),
                 )
             )

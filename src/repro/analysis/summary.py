@@ -27,6 +27,10 @@ _PANELS = (
     ("Seek Distance Histogram (Reads)", "seek_distance", "reads"),
     ("Outstanding I/Os Histogram", "outstanding", "all"),
     ("I/O Latency Histogram (us)", "latency_us", "all"),
+    # Flash-only families: empty (and therefore skipped) on vdisks
+    # backed by mechanical arrays.
+    ("Write Amplification Histogram (percent)", "write_amp_pct", "writes"),
+    ("GC Pause Histogram (us)", "gc_pause_us", "all"),
 )
 
 

@@ -90,6 +90,11 @@ def _print_result(exp_id: str, result: object) -> None:
     if isinstance(result, Table2Result):
         print(render_table2(result))
         return
+    from .experiments.ssd_vs_disk import SsdVsDiskResult
+
+    if isinstance(result, SsdVsDiskResult):
+        print(result.report())
+        return
     from .core.collector import VscsiStatsCollector
     from .core.histogram import Histogram
     from .core.histogram2d import TimeSeriesHistogram

@@ -29,6 +29,8 @@ __all__ = [
     "LATENCY_US_BINS",
     "INTERARRIVAL_US_BINS",
     "OUTSTANDING_IO_BINS",
+    "WRITE_AMP_PCT_BINS",
+    "GC_PAUSE_US_BINS",
     "scheme_for_metric",
     "LUT_MAX_SPAN",
 ]
@@ -233,12 +235,36 @@ OUTSTANDING_IO_BINS = BinScheme(
     unit="I/Os",
 )
 
+#: Write-amplification factor in percent (100 = 1.0×) — the flash-side
+#: cost of a host write once FTL garbage collection migrates valid
+#: pages.  The 2007 paper predates flash; these edges follow the WA
+#: ranges reported for page-mapped FTLs (DFTL) under hot/cold skew.
+#: Mechanical backends never populate this family, so an all-zero
+#: histogram *is* the spindle signature.
+WRITE_AMP_PCT_BINS = BinScheme(
+    "write_amp_pct",
+    (100, 105, 110, 125, 150, 175, 200, 250, 300, 400, 600, 1000),
+    unit="percent",
+)
+
+#: Garbage-collection pause charged to a host command, in microseconds
+#: — the time the command's flash channel spent migrating valid pages
+#: and erasing blocks before servicing it.  Same irregular microsecond
+#: scale as the latency metric so GC tails read on familiar axes.
+GC_PAUSE_US_BINS = BinScheme(
+    "gc_pause_us",
+    (1, 10, 100, 500, 1000, 5000, 15000, 30000, 50000, 100000),
+    unit="microseconds",
+)
+
 _SCHEMES_BY_METRIC = {
     "io_length": IO_LENGTH_BINS,
     "seek_distance": SEEK_DISTANCE_BINS,
     "latency_us": LATENCY_US_BINS,
     "interarrival_us": INTERARRIVAL_US_BINS,
     "outstanding_io": OUTSTANDING_IO_BINS,
+    "write_amp_pct": WRITE_AMP_PCT_BINS,
+    "gc_pause_us": GC_PAUSE_US_BINS,
 }
 
 

@@ -31,17 +31,27 @@ except ImportError:  # pragma: no cover - exercised via backend="python"
 
 from .bins import (
     BinScheme,
+    GC_PAUSE_US_BINS,
     INTERARRIVAL_US_BINS,
     IO_LENGTH_BINS,
     LATENCY_US_BINS,
     OUTSTANDING_IO_BINS,
     SEEK_DISTANCE_BINS,
+    WRITE_AMP_PCT_BINS,
 )
 from .histogram import Histogram
 from .histogram2d import TimeSeriesHistogram
 from .window import DEFAULT_WINDOW_SIZE, LookBehindWindow
 
-__all__ = ["MetricFamily", "VscsiStatsCollector", "DEFAULT_TIME_SLOT_NS"]
+__all__ = ["MetricFamily", "VscsiStatsCollector", "DEFAULT_TIME_SLOT_NS",
+           "EXTENDED_FAMILIES"]
+
+#: Families added after the paper's six (currently the SSD/FTL pair).
+#: They are optional in serialized snapshots: documents written before
+#: they existed restore with empty histograms, and every layer that
+#: hard-codes a family order appends these *last* so the paper's six
+#: keep their positions.
+EXTENDED_FAMILIES = ("write_amp_pct", "gc_pause_us")
 
 #: The paper's time-resolved figures use 6-second intervals.
 DEFAULT_TIME_SLOT_NS = 6_000_000_000
@@ -182,6 +192,11 @@ class VscsiStatsCollector:
         self.outstanding = MetricFamily(OUTSTANDING_IO_BINS, "outstanding")
         self.latency_us = MetricFamily(LATENCY_US_BINS, "latency_us")
 
+        # SSD/FTL completion telemetry (empty on mechanical backends —
+        # an all-zero pair is itself the spindle signature).
+        self.write_amp_pct = MetricFamily(WRITE_AMP_PCT_BINS, "write_amp_pct")
+        self.gc_pause_us = MetricFamily(GC_PAUSE_US_BINS, "gc_pause_us")
+
         # Time-resolved variants used by Figures 4(d) and 6(c).
         self.time_slot_ns = int(time_slot_ns)
         self.outstanding_over_time: Optional[TimeSeriesHistogram] = None
@@ -268,12 +283,25 @@ class VscsiStatsCollector:
             self.first_arrival_ns = time_ns
         self.last_arrival_ns = time_ns
 
-    def on_complete(self, time_ns: int, is_read: bool, latency_ns: int) -> None:
-        """Record a command completion (device latency, §3.5)."""
+    def on_complete(self, time_ns: int, is_read: bool, latency_ns: int,
+                    wa_pct: Optional[int] = None,
+                    gc_pause_us: Optional[int] = None) -> None:
+        """Record a command completion (device latency, §3.5).
+
+        ``wa_pct`` and ``gc_pause_us`` carry the backend's per-command
+        FTL telemetry when the vdisk sits on flash: the cumulative
+        write-amplification factor in percent (100 = 1.0×) and the GC
+        pause charged to this command in microseconds.  Mechanical
+        backends pass neither, leaving both families empty.
+        """
         latency_us = latency_ns // 1_000
         self.latency_us.insert(latency_us, is_read)
         if self.latency_over_time is not None:
             self.latency_over_time.insert(time_ns, latency_us)
+        if wa_pct is not None:
+            self.write_amp_pct.insert(wa_pct, is_read)
+        if gc_pause_us is not None:
+            self.gc_pause_us.insert(gc_pause_us, is_read)
 
     # ------------------------------------------------------------------
     # Columnar batch hooks — the fast path for replay and burst issue
@@ -457,11 +485,17 @@ class VscsiStatsCollector:
     def on_complete_batch(self, times_ns: Sequence[int],
                           is_read: Sequence[bool],
                           latencies_ns: Sequence[int],
-                          backend: Optional[str] = None) -> None:
+                          backend: Optional[str] = None,
+                          wa_pct: Optional[Sequence[Optional[int]]] = None,
+                          gc_pause_us: Optional[Sequence[Optional[int]]] = None,
+                          ) -> None:
         """Record a run of command completions from parallel columns.
 
         Equivalent to a scalar :meth:`on_complete` loop over the
-        columns, batched through the histogram kernels.
+        columns, batched through the histogram kernels.  ``wa_pct`` and
+        ``gc_pause_us`` are optional FTL telemetry columns aligned with
+        the others; a ``None`` entry means the command carried no
+        sample (exactly the scalar hook's semantics).
         """
         n = len(times_ns)
         if not n:
@@ -469,6 +503,19 @@ class VscsiStatsCollector:
         if not (len(is_read) == len(latencies_ns) == n):
             raise ValueError(
                 "on_complete_batch columns must have equal lengths")
+        if wa_pct is not None or gc_pause_us is not None:
+            flags = is_read.tolist() if hasattr(is_read, "tolist") else is_read
+            for column, family in ((wa_pct, self.write_amp_pct),
+                                   (gc_pause_us, self.gc_pause_us)):
+                if column is None:
+                    continue
+                if len(column) != n:
+                    raise ValueError(
+                        "on_complete_batch columns must have equal lengths")
+                family.insert_batch(
+                    [v for v, f in zip(column, flags) if f and v is not None],
+                    [v for v, f in zip(column, flags)
+                     if not f and v is not None], backend)
         if backend == "numpy" and _np is not None:
             t = _np.asarray(times_ns, dtype=_np.int64)
             lat = _np.asarray(latencies_ns, dtype=_np.int64) // 1_000
@@ -520,7 +567,12 @@ class VscsiStatsCollector:
         return self.total_bytes / (1024 * 1024) / duration if duration > 0 else 0.0
 
     def families(self) -> Dict[str, MetricFamily]:
-        """All six metric families, keyed by metric name."""
+        """All metric families, keyed by metric name.
+
+        The paper's six come first (in their historical order); the
+        :data:`EXTENDED_FAMILIES` are appended last so fixed-order
+        consumers (codec layouts, exposition) stay stable.
+        """
         return {
             "io_length": self.io_length,
             "seek_distance": self.seek_distance,
@@ -528,6 +580,8 @@ class VscsiStatsCollector:
             "interarrival_us": self.interarrival_us,
             "outstanding": self.outstanding,
             "latency_us": self.latency_us,
+            "write_amp_pct": self.write_amp_pct,
+            "gc_pause_us": self.gc_pause_us,
         }
 
     @property
@@ -675,6 +729,10 @@ class VscsiStatsCollector:
         for name in collector.families():
             family_data = data["families"].get(name)
             if family_data is None:
+                if name in EXTENDED_FAMILIES:
+                    # Snapshot predates this family: it stays empty,
+                    # which is exactly what the writer observed.
+                    continue
                 raise ValueError(f"snapshot is missing family {name!r}")
             setattr(collector, name,
                     MetricFamily.from_dict(family_data, name=name))

@@ -99,11 +99,19 @@ class HistogramService:
         )
 
     def record_complete(self, vm: str, vdisk: str, time_ns: int, is_read: bool,
-                        latency_ns: int) -> None:
-        """Observe a command completion; no-op when disabled."""
+                        latency_ns: int, wa_pct: Optional[int] = None,
+                        gc_pause_us: Optional[int] = None) -> None:
+        """Observe a command completion; no-op when disabled.
+
+        ``wa_pct``/``gc_pause_us`` forward the backend's per-command FTL
+        telemetry (flash backends only; see
+        :meth:`VscsiStatsCollector.on_complete`).
+        """
         if not (self.enabled or self._per_disk_enabled.get((vm, vdisk), False)):
             return
-        self._collector_for(vm, vdisk).on_complete(time_ns, is_read, latency_ns)
+        self._collector_for(vm, vdisk).on_complete(
+            time_ns, is_read, latency_ns, wa_pct=wa_pct,
+            gc_pause_us=gc_pause_us)
 
     def record_issue_batch(self, vm: str, vdisk: str, times_ns, is_read,
                            lbas, nblocks, outstanding,
@@ -121,12 +129,14 @@ class HistogramService:
 
     def record_complete_batch(self, vm: str, vdisk: str, times_ns, is_read,
                               latencies_ns,
-                              backend: Optional[str] = None) -> None:
+                              backend: Optional[str] = None,
+                              wa_pct=None, gc_pause_us=None) -> None:
         """Observe a run of command completions as parallel columns."""
         if not (self.enabled or self._per_disk_enabled.get((vm, vdisk), False)):
             return
         self._collector_for(vm, vdisk).on_complete_batch(
-            times_ns, is_read, latencies_ns, backend=backend
+            times_ns, is_read, latencies_ns, backend=backend,
+            wa_pct=wa_pct, gc_pause_us=gc_pause_us
         )
 
     def _collector_for(self, vm: str, vdisk: str) -> VscsiStatsCollector:

@@ -16,6 +16,7 @@ from .figure3 import run_figure3
 from .figure4 import run_figure4
 from .figure5 import run_figure5
 from .figure6 import run_figure6, run_symmetrix_control
+from .ssd_vs_disk import run_ssd_vs_disk
 from .table2 import run_table2
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment",
@@ -74,6 +75,12 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "Histogram service overhead micro-benchmark",
         run_table2,
         {"duration_s": 2.0, "repetitions": 2},
+    ),
+    Experiment(
+        "ssd-vs-disk",
+        "LBA-pattern suite on the CX3 vs a DFTL flash target",
+        run_ssd_vs_disk,
+        {"duration_s": 1.0, "ssd_capacity_blocks": 262_144},
     ),
 )
 

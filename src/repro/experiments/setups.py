@@ -24,6 +24,7 @@ from typing import Tuple
 from ..hypervisor.esx import EsxServer
 from ..sim.engine import Engine
 from ..storage.array import StorageArray, clariion_cx3, symmetrix
+from ..storage.ssd import ssd_array
 
 __all__ = ["TABLE1_SPEC", "ARRAY_KINDS", "reference_testbed"]
 
@@ -39,16 +40,22 @@ TABLE1_SPEC: Tuple[Tuple[str, str], ...] = (
 )
 
 #: Array presets selectable by experiments.
-ARRAY_KINDS = ("symmetrix", "cx3", "cx3_nocache")
+ARRAY_KINDS = ("symmetrix", "cx3", "cx3_nocache", "ssd")
 
 
 @dataclass
 class Testbed:
-    """A ready-to-use simulated host."""
+    """A ready-to-use simulated host.
+
+    ``array`` is the backing block target — a mechanical
+    :class:`StorageArray` or a flash
+    :class:`~repro.storage.ssd.SsdArray`; both export the same
+    submit/extent interface.
+    """
 
     engine: Engine
     esx: EsxServer
-    array: StorageArray
+    array: "StorageArray"
 
 
 def reference_testbed(array_kind: str = "symmetrix",
@@ -61,6 +68,9 @@ def reference_testbed(array_kind: str = "symmetrix",
     * ``"cx3"`` — CLARiiON CX3, RAID-0, 2.5 GB read cache.
     * ``"cx3_nocache"`` — the CX3 with its read cache turned off, the
       §5.3 worst-case configuration behind Figure 6.
+    * ``"ssd"`` — a prefilled DFTL flash target
+      (:func:`~repro.storage.ssd.ssd_array`), the seekless counterpart
+      for the disk-vs-SSD characterization study.
     """
     engine = Engine()
     esx = EsxServer(engine, seed=seed)
@@ -70,6 +80,8 @@ def reference_testbed(array_kind: str = "symmetrix",
         array = clariion_cx3(engine, read_cache=True)
     elif array_kind == "cx3_nocache":
         array = clariion_cx3(engine, read_cache=False)
+    elif array_kind == "ssd":
+        array = ssd_array(engine)
     else:
         raise ValueError(
             f"unknown array kind {array_kind!r}; choose from {ARRAY_KINDS}"

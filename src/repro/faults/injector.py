@@ -94,6 +94,14 @@ SITES = {
     # enough consecutive failures trigger the bounded-backoff failover
     # to the next parent with a full (watermark-deduplicated) replay.
     "fleet.uplink": "FleetUplink sender, before each snapshot send",
+    # Fires inside the FTL each time garbage collection triggers on a
+    # channel, with ``name`` (array name), ``channel`` and
+    # ``free_blocks`` in the context for ``when`` routing.  A
+    # ``partial`` here doubles the reclaim target for that run — a GC
+    # storm that migrates far more valid pages than steady state,
+    # stretching the ``gc_pause_us`` tail; ``error``/``crash``
+    # propagate out of the write path like a drive-level fault.
+    "ssd.gc": "Ftl._collect, at each GC trigger on a channel",
 }
 
 _KINDS = ("error", "reset", "delay", "partial", "crash")

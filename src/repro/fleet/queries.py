@@ -39,7 +39,8 @@ __all__ = [
 
 #: Histogram family attributes addressable in metric specs.
 FAMILIES = ("io_length", "seek_distance", "seek_distance_windowed",
-            "interarrival_us", "outstanding", "latency_us")
+            "interarrival_us", "outstanding", "latency_us",
+            "write_amp_pct", "gc_pause_us")
 
 _OPS = ("read", "write", "all")
 _STATS = ("sum", "count", "mean")

@@ -58,6 +58,12 @@ class VScsiDevice:
         # While a burst is being issued, _dispatch appends its stats
         # columns here instead of calling the service per command.
         self._burst_cols: Optional[Tuple[List, ...]] = None
+        # Flash backends publish per-command FTL telemetry (WA percent,
+        # GC pause) for the command whose completion callback is about
+        # to run; mechanical backends don't have the method and the
+        # completion path skips the fetch entirely.
+        self._take_telemetry = getattr(
+            vdisk.backing, "take_completion_telemetry", None)
 
     # ------------------------------------------------------------------
     # Tracing control (§1: "a simple virtual SCSI command tracing
@@ -150,12 +156,17 @@ class VScsiDevice:
     def _complete(self, request: ScsiRequest) -> None:
         now = self.engine.now
         assert request.issue_ns is not None
+        wa_pct = gc_pause_us = None
+        if self._take_telemetry is not None:
+            wa_pct, gc_pause_us = self._take_telemetry()
         self.service.record_complete(
             self.vm_name,
             self.vdisk.name,
             now,
             request.is_read,
             now - request.issue_ns,
+            wa_pct=wa_pct,
+            gc_pause_us=gc_pause_us,
         )
         if self.trace is not None:
             self.trace.append(

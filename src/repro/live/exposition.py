@@ -33,6 +33,8 @@ _FAMILIES = (
     ("interarrival_us", "interarrival_us"),
     ("outstanding_ios", "outstanding"),
     ("latency_us", "latency_us"),
+    ("write_amp_pct", "write_amp_pct"),
+    ("gc_pause_us", "gc_pause_us"),
 )
 
 _OPS = ("read", "write", "all")

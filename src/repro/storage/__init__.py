@@ -1,14 +1,19 @@
-"""Storage array substrate: spindles, RAID, caches, testbed presets."""
+"""Storage substrate: spindles, RAID, caches, flash, testbed presets."""
 
 from .array import StorageArray, clariion_cx3, symmetrix
 from .cache import DEFAULT_LINE_BLOCKS, ReadCache, WriteBackCache
 from .disk import Disk, DiskModel
 from .raid import DEFAULT_STRIPE_BLOCKS, PhysicalOp, Raid0, Raid5, RaidLayout
+from .ssd import Ftl, SsdArray, SsdModel, ssd_array
 
 __all__ = [
     "StorageArray",
     "clariion_cx3",
     "symmetrix",
+    "Ftl",
+    "SsdArray",
+    "SsdModel",
+    "ssd_array",
     "DEFAULT_LINE_BLOCKS",
     "ReadCache",
     "WriteBackCache",

@@ -1,0 +1,11 @@
+"""DFTL-style SSD backend: mapping cache, erase-block GC, channels.
+
+Drop-in interchangeable with :class:`~repro.storage.array.StorageArray`
+beneath the hypervisor's vdisk extents; see :mod:`repro.storage.ssd.ftl`
+for the FTL model and ``docs/ssd.md`` for knobs and metric semantics.
+"""
+
+from .array import SsdArray, ssd_array
+from .ftl import Ftl, SsdModel
+
+__all__ = ["Ftl", "SsdArray", "SsdModel", "ssd_array"]

@@ -1,0 +1,404 @@
+"""Page-mapped DFTL-style flash translation layer.
+
+The 2007 paper characterizes workloads against mechanical arrays; this
+module models the storage technology that replaced them, so the same
+online histogram service can be pointed at flash.  The model follows
+the DFTL design point: the full logical-page → physical-page map lives
+in flash translation pages, and the device RAM holds only a small LRU
+**cached mapping table** (CMT).  A mapping lookup that misses the CMT
+pays a translation-page read; evicting a *dirty* CMT entry pays a
+translation-page program.
+
+Physical space is organized as erase blocks of ``pages_per_block``
+flash pages, striped across ``channels`` independent channels (blocks
+are assigned round-robin: block *b* belongs to channel ``b % channels``).
+Each channel has its own write frontier (active block); host and GC
+writes allocate pages from it, so a channel's garbage collection never
+touches another channel's blocks.
+
+Garbage collection is greedy and threshold-triggered, per channel:
+when a channel's free-block count drops to ``gc_free_blocks`` at
+allocation time, sealed blocks with the fewest valid pages are chosen
+as victims (ties break toward the lowest block id, keeping runs
+deterministic), their valid pages are migrated to the frontier, and
+the blocks are erased — until ``gc_target_blocks`` are free again or
+no victim would gain anything.  The whole reclamation cost (migration
+reads + programs + erases) is returned to the caller as a **GC pause**
+charged ahead of the triggering host write, which is exactly the
+latency artifact the ``gc_pause_us`` histogram family captures.
+
+Write amplification is accounted in pages: ``flash_pages_programmed``
+(host programs plus GC migrations) over ``host_pages_written``.  The
+over-provisioned share of physical space (``op_ratio``) is what keeps
+the greedy victim from being full of valid data on a logically full
+drive — shrink it and WA climbs, exactly as on real hardware.
+
+The ``ssd.gc`` fault site fires at every GC trigger; a ``partial``
+action doubles the reclaim target for that run (a GC storm), a
+``delay``/``error``/``reset`` behaves as at any other site.
+
+All state updates are plain integer arithmetic over lists in a fixed
+iteration order, so a replay with the same command stream reproduces
+byte-identical mapping state, counters and pause timings.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ...faults import fire
+
+__all__ = ["SsdModel", "Ftl"]
+
+#: Bytes per SCSI logical block (the unit of every ``lba``/``nblocks``).
+SECTOR_BYTES = 512
+
+
+@dataclass(frozen=True)
+class SsdModel:
+    """Flash geometry, cache sizing and service timing.
+
+    Defaults approximate an early enterprise SATA/SAS SSD: 4 KiB
+    pages, 1 MiB erase blocks, 8 channels, 12.5% over-provisioning,
+    ~50 µs page reads and ~200 µs programs.
+    """
+
+    capacity_blocks: int = 2_097_152          # 1 GiB logical, 512 B sectors
+    page_blocks: int = 8                      # 4 KiB flash page
+    pages_per_block: int = 256                # 1 MiB erase block
+    channels: int = 8
+    op_ratio: float = 0.125                   # over-provisioned share
+    cmt_entries: int = 32_768                 # cached mapping table slots
+    read_page_us: float = 50.0
+    program_page_us: float = 200.0
+    erase_block_us: float = 2_000.0
+    channel_overhead_us: float = 10.0         # per flash op
+    gc_free_blocks: int = 2                   # per-channel trigger threshold
+    gc_target_blocks: int = 4                 # per-channel reclaim target
+
+    @property
+    def logical_pages(self) -> int:
+        """Logical flash pages exposed to the host."""
+        return -(-self.capacity_blocks // self.page_blocks)
+
+    @property
+    def total_blocks(self) -> int:
+        """Physical erase blocks including over-provisioning, rounded
+        up to a whole block per channel.
+
+        ``op_ratio`` is a *minimum* share: every channel always gets at
+        least the logical blocks it must hold plus the GC reclaim
+        target plus a two-block migration reserve, so small test drives
+        stay valid without hand-tuning the ratio.
+        """
+        physical_pages = int(self.logical_pages * (1.0 + self.op_ratio))
+        blocks = -(-physical_pages // self.pages_per_block)
+        per_channel = -(-blocks // self.channels)
+        logical_blocks = -(-self.logical_pages // self.pages_per_block)
+        floor = (-(-logical_blocks // self.channels)
+                 + self.gc_target_blocks + 2)
+        return max(per_channel, floor) * self.channels
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_blocks * self.pages_per_block
+
+
+class Ftl:
+    """DFTL mapping, allocation and garbage-collection state machine.
+
+    The FTL is *timing-aware but engine-free*: :meth:`read` and
+    :meth:`write` update mapping state instantly and return the flash
+    work as ``(channel, service_ns)`` op lists (plus the GC pause for
+    writes), which :class:`~repro.storage.ssd.array.SsdArray` feeds to
+    its simulated channels.
+    """
+
+    def __init__(self, model: Optional[SsdModel] = None, name: str = "ssd"):
+        self.model = model = model if model is not None else SsdModel()
+        self.name = name
+        if model.gc_free_blocks < 2:
+            raise ValueError("gc_free_blocks must be >= 2 (the GC "
+                             "migration reserve)")
+        if model.gc_target_blocks <= model.gc_free_blocks:
+            raise ValueError("gc_target_blocks must exceed gc_free_blocks")
+        per_channel = model.total_blocks // model.channels
+        min_spare = model.gc_target_blocks + 2
+        logical_blocks = -(-model.logical_pages // model.pages_per_block)
+        if per_channel - (-(-logical_blocks // model.channels)) < min_spare:
+            raise ValueError(
+                f"over-provisioning too small: {per_channel} blocks/channel "
+                f"cannot hold the logical space plus a {min_spare}-block "
+                "GC reserve; raise op_ratio or shrink capacity_blocks"
+            )
+
+        ppb = model.pages_per_block
+        # Mapping state: logical page -> physical page (-1 unmapped),
+        # physical page -> logical page (-1 invalid/erased).
+        self._l2p: List[int] = [-1] * model.logical_pages
+        self._p2l: List[int] = [-1] * model.total_pages
+        self._valid: List[int] = [0] * model.total_blocks
+        # Per-channel allocation state.
+        nchan = model.channels
+        self._free: List[Deque[int]] = [deque() for _ in range(nchan)]
+        for block in range(model.total_blocks):
+            self._free[block % nchan].append(block)
+        self._active: List[int] = [self._free[c].popleft()
+                                   for c in range(nchan)]
+        self._active_used: List[int] = [0] * nchan
+        # Sealed (fully written) blocks per channel — the GC victim pool.
+        self._sealed: List[List[int]] = [[] for _ in range(nchan)]
+        self._next_write_channel = 0
+        # Cached mapping table: lpn -> dirty flag, LRU order.
+        self._cmt: "OrderedDict[int, bool]" = OrderedDict()
+
+        # Service times in integer ns.
+        self._read_ns = int(model.read_page_us * 1_000)
+        self._program_ns = int(model.program_page_us * 1_000)
+        self._erase_ns = int(model.erase_block_us * 1_000)
+        self._overhead_ns = int(model.channel_overhead_us * 1_000)
+
+        # Lifetime counters.
+        self.host_pages_written = 0
+        self.host_pages_read = 0
+        self.flash_pages_programmed = 0
+        self.gc_migrated_pages = 0
+        self.gc_runs = 0
+        self.blocks_erased = 0
+        self.cmt_hits = 0
+        self.cmt_misses = 0
+        self.translation_reads = 0
+        self.translation_programs = 0
+
+    # ------------------------------------------------------------------
+    # Derived reporting
+    # ------------------------------------------------------------------
+    def write_amplification(self) -> float:
+        """Flash programs per host program (1.0 = no amplification)."""
+        if not self.host_pages_written:
+            return 0.0
+        return self.flash_pages_programmed / self.host_pages_written
+
+    def wa_pct(self) -> Optional[int]:
+        """Cumulative WA in integer percent (100 = 1.0×), ``None``
+        before the first host write — the ``write_amp_pct`` sample."""
+        if not self.host_pages_written:
+            return None
+        return self.flash_pages_programmed * 100 // self.host_pages_written
+
+    def free_blocks(self) -> int:
+        """Free erase blocks across all channels."""
+        return sum(len(free) for free in self._free)
+
+    # ------------------------------------------------------------------
+    # Host operations
+    # ------------------------------------------------------------------
+    def _page_span(self, lba: int, nblocks: int) -> Tuple[int, int]:
+        pb = self.model.page_blocks
+        return lba // pb, (lba + nblocks - 1) // pb
+
+    def read(self, lba: int, nblocks: int) -> List[Tuple[int, int]]:
+        """Plan a host read: ``(channel, service_ns)`` per flash page.
+
+        A mapped page costs a mapping lookup (CMT) plus a page read on
+        the channel holding it; an unmapped page returns zeros from the
+        controller for just the per-op overhead.
+        """
+        first, last = self._page_span(lba, nblocks)
+        ppb = self.model.pages_per_block
+        nchan = self.model.channels
+        ops: List[Tuple[int, int]] = []
+        for lpn in range(first, last + 1):
+            ppn = self._l2p[lpn]
+            if ppn >= 0:
+                self.host_pages_read += 1
+                channel = (ppn // ppb) % nchan
+                service = (self._overhead_ns + self._read_ns
+                           + self._cmt_access(lpn, dirty=False))
+            else:
+                channel = lpn % nchan
+                service = self._overhead_ns
+            ops.append((channel, service))
+        return ops
+
+    def write(self, lba: int, nblocks: int) -> Tuple[List[Tuple[int, int]],
+                                                     int]:
+        """Plan a host write: op list plus the GC pause it triggered.
+
+        Each logical page takes a mapping update (CMT, dirty), a page
+        allocation on the round-robin channel frontier — which may
+        trigger garbage collection, whose full cost is charged ahead of
+        that page's program — and the program itself.  A partial edge
+        page over mapped data pays a read-modify-write page read.
+        """
+        first, last = self._page_span(lba, nblocks)
+        pb = self.model.page_blocks
+        nchan = self.model.channels
+        gc_total_ns = 0
+        ops: List[Tuple[int, int]] = []
+        for lpn in range(first, last + 1):
+            channel = self._next_write_channel
+            self._next_write_channel = (channel + 1) % nchan
+            service = self._overhead_ns + self._cmt_access(lpn, dirty=True)
+            old = self._l2p[lpn]
+            partial = ((lpn == first and lba % pb != 0)
+                       or (lpn == last and (lba + nblocks) % pb != 0))
+            if partial and old >= 0:
+                # Read-modify-write: fetch the rest of the page first.
+                service += self._read_ns
+                self.host_pages_read += 1
+            if old >= 0:
+                self._invalidate(old)
+            ppn, gc_ns = self._allocate(channel)
+            gc_total_ns += gc_ns
+            self._l2p[lpn] = ppn
+            self._p2l[ppn] = lpn
+            self._valid[ppn // self.model.pages_per_block] += 1
+            self.host_pages_written += 1
+            self.flash_pages_programmed += 1
+            service += gc_ns + self._program_ns
+            ops.append((channel, service))
+        return ops, gc_total_ns
+
+    def prefill(self) -> None:
+        """Map every logical page, as a drive restored from an image.
+
+        Sequential lpn → frontier allocation, free of charge: no
+        timing, no CMT traffic, and no effect on the WA counters (the
+        image's content did not pass through the host write path).
+        """
+        for lpn in range(self.model.logical_pages):
+            channel = self._next_write_channel
+            self._next_write_channel = (channel + 1) % self.model.channels
+            ppn, _gc = self._allocate(channel, during_gc=True)
+            self._l2p[lpn] = ppn
+            self._p2l[ppn] = lpn
+            self._valid[ppn // self.model.pages_per_block] += 1
+
+    # ------------------------------------------------------------------
+    # Mapping cache (the DFTL CMT)
+    # ------------------------------------------------------------------
+    def _cmt_access(self, lpn: int, dirty: bool) -> int:
+        """Charge one mapping lookup/update; returns the ns it costs."""
+        cmt = self._cmt
+        entry = cmt.get(lpn)
+        if entry is not None:
+            cmt.move_to_end(lpn)
+            if dirty and not entry:
+                cmt[lpn] = True
+            self.cmt_hits += 1
+            return 0
+        self.cmt_misses += 1
+        ns = self._read_ns  # translation-page read
+        self.translation_reads += 1
+        if len(cmt) >= self.model.cmt_entries:
+            _old_lpn, old_dirty = cmt.popitem(last=False)
+            if old_dirty:
+                # Write back the evicted mapping's translation page.
+                ns += self._program_ns
+                self.translation_programs += 1
+        cmt[lpn] = dirty
+        return ns
+
+    # ------------------------------------------------------------------
+    # Allocation and garbage collection
+    # ------------------------------------------------------------------
+    def _invalidate(self, ppn: int) -> None:
+        self._p2l[ppn] = -1
+        self._valid[ppn // self.model.pages_per_block] -= 1
+
+    def _allocate(self, channel: int, during_gc: bool = False
+                  ) -> Tuple[int, int]:
+        """Take the next page on ``channel``'s frontier.
+
+        Returns ``(ppn, gc_pause_ns)``; the pause is nonzero when this
+        allocation found the channel at its free-block threshold and
+        ran garbage collection first.  GC's own migrations allocate
+        with ``during_gc=True`` and can never re-enter.
+        """
+        gc_ns = 0
+        if not during_gc \
+                and len(self._free[channel]) <= self.model.gc_free_blocks \
+                and self._sealed[channel]:
+            gc_ns = self._collect(channel)
+        ppb = self.model.pages_per_block
+        if self._active_used[channel] >= ppb:
+            self._sealed[channel].append(self._active[channel])
+            free = self._free[channel]
+            if not free:
+                raise RuntimeError(
+                    f"SSD {self.name!r} channel {channel} has no free "
+                    "erase blocks — over-provisioning exhausted"
+                )
+            self._active[channel] = free.popleft()
+            self._active_used[channel] = 0
+        ppn = (self._active[channel] * ppb + self._active_used[channel])
+        self._active_used[channel] += 1
+        return ppn, gc_ns
+
+    def _collect(self, channel: int) -> int:
+        """Greedy reclamation on one channel; returns the pause in ns."""
+        model = self.model
+        target = model.gc_target_blocks
+        action = fire("ssd.gc", name=self.name, channel=channel,
+                      free_blocks=len(self._free[channel]))
+        if action is not None and action.kind == "partial":
+            # GC storm: the chaos plan forces a much deeper reclaim.
+            target *= 2
+        self.gc_runs += 1
+        ppb = model.pages_per_block
+        sealed = self._sealed[channel]
+        free = self._free[channel]
+        gc_ns = 0
+        migrate_ns = self._read_ns + self._program_ns
+        while len(free) < target and sealed:
+            victim = min(sealed, key=lambda b: (self._valid[b], b))
+            if self._valid[victim] >= ppb:
+                break  # every page still valid: erasing gains nothing
+            sealed.remove(victim)
+            base = victim * ppb
+            for ppn in range(base, base + ppb):
+                lpn = self._p2l[ppn]
+                if lpn < 0:
+                    continue
+                new_ppn, _gc = self._allocate(channel, during_gc=True)
+                self._l2p[lpn] = new_ppn
+                self._p2l[new_ppn] = lpn
+                self._p2l[ppn] = -1
+                self._valid[new_ppn // ppb] += 1
+                gc_ns += migrate_ns
+                self.flash_pages_programmed += 1
+                self.gc_migrated_pages += 1
+                # The migrated mapping changed: a cached copy is now
+                # dirty (no charge — the GTD update rides the migration).
+                if lpn in self._cmt:
+                    self._cmt[lpn] = True
+            self._valid[victim] = 0
+            free.append(victim)
+            gc_ns += self._erase_ns
+            self.blocks_erased += 1
+        return gc_ns
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for reports and benchmarks."""
+        return {
+            "host_pages_written": self.host_pages_written,
+            "host_pages_read": self.host_pages_read,
+            "flash_pages_programmed": self.flash_pages_programmed,
+            "gc_migrated_pages": self.gc_migrated_pages,
+            "gc_runs": self.gc_runs,
+            "blocks_erased": self.blocks_erased,
+            "cmt_hits": self.cmt_hits,
+            "cmt_misses": self.cmt_misses,
+            "translation_reads": self.translation_reads,
+            "translation_programs": self.translation_programs,
+            "write_amplification": self.write_amplification(),
+            "free_blocks": self.free_blocks(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Ftl {self.name!r} blocks={self.model.total_blocks} "
+                f"wa={self.write_amplification():.2f}>")

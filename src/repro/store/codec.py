@@ -25,16 +25,21 @@ collectors (the only kind the live service produces)::
 The header is one ``struct`` (flags, window size, time-slot width,
 scalar counters, per-series slot counts); the blocks are little-endian
 integer arrays at fixed offsets.  The stats block is
-``count/total/min/max`` for the twelve reads/writes histograms in
-canonical family order; the counts block is every histogram's bin
-counts back to back — 178 counts total under the paper's standard
-schemes; the two optional time series follow as one fused array (per
-series: slot keys, per-slot stats, per-slot bin counts).
+``count/total/min/max`` for the reads/writes histograms in canonical
+family order; the counts block is every histogram's bin counts back to
+back — 178 counts for the paper's six families (the *base* layout), or
+226 when the SSD/FTL families (``write_amp_pct``, ``gc_pause_us``)
+carry data and the *extended* layout is written; the two optional time
+series follow as one fused array (per series: slot keys, per-slot
+stats, per-slot bin counts).
 
 Each block is written at the narrowest width that holds its values,
 recorded in the header flags (bit 0/1: first/last arrival present,
 bit 2: stats are ``i32``, bit 3/4: counts are ``i16``/``i32``, bit 5:
-series are ``i32``; unset width bits mean ``i64``).  A one-second
+series are ``i32``; unset width bits mean ``i64``; bit 6: extended
+family layout).  A collector whose extended families are empty always
+writes the base layout, so frames from mechanical-only hosts stay
+byte-identical to pre-extension releases.  A one-second
 epoch snapshot is ~770 bytes instead of ~2.2 KB, which is most of the
 append-path disk budget at fleet ingest rates, while a merged
 lifetime record silently falls back to wider blocks.  A whole record
@@ -64,13 +69,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.bins import (
     BinScheme,
+    GC_PAUSE_US_BINS,
     INTERARRIVAL_US_BINS,
     IO_LENGTH_BINS,
     LATENCY_US_BINS,
     OUTSTANDING_IO_BINS,
     SEEK_DISTANCE_BINS,
+    WRITE_AMP_PCT_BINS,
 )
-from ..core.collector import MetricFamily, VscsiStatsCollector
+from ..core.collector import (
+    EXTENDED_FAMILIES,
+    MetricFamily,
+    VscsiStatsCollector,
+)
 from ..core.histogram import Histogram
 from ..core.histogram2d import TimeSeriesHistogram
 from ..core.service import HistogramService
@@ -112,7 +123,12 @@ _V2_SERIES_INFO = tuple(
 )
 
 #: Canonical metric families (the fixed order of the v2 stats and
-#: counts blocks), mirroring ``VscsiStatsCollector.families()``.
+#: counts blocks), mirroring ``VscsiStatsCollector.families()``.  The
+#: *base* layout is the paper's six families; the *extended* layout
+#: (header flag bit 6) appends the SSD/FTL pair, so base-layout frames
+#: — still written whenever both extended families are empty — remain
+#: byte-identical to what every earlier release produced and decode in
+#: any direction.
 _V2_FAMILIES = (
     ("io_length", IO_LENGTH_BINS),
     ("seek_distance", SEEK_DISTANCE_BINS),
@@ -122,54 +138,79 @@ _V2_FAMILIES = (
     ("latency_us", LATENCY_US_BINS),
 )
 
-#: ``(family, scheme, num_bins, reads name, writes name)`` — the bin
-#: widths and expected histogram names are precomputed so the encode
-#: hot loop does no string building and no ``num_bins`` property work.
-_V2_FAMILY_INFO = tuple(
-    (name, scheme, scheme.num_bins, name + "_reads", name + "_writes")
-    for name, scheme in _V2_FAMILIES
+#: The extended-only tail, in ``EXTENDED_FAMILIES`` order.
+_V2_EXT_ONLY = (
+    ("write_amp_pct", WRITE_AMP_PCT_BINS),
+    ("gc_pause_us", GC_PAUSE_US_BINS),
 )
+assert tuple(name for name, _s in _V2_EXT_ONLY) == EXTENDED_FAMILIES
 
-#: ``(family, histogram, suffix)`` for the twelve fixed histograms in
-#: block order: reads then writes within each family.
-_V2_HISTS: Tuple[Tuple[str, BinScheme, str], ...] = tuple(
-    (name, scheme, suffix)
-    for name, scheme in _V2_FAMILIES
-    for suffix in ("_reads", "_writes")
-)
-_V2_NUM_HISTS = len(_V2_HISTS)  # 12
-#: Per-histogram (start, stop) slices into the flat counts block.
-_V2_COUNT_SLICES: Tuple[Tuple[int, int], ...] = tuple()
-_offset = 0
-_slices = []
-for _name, _scheme, _suffix in _V2_HISTS:
-    _slices.append((_offset, _offset + _scheme.num_bins))
-    _offset += _scheme.num_bins
-_V2_COUNT_SLICES = tuple(_slices)
-_V2_TOTAL_BINS = _offset  # 178 under the standard schemes
-del _offset, _slices, _name, _scheme, _suffix
+_V2_FAMILIES_EXT = _V2_FAMILIES + _V2_EXT_ONLY
 
 #: v2 fixed header, unpacked right after the magic:
 #: flags (bit 0/1: first/last arrival present; bit 2: stats block is
 #: int32; bit 3: counts block is int16; bit 4: counts block is int32;
-#: bit 5: series block is int32 — unset width bits mean int64),
+#: bit 5: series block is int32 — unset width bits mean int64; bit 6:
+#: the stats/counts blocks use the extended family layout),
 #: 3 pad bytes, u32 window_size, then int64 time_slot_ns, commands,
 #: read_commands, write_commands, bytes_read, bytes_written,
 #: first_arrival_ns, last_arrival_ns, then u32 slot counts for the two
 #: optional series.
 _V2_HEADER = struct.Struct("<BxxxIqqqqqqqqII")
-_V2_STATS_WORDS = 4 * _V2_NUM_HISTS  # count/total/min/max per histogram
 
 #: ``struct.pack`` raises one of these for a value outside the field
 #: width (or a non-integer) — the signal to retry a wider block or
 #: fall back to v1.
 _PACK_ERRORS = (struct.error, OverflowError)
 
-_PACK_STATS_I = struct.Struct(f"<{_V2_STATS_WORDS}i")
-_PACK_STATS_Q = struct.Struct(f"<{_V2_STATS_WORDS}q")
-_PACK_COUNTS_H = struct.Struct(f"<{_V2_TOTAL_BINS}h")
-_PACK_COUNTS_I = struct.Struct(f"<{_V2_TOTAL_BINS}i")
-_PACK_COUNTS_Q = struct.Struct(f"<{_V2_TOTAL_BINS}q")
+
+class _V2Layout:
+    """Derived constants for one fixed family order (base or extended).
+
+    Everything the encoder, decoder and vectorized merge need —
+    histogram enumeration, counts-block slices, block word counts and
+    the cached ``struct`` packers — is computed once per layout here,
+    so the two layouts can never drift from each other's math.
+    """
+
+    __slots__ = ("families", "family_info", "hists", "num_hists",
+                 "count_slices", "total_bins", "stats_words",
+                 "pack_stats_i", "pack_stats_q", "pack_counts_h",
+                 "pack_counts_i", "pack_counts_q", "encode_fixed")
+
+    def __init__(self, families: Tuple[Tuple[str, BinScheme], ...]):
+        self.families = families
+        #: ``(family, scheme, num_bins, reads name, writes name)`` — the
+        #: bin widths and expected histogram names are precomputed so
+        #: the encode hot loop does no string building.
+        self.family_info = tuple(
+            (name, scheme, scheme.num_bins, name + "_reads",
+             name + "_writes")
+            for name, scheme in families
+        )
+        #: ``(family, scheme, suffix)`` per fixed histogram in block
+        #: order: reads then writes within each family.
+        self.hists: Tuple[Tuple[str, BinScheme, str], ...] = tuple(
+            (name, scheme, suffix)
+            for name, scheme in families
+            for suffix in ("_reads", "_writes")
+        )
+        self.num_hists = len(self.hists)
+        offset = 0
+        slices = []
+        for _name, scheme, _suffix in self.hists:
+            slices.append((offset, offset + scheme.num_bins))
+            offset += scheme.num_bins
+        #: Per-histogram (start, stop) slices into the flat counts block.
+        self.count_slices: Tuple[Tuple[int, int], ...] = tuple(slices)
+        self.total_bins = offset  # 178 base / 226 extended
+        self.stats_words = 4 * self.num_hists  # count/total/min/max each
+        self.pack_stats_i = struct.Struct(f"<{self.stats_words}i")
+        self.pack_stats_q = struct.Struct(f"<{self.stats_words}q")
+        self.pack_counts_h = struct.Struct(f"<{self.total_bins}h")
+        self.pack_counts_i = struct.Struct(f"<{self.total_bins}i")
+        self.pack_counts_q = struct.Struct(f"<{self.total_bins}q")
+        self.encode_fixed = None  # filled in by _make_fixed_encoder
 #: Series packers, cached per word count (the slot population repeats
 #: epoch after epoch, so the cache stays tiny).
 _SERIES_PACKS_I: Dict[int, struct.Struct] = {}
@@ -213,7 +254,8 @@ _SUM_GUARD = 1 << 62
 _STANDARD_SCHEMES = {
     (s.name, s.edges, s.unit): s
     for s in (IO_LENGTH_BINS, SEEK_DISTANCE_BINS, INTERARRIVAL_US_BINS,
-              OUTSTANDING_IO_BINS, LATENCY_US_BINS)
+              OUTSTANDING_IO_BINS, LATENCY_US_BINS, WRITE_AMP_PCT_BINS,
+              GC_PAUSE_US_BINS)
 }
 
 
@@ -350,19 +392,19 @@ def _is_standard_scheme(scheme: BinScheme, standard: BinScheme) -> bool:
                                   and scheme.unit == standard.unit)
 
 
-def _make_fixed_encoder():
-    """Build ``_encode_fixed`` — the unrolled stats/counts encoder.
+def _make_fixed_encoder(layout: _V2Layout):
+    """Build a layout's ``encode_fixed`` — the unrolled stats/counts
+    encoder.
 
-    The twelve fixed histograms encode the same way every time, so the
-    validation and packing loop is generated once from
-    ``_V2_FAMILY_INFO`` (the way :mod:`dataclasses` generates
-    ``__init__``) instead of interpreted per record: no per-family
-    tuple unpacking, no intermediate ``stats``/``counts`` lists — the
-    48 stats words are packed straight from locals and the 178 bin
-    counts straight from the histogram lists.  This path runs once per
-    append at fleet ingest rates; the generated body is exactly the
-    loop it replaces, with the layout still single-sourced in the
-    constants above.
+    The fixed histograms encode the same way every time, so the
+    validation and packing loop is generated once from the layout's
+    ``family_info`` (the way :mod:`dataclasses` generates ``__init__``)
+    instead of interpreted per record: no per-family tuple unpacking,
+    no intermediate ``stats``/``counts`` lists — the stats words are
+    packed straight from locals and the bin counts straight from the
+    histogram lists.  This path runs once per append at fleet ingest
+    rates; the generated body is exactly the loop it replaces, with
+    the layout still single-sourced in :class:`_V2Layout`.
 
     Returns ``(flags, stats_bytes, counts_bytes)`` with the width bits
     (2/3/4) already set, or ``None`` for a non-canonical collector.
@@ -375,13 +417,13 @@ def _make_fixed_encoder():
     counts_args: List[str] = []
     namespace = {"_is_standard_scheme": _is_standard_scheme,
                  "_PACK_ERRORS": _PACK_ERRORS,
-                 "_PACK_STATS_I": _PACK_STATS_I,
-                 "_PACK_STATS_Q": _PACK_STATS_Q,
-                 "_PACK_COUNTS_H": _PACK_COUNTS_H,
-                 "_PACK_COUNTS_I": _PACK_COUNTS_I,
-                 "_PACK_COUNTS_Q": _PACK_COUNTS_Q}
+                 "_PACK_STATS_I": layout.pack_stats_i,
+                 "_PACK_STATS_Q": layout.pack_stats_q,
+                 "_PACK_COUNTS_H": layout.pack_counts_h,
+                 "_PACK_COUNTS_I": layout.pack_counts_i,
+                 "_PACK_COUNTS_Q": layout.pack_counts_q}
     for index, (name, scheme, nbins, rname, wname) in \
-            enumerate(_V2_FAMILY_INFO):
+            enumerate(layout.family_info):
         fam, sch = f"f{index}", f"_scheme{index}"
         namespace[sch] = scheme
         src += [
@@ -437,7 +479,42 @@ def _make_fixed_encoder():
     return namespace["_encode_fixed"]
 
 
-_encode_fixed = _make_fixed_encoder()
+_LAYOUT_BASE = _V2Layout(_V2_FAMILIES)
+_LAYOUT_EXT = _V2Layout(_V2_FAMILIES_EXT)
+_LAYOUT_BASE.encode_fixed = _make_fixed_encoder(_LAYOUT_BASE)
+_LAYOUT_EXT.encode_fixed = _make_fixed_encoder(_LAYOUT_EXT)
+
+
+def _extended_needed(collector: VscsiStatsCollector) -> Optional[bool]:
+    """Whether the collector's extended families force the extended
+    layout.
+
+    ``False`` — every extended family is a *canonical empty* (the base
+    layout preserves it exactly, keeping the frame byte-identical to
+    pre-extension releases).  ``True`` — at least one carries data, so
+    the extended layout must be written (canonicality is then checked
+    by the extended encoder itself).  ``None`` — an extended family is
+    empty but non-canonical (renamed, foreign scheme, corrupt stats);
+    only the self-describing v1 frame can round-trip that.
+    """
+    needed = False
+    for name, scheme in _V2_EXT_ONLY:
+        family = getattr(collector, name)
+        reads, writes = family.reads, family.writes
+        if reads.count or writes.count or reads.total or writes.total \
+                or any(reads.counts) or any(writes.counts):
+            needed = True
+            continue
+        if family.name != name \
+                or not _is_standard_scheme(family.scheme, scheme) \
+                or reads.name != name + "_reads" \
+                or writes.name != name + "_writes" \
+                or reads.min is not None or reads.max is not None \
+                or writes.min is not None or writes.max is not None \
+                or len(reads.counts) != scheme.num_bins \
+                or len(writes.counts) != scheme.num_bins:
+            return None
+    return needed
 
 
 def _collector_to_bytes_v2(collector: VscsiStatsCollector) -> Optional[bytes]:
@@ -450,12 +527,21 @@ def _collector_to_bytes_v2(collector: VscsiStatsCollector) -> Optional[bytes]:
     the narrowest width that holds its values (``struct.pack`` failing
     is the width probe, so non-integer garbage also lands in v1).
     This runs once per append on the ingest path; the reads/writes
-    block is handled by the generated :func:`_encode_fixed`.
+    block is handled by the layout's generated ``encode_fixed``.
+    Collectors whose extended families are all empty write the base
+    layout — byte-identical to pre-extension frames — and anything
+    with FTL data sets flag bit 6 and writes the extended layout.
     """
-    fixed = _encode_fixed(collector)
+    extended = _extended_needed(collector)
+    if extended is None:
+        return None
+    layout = _LAYOUT_EXT if extended else _LAYOUT_BASE
+    fixed = layout.encode_fixed(collector)
     if fixed is None:
         return None
     flags, stats_bytes, counts_bytes = fixed
+    if extended:
+        flags |= 64
 
     time_slot_ns = collector.time_slot_ns
     num_slots = [0, 0]
@@ -553,18 +639,19 @@ def _collector_from_bytes_v2(data) -> VscsiStatsCollector:
         raise ValueError(
             "corrupt collector record: time series without a slot width"
         )
+    layout = _LAYOUT_EXT if flags & 64 else _LAYOUT_BASE
     stats_width, counts_width, series_width = _v2_widths(flags)
-    stats = _words_from_buffer(data, base, _V2_STATS_WORDS, stats_width)
-    counts_base = base + stats_width * _V2_STATS_WORDS
-    counts = _words_from_buffer(data, counts_base, _V2_TOTAL_BINS,
+    stats = _words_from_buffer(data, base, layout.stats_words, stats_width)
+    counts_base = base + stats_width * layout.stats_words
+    counts = _words_from_buffer(data, counts_base, layout.total_bins,
                                 counts_width)
 
     collector = VscsiStatsCollector(window_size=window_size,
                                     time_slot_ns=time_slot_ns)
-    for index, (name, scheme, suffix) in enumerate(_V2_HISTS):
+    for index, (name, scheme, suffix) in enumerate(layout.hists):
         family = getattr(collector, name)
         hist = family.reads if suffix == "_reads" else family.writes
-        lo, hi = _V2_COUNT_SLICES[index]
+        lo, hi = layout.count_slices[index]
         hist.counts = _to_int_list(counts[lo:hi])
         stat_base = 4 * index
         count = int(stats[stat_base])
@@ -573,7 +660,7 @@ def _collector_from_bytes_v2(data) -> VscsiStatsCollector:
         hist.min = int(stats[stat_base + 2]) if count else None
         hist.max = int(stats[stat_base + 3]) if count else None
 
-    offset = counts_base + counts_width * _V2_TOTAL_BINS
+    offset = counts_base + counts_width * layout.total_bins
     width = series_width
     for num_slots, (series_name, scheme) in zip((slots_a, slots_b),
                                                 _V2_SERIES):
@@ -689,6 +776,10 @@ def collector_from_bytes(data) -> VscsiStatsCollector:
     for name in collector.families():
         desc = header["families"].get(name)
         if desc is None:
+            if name in EXTENDED_FAMILIES:
+                # v1 frame from before the family existed: it stays
+                # empty, exactly what the writer observed.
+                continue
             raise ValueError(f"snapshot record is missing family {name!r}")
         scheme = _scheme_from_header(desc)
         family = MetricFamily(scheme, name)
@@ -758,8 +849,11 @@ def _merge_v2_payloads(views: Sequence) -> Optional[VscsiStatsCollector]:
     if len(views) == 1:
         return _collector_from_bytes_v2(views[0])
     count = len(views)
-    stats_all = _np.empty((count, _V2_STATS_WORDS), dtype=_np.int64)
-    counts_all = _np.empty((count, _V2_TOTAL_BINS), dtype=_np.int64)
+    # Matrices are allocated at the extended width; base-layout records
+    # fill the legacy prefix and leave zero tails (a zero column sums to
+    # the empty histogram those records actually carry).
+    stats_all = _np.zeros((count, _LAYOUT_EXT.stats_words), dtype=_np.int64)
+    counts_all = _np.zeros((count, _LAYOUT_EXT.total_bins), dtype=_np.int64)
     commands = read_commands = write_commands = 0
     bytes_read = bytes_written = 0
     first_arrival: Optional[int] = None
@@ -802,16 +896,17 @@ def _merge_v2_payloads(views: Sequence) -> Optional[VscsiStatsCollector]:
             first_arrival = first
         if flags & 2 and (last_arrival is None or last > last_arrival):
             last_arrival = last
-        key = (flags & 0x3C, slots_a, slots_b)
+        key = (flags & 0x7C, slots_a, slots_b)
         members = groups.get(key)
         if members is None:
             members = groups[key] = []
         members.append((row, view))
 
     for (width_bits, slots_a, slots_b), members in groups.items():
+        layout = _LAYOUT_EXT if width_bits & 64 else _LAYOUT_BASE
         stats_width, counts_width, series_width = _v2_widths(width_bits)
-        stats_len = _V2_STATS_WORDS * stats_width
-        series_off = stats_len + _V2_TOTAL_BINS * counts_width
+        stats_len = layout.stats_words * stats_width
+        series_off = stats_len + layout.total_bins * counts_width
         words_a = slots_a * (5 + series_bins[0])
         words_b = slots_b * (5 + series_bins[1])
         body_len = series_off + (words_a + words_b) * series_width
@@ -830,9 +925,9 @@ def _merge_v2_payloads(views: Sequence) -> Optional[VscsiStatsCollector]:
                 raise ValueError(
                     "truncated collector record: counts past the end"
                 ) from None
-            stats_all[rows] = _np.ascontiguousarray(
+            stats_all[rows, :layout.stats_words] = _np.ascontiguousarray(
                 stacked[:, :stats_len]).view(stats_dt)
-            counts_all[rows] = _np.ascontiguousarray(
+            counts_all[rows, :layout.total_bins] = _np.ascontiguousarray(
                 stacked[:, stats_len:series_off]).view(counts_dt)
             if words_a:
                 split = series_off + words_a * series_width
@@ -850,10 +945,11 @@ def _merge_v2_payloads(views: Sequence) -> Optional[VscsiStatsCollector]:
                     raise ValueError(
                         "truncated collector record: counts past the end"
                     )
-                stats_all[row] = frombuffer(
-                    view, dtype=stats_dt, count=_V2_STATS_WORDS, offset=base)
-                counts_all[row] = frombuffer(
-                    view, dtype=counts_dt, count=_V2_TOTAL_BINS,
+                stats_all[row, :layout.stats_words] = frombuffer(
+                    view, dtype=stats_dt, count=layout.stats_words,
+                    offset=base)
+                counts_all[row, :layout.total_bins] = frombuffer(
+                    view, dtype=counts_dt, count=layout.total_bins,
                     offset=base + stats_len)
                 if words_a or words_b:
                     chunk = frombuffer(
@@ -882,10 +978,10 @@ def _merge_v2_payloads(views: Sequence) -> Optional[VscsiStatsCollector]:
 
     merged = VscsiStatsCollector(window_size=window_size,
                                  time_slot_ns=time_slot_ns)
-    for index, (name, scheme, suffix) in enumerate(_V2_HISTS):
+    for index, (name, scheme, suffix) in enumerate(_LAYOUT_EXT.hists):
         family = getattr(merged, name)
         hist = family.reads if suffix == "_reads" else family.writes
-        lo, hi = _V2_COUNT_SLICES[index]
+        lo, hi = _LAYOUT_EXT.count_slices[index]
         hist.counts = count_sums[lo:hi].tolist()
         stat_base = 4 * index
         hist.count = int(stat_sums[stat_base])

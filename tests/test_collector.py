@@ -165,5 +165,6 @@ class TestLifecycle:
         assert set(data["families"]) == {
             "io_length", "seek_distance", "seek_distance_windowed",
             "interarrival_us", "outstanding", "latency_us",
+            "write_amp_pct", "gc_pause_us",
         }
         assert "outstanding_over_time" in data

@@ -191,7 +191,7 @@ class TestRunner:
         ids = {experiment.exp_id for experiment in EXPERIMENTS}
         assert ids == {
             "figure2", "figure3", "figure4", "figure5", "figure6",
-            "figure6-symmetrix", "table2",
+            "figure6-symmetrix", "table2", "ssd-vs-disk",
         }
 
     def test_unknown_experiment(self):

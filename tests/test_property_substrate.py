@@ -65,6 +65,38 @@ class TestRaidProperties:
 
         assert not (cells(first) & cells(second))
 
+    @given(
+        st.integers(min_value=3, max_value=8),      # ndisks
+        st.integers(min_value=1, max_value=128),    # stripe
+        st.integers(min_value=0, max_value=10**6),  # lba
+        st.integers(min_value=1, max_value=1024),   # nblocks
+    )
+    @settings(max_examples=60)
+    def test_logical_to_physical_is_a_function(self, ndisks, stripe,
+                                               lba, nblocks):
+        """Each logical block owns exactly one (disk, offset) cell —
+        the batch mapping decomposes into per-block cells that are
+        disjoint, covering, and agree with mapping that block alone."""
+        for layout in (Raid0(ndisks=ndisks, stripe_blocks=stripe),
+                       Raid5(ndisks=ndisks, stripe_blocks=stripe)):
+            ops = layout.map(lba, nblocks, True)
+            cells = [
+                (op.disk_index, op.lba + i)
+                for op in ops
+                for i in range(op.nblocks)
+            ]
+            assert len(cells) == nblocks
+            assert len(set(cells)) == nblocks, "aliased physical cells"
+            # Spot-check agreement with single-block mapping at the
+            # extent's edges and middle: the batch decomposition and
+            # the per-block function are the same mapping.
+            for index in {0, nblocks // 2, nblocks - 1}:
+                single = layout.map(lba + index, 1, True)
+                assert len(single) == 1
+                op = single[0]
+                assert op.nblocks == 1
+                assert (op.disk_index, op.lba) == cells[index]
+
 
 class TestBlockMapProperties:
     @given(

@@ -171,3 +171,85 @@ class TestWorkloadReport:
         from repro.analysis.summary import workload_report
         text = workload_report(VscsiStatsCollector(), heading="idle")
         assert "no commands" in text
+
+
+# ----------------------------------------------------------------------
+# Seekless (flash-backed) vdisks
+# ----------------------------------------------------------------------
+def flashify(collector_builder, wa_pct=120, gc_every=0, gc_pause_us=20_000):
+    """Rebuild a workload with flash telemetry on its writes."""
+    collector = VscsiStatsCollector()
+    time_ns = 0
+    for index in range(240):
+        is_read = index % 3 == 0
+        lba = collector_builder(index)
+        collector.on_issue(time_ns, is_read, lba, 16, 2)
+        if is_read:
+            collector.on_complete(time_ns + us(200), True, us(200))
+        else:
+            pause = (gc_pause_us if gc_every and index % gc_every == 0
+                     else None)
+            collector.on_complete(time_ns + us(800), False, us(800),
+                                  wa_pct=wa_pct, gc_pause_us=pause)
+        time_ns += us(500)
+    return collector
+
+
+def reverse_scan_lba(index):
+    return (1000 - index) * 5000
+
+
+class TestSeekless:
+    def test_detection_from_flash_families(self):
+        from repro.analysis.characterize import is_seekless
+
+        assert not is_seekless(oltp_like())
+        assert is_seekless(flashify(reverse_scan_lba))
+
+    def test_characterize_tags_and_override(self):
+        from repro.analysis.characterize import characterize
+
+        assert not characterize(oltp_like()).seekless
+        assert characterize(flashify(reverse_scan_lba)).seekless
+        # Explicit override for read-only flash streams.
+        assert characterize(oltp_like(), seekless=True).seekless
+
+    def test_describe_labels_lba_locality(self):
+        from repro.analysis.characterize import characterize, describe
+
+        text = describe(characterize(flashify(lambda i: i * 16)))
+        assert "LBA locality" in text
+        assert "seekless device" in text
+        spindle = describe(characterize(oltp_like()))
+        assert "LBA locality" not in spindle
+
+    def test_reverse_scan_rule_gated_on_flash(self):
+        rules = lambda c: {f.rule for f in recommend(c)}
+        spindle = VscsiStatsCollector()
+        feed(spindle, [(reverse_scan_lba(i), 16) for i in range(240)])
+        assert "reverse-scans" in rules(spindle)
+        assert "reverse-scans" not in rules(flashify(reverse_scan_lba))
+
+    def test_write_cache_rule_gated_on_flash(self):
+        # Flash programs are legitimately slower than flash reads; the
+        # write-back-cache heuristic must not fire on an SSD vdisk.
+        rules = {f.rule for f in recommend(flashify(lambda i: i * 16))}
+        assert "write-cache" not in rules
+
+    def test_flash_write_amp_rule(self):
+        rules = {f.rule for f in
+                 recommend(flashify(lambda i: i * 16, wa_pct=260))}
+        assert "flash-write-amp" in rules
+        quiet = {f.rule for f in
+                 recommend(flashify(lambda i: i * 16, wa_pct=105))}
+        assert "flash-write-amp" not in quiet
+
+    def test_flash_gc_pause_rule(self):
+        rules = {f.rule for f in
+                 recommend(flashify(lambda i: i * 16, gc_every=4,
+                                    gc_pause_us=25_000))}
+        assert "flash-gc-pauses" in rules
+        quiet = {f.rule for f in
+                 recommend(flashify(lambda i: i * 16, gc_every=4,
+                                    gc_pause_us=500))}
+        assert "flash-gc-pauses" not in quiet
