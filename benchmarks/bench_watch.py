@@ -1,0 +1,207 @@
+"""Online analysis (``repro watch``) verdict throughput.
+
+The tentpole's operational claim: the :class:`repro.analysis.online.
+OnlineAnalyzer` keeps up with epoch sealing — a verdict is a handful of
+histogram scans, so analyzing an epoch must cost microseconds against
+the seconds an epoch takes to fill.  This benchmark measures verdicts
+end to end over pre-built epoch collector sequences:
+
+* ``steady`` — every epoch carries the same personality: the common
+  case, exercising the drift score + baseline *merge* path.
+* ``switching`` — the personality flips every ``SWITCH_EVERY`` epochs:
+  the expensive case, exercising hysteresis streaks, quarantined
+  baselines and event rebasing.  The run asserts the expected number
+  of drift events actually fired, so the rate being gated is provably
+  the full detection pipeline.
+
+Before any number is reported, both modes are re-run and their verdict
+sequences compared — the analyzer's determinism claim (a pure fold
+over the epoch sequence) is checked, not assumed.
+
+The reported unit is ``epochs_per_sec`` (an "epoch" here is one
+sealed vdisk collector of ``EPOCH_COMMANDS`` commands).  The committed
+record gates via ``compare_bench.py`` like every other benchmark;
+script mode additionally enforces the absolute ``MIN_EPS`` floor —
+orders of magnitude above any realistic seal rate.
+
+Run styles:
+
+* ``pytest benchmarks/bench_watch.py --benchmark-only`` — small corpus,
+  wall time measured by pytest-benchmark (autosaved).
+* ``python benchmarks/bench_watch.py [N]`` — the full corpus; writes
+  ``BENCH_watch.json`` and exits 1 unless the gate holds.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.online import DriftConfig, OnlineAnalyzer
+from repro.core.collector import VscsiStatsCollector
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_watch.json"
+
+#: Commands in the full-run corpus.
+FULL_N = 200_000
+
+#: Commands per sealed epoch (so FULL_N yields FULL_N // this epochs).
+EPOCH_COMMANDS = 1000
+
+#: The switching mode flips personality every this many epochs.
+SWITCH_EVERY = 8
+
+#: Verdicts must come at least this many epochs/sec — with epochs
+#: sealing every few seconds in production, this floor is ~100x any
+#: real seal rate and catches order-of-magnitude regressions (say, a
+#: baseline copy on every epoch) without tripping on scheduler noise.
+MIN_EPS = 50.0
+
+
+def _seq_epoch(n, lba0=0):
+    """64 KiB sequential reads — one epoch's collector."""
+    c = VscsiStatsCollector()
+    t, lba = 0, lba0
+    for _ in range(n):
+        t += 1000
+        c.on_issue(t, True, lba, 128, 8)
+        c.on_complete(t + 50_000, True, 50_000)
+        lba += 128
+    return c
+
+
+def _zipf_epoch(n, seed=1):
+    """4 KiB random write-heavy — the other personality."""
+    c = VscsiStatsCollector()
+    t = 0
+    for i in range(n):
+        t += 1000
+        is_read = i % 5 == 0
+        lba = ((i * 7919 + seed * 104_729) % 1_000_000) * 8
+        c.on_issue(t, is_read, lba, 8, 16)
+        c.on_complete(t + 80_000, is_read, 80_000)
+    return c
+
+
+def make_epochs(n_epochs, switching=False):
+    """Pre-built per-epoch collectors (build cost excluded from timing)."""
+    out = []
+    for index in range(n_epochs):
+        if switching and (index // SWITCH_EVERY) % 2 == 1:
+            out.append(_zipf_epoch(EPOCH_COMMANDS, seed=index))
+        else:
+            out.append(_seq_epoch(EPOCH_COMMANDS, lba0=index * 1000))
+    return out
+
+
+def run_analyzer(epochs, config=None):
+    """Feed every epoch; returns ``(seconds, verdict dicts, events)``."""
+    analyzer = OnlineAnalyzer(config)
+    verdicts = []
+    start = time.perf_counter()
+    for collector in epochs:
+        for v in analyzer.observe_epoch([(("vm", "d0"), collector)]):
+            verdicts.append(v.to_dict())
+    elapsed = time.perf_counter() - start
+    return elapsed, verdicts, analyzer.drift_events_total
+
+
+def expected_switch_events(n_epochs, config):
+    """Drift events a SWITCH_EVERY-period personality square wave must
+    fire: one per personality flip whose run outlasts the hysteresis."""
+    flips = (n_epochs - 1) // SWITCH_EVERY
+    return flips if SWITCH_EVERY >= config.hysteresis_k else 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (small corpus; autosaved)
+# ----------------------------------------------------------------------
+if "pytest" in sys.modules:
+    import pytest
+
+    PYTEST_EPOCHS = 40
+
+    @pytest.fixture(scope="module")
+    def switching_epochs():
+        return make_epochs(PYTEST_EPOCHS, switching=True)
+
+    @pytest.mark.benchmark(group="watch")
+    def test_watch_switching_verdicts(benchmark, switching_epochs):
+        _elapsed, verdicts, events = benchmark.pedantic(
+            run_analyzer, args=(switching_epochs,), rounds=1, iterations=1,
+        )
+        assert len(verdicts) == PYTEST_EPOCHS
+        assert events == expected_switch_events(PYTEST_EPOCHS,
+                                                DriftConfig())
+
+
+# ----------------------------------------------------------------------
+# Full-run script mode: measure, verify, record
+# ----------------------------------------------------------------------
+def measure(n=FULL_N):
+    """Analyze ``n`` commands' worth of epochs in both modes."""
+    n_epochs = max(DriftConfig().hysteresis_k + 1, n // EPOCH_COMMANDS)
+    config = DriftConfig()
+    results = {}
+
+    for mode, switching in (("steady", False), ("switching", True)):
+        epochs = make_epochs(n_epochs, switching=switching)
+        elapsed, verdicts, events = run_analyzer(epochs, config)
+        # Determinism check: the same epoch sequence must reproduce
+        # the same verdicts before the rate counts for anything.
+        _again, verdicts2, events2 = run_analyzer(epochs, config)
+        assert verdicts == verdicts2 and events == events2, (
+            f"{mode}: verdicts are not a pure function of the epochs")
+        if switching:
+            want = expected_switch_events(n_epochs, config)
+            assert events == want, (
+                f"switching: expected {want} drift events, got {events}")
+        else:
+            assert events == 0, (
+                f"steady: expected no drift events, got {events}")
+        results[mode] = {
+            "seconds": round(elapsed, 3),
+            "epochs": n_epochs,
+            "epoch_commands": EPOCH_COMMANDS,
+            "drift_events": events,
+            "epochs_per_sec": round(n_epochs / elapsed, 1),
+        }
+
+    return {
+        "benchmark": "watch_verdicts",
+        "commands": n_epochs * EPOCH_COMMANDS,
+        "epoch_commands": EPOCH_COMMANDS,
+        "switch_every": SWITCH_EVERY,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "modes": results,
+    }
+
+
+def main(argv):
+    n = FULL_N
+    if len(argv) > 1:
+        n = int(argv[1])
+    record = measure(n)
+    print(json.dumps(record, indent=2))
+    if n == FULL_N:
+        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {BENCH_JSON}")
+    ok = True
+    for mode, result in record["modes"].items():
+        eps = result["epochs_per_sec"]
+        if eps < MIN_EPS:
+            print(f"FAIL: {mode} analyzed {eps} epochs/sec < {MIN_EPS}")
+            ok = False
+    if not ok:
+        return 1
+    rates = ", ".join(f"{mode} {result['epochs_per_sec']} epochs/sec"
+                      for mode, result in record["modes"].items())
+    print(f"OK: {rates} (floor {MIN_EPS})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -41,6 +41,7 @@ import bench_live
 import bench_parallel
 import bench_ssd
 import bench_store
+import bench_watch
 
 #: Maximum tolerated drop in commands/sec relative to the committed
 #: record before the gate fails.
@@ -78,6 +79,8 @@ BENCHMARKS = {
               bench_store.FULL_N, bench_store.FULL_N),
     "store-200k": (_measure_store_gate, bench_store.BENCH_200K_JSON,
                    bench_store.GATE_N, bench_store.GATE_N),
+    "watch": (bench_watch.measure, bench_watch.BENCH_JSON,
+              bench_watch.FULL_N, None),
 }
 
 

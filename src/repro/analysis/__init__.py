@@ -9,6 +9,7 @@ from .characterize import (
     random_fraction,
     reverse_fraction,
     sequential_fraction,
+    stream_count_estimate,
 )
 from .compare import (
     MetricComparison,
@@ -18,6 +19,13 @@ from .compare import (
     total_variation_distance,
 )
 from .fingerprint import Fingerprint, fingerprint
+from .online import (
+    DriftConfig,
+    EpochVerdict,
+    OnlineAnalyzer,
+    format_verdict,
+    match_personality,
+)
 from .offline import (
     exact_percentile,
     histogram_space_bytes,
@@ -44,6 +52,12 @@ __all__ = [
     "random_fraction",
     "reverse_fraction",
     "sequential_fraction",
+    "stream_count_estimate",
+    "DriftConfig",
+    "EpochVerdict",
+    "OnlineAnalyzer",
+    "format_verdict",
+    "match_personality",
     "MetricComparison",
     "compare_collectors",
     "mode_shift",

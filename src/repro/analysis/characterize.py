@@ -21,6 +21,7 @@ __all__ = [
     "random_fraction",
     "reverse_fraction",
     "interleaved_stream_signal",
+    "stream_count_estimate",
     "is_seekless",
     "WorkloadProfile",
     "characterize",
@@ -103,6 +104,35 @@ def interleaved_stream_signal(collector: VscsiStatsCollector) -> float:
     plain = sequential_fraction(collector.seek_distance.all)
     windowed = sequential_fraction(collector.seek_distance_windowed.all)
     return windowed - plain
+
+
+#: Windowed sequentiality below this is noise, not streams.
+_STREAM_SIGNAL_FLOOR = 0.3
+
+
+def stream_count_estimate(collector: VscsiStatsCollector) -> int:
+    """Estimate how many sequential streams are interleaved (§3.1).
+
+    When ``k`` sequential streams interleave, the plain seek histogram
+    only scores a continuation when two commands from the *same*
+    stream happen to be adjacent — about ``1/k`` of the time under
+    random interleaving — while the look-behind window recovers each
+    stream's continuity.  The ratio ``windowed / plain`` therefore
+    estimates ``k``.  Returns 0 when even the windowed histogram shows
+    no meaningful sequentiality (the workload is random, not
+    interleaved), 1 for a single stream, and saturates at the
+    collector's window size: a strict round-robin of more streams
+    drives the plain fraction to zero, which is indistinguishable
+    beyond the window's reach.
+    """
+    windowed = sequential_fraction(collector.seek_distance_windowed.all)
+    if windowed < _STREAM_SIGNAL_FLOOR:
+        return 0
+    plain = sequential_fraction(collector.seek_distance.all)
+    window = collector.window_size
+    floor = windowed / (window + 1)
+    ratio = windowed / max(plain, floor)
+    return max(1, min(window, int(round(ratio))))
 
 
 @dataclass(frozen=True)

@@ -27,14 +27,19 @@ def total_variation_distance(a: Histogram, b: Histogram) -> float:
     """Total-variation distance between two normalized histograms.
 
     0.0 = identical shapes, 1.0 = disjoint support.  Requires matching
-    bin schemes.
+    bin schemes.  Empty histograms are well-defined rather than an
+    error — an idle vdisk's first epoch after rotation has empty
+    families: two empty histograms are identical (0.0), and an empty
+    histogram is maximally far (1.0) from any populated one.
     """
     if a.scheme != b.scheme:
         raise ValueError(
             f"schemes differ: {a.scheme.name!r} vs {b.scheme.name!r}"
         )
+    if not a.count and not b.count:
+        return 0.0
     if not a.count or not b.count:
-        raise ValueError("cannot compare an empty histogram")
+        return 1.0
     return 0.5 * sum(
         abs(ca / a.count - cb / b.count)
         for ca, cb in zip(a.counts, b.counts)

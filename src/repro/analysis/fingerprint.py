@@ -12,6 +12,7 @@ data but are obfuscated by a mean".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..core.collector import VscsiStatsCollector
@@ -23,7 +24,7 @@ __all__ = ["Fingerprint", "fingerprint"]
 class Fingerprint:
     """Moilanen-style scalar summary of a workload."""
 
-    read_write_ratio: float      # reads / writes (inf-safe: writes==0 -> ratio of reads)
+    read_write_ratio: float      # reads / writes; math.inf when writes == 0
     mean_io_bytes: float
     mean_seek_distance: float    # signed mean, sectors
     mean_outstanding: float
@@ -35,6 +36,8 @@ class Fingerprint:
         scalar summary cannot tell apart.
         """
         def close(x: float, y: float) -> bool:
+            if math.isinf(x) or math.isinf(y):
+                return x == y
             scale = max(abs(x), abs(y), 1e-9)
             return abs(x - y) / scale <= rtol
 
@@ -51,11 +54,10 @@ def fingerprint(collector: VscsiStatsCollector) -> Fingerprint:
     if not collector.commands:
         raise ValueError("collector has observed no commands")
     writes = collector.write_commands
-    ratio = (
-        collector.read_commands / writes
-        if writes
-        else float(collector.read_commands)
-    )
+    # All-read workloads get the scale-free math.inf sentinel: the old
+    # float(read_commands) fallback made two identical read-only
+    # workloads of different lengths compare as different.
+    ratio = collector.read_commands / writes if writes else math.inf
     return Fingerprint(
         read_write_ratio=ratio,
         mean_io_bytes=collector.io_length.all.mean,

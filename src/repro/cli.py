@@ -15,6 +15,11 @@ Subcommands:
 * ``publish`` — stream an existing trace file, sharded trace
   directory, or a freshly simulated workload (``demo``) to a running
   daemon as live traffic.
+* ``watch`` — tail the rolling workload verdicts of the online
+  fingerprint/drift stage (:mod:`repro.analysis.online`): against a
+  running daemon it polls the ``verdicts`` control op; against a store
+  directory it replays the recorded epochs through a local analyzer
+  and keeps tailing for new ones.
 * ``store`` — operate on a durable histogram store
   (:mod:`repro.store`): ``query`` a time range, ``compact`` into
   coarser tiers, ``inspect`` segments and spans.
@@ -357,6 +362,145 @@ def _cmd_publish(args: argparse.Namespace) -> int:
         print(f"publish: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _emit_verdict(verdict, as_json: bool) -> None:
+    import json
+
+    from .analysis.online import format_verdict
+
+    if as_json:
+        print(json.dumps(verdict.to_dict(), sort_keys=True), flush=True)
+    else:
+        print(format_verdict(verdict), flush=True)
+
+
+def _watch_daemon(args: argparse.Namespace, host: str, port: int) -> int:
+    import time
+
+    from .analysis.online import EpochVerdict
+    from .live import LiveError, LiveStatsClient
+
+    seen = {}
+    deadline = (None if args.duration is None
+                else time.monotonic() + args.duration)
+    try:
+        with LiveStatsClient(host, port, timeout=args.timeout) as client:
+            while True:
+                doc = client.verdicts()
+                if not doc.get("online"):
+                    print("watch: the daemon is running with the online "
+                          "analyzer disabled", file=sys.stderr)
+                    return 1
+                disks = doc.get("disks", {})
+                for key in sorted(disks):
+                    vdoc = disks[key]
+                    if seen.get(key) == vdoc["epoch"]:
+                        continue  # already shown this epoch's verdict
+                    seen[key] = vdoc["epoch"]
+                    _emit_verdict(EpochVerdict.from_dict(vdoc), args.json)
+                if args.once or (deadline is not None
+                                 and time.monotonic() >= deadline):
+                    print(f"watch: {doc['epochs_seen']} epochs, "
+                          f"{doc['verdicts_total']} verdicts, "
+                          f"{doc['drift_events_total']} drift events",
+                          file=sys.stderr)
+                    return 0
+                time.sleep(args.interval)
+    except (LiveError, OSError, ValueError) as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 1
+
+
+def _drain_epoch_groups(pending: list, final: bool):
+    """Split tailed records into complete epoch groups + held-back tail.
+
+    Records of one sealed epoch share ``(start_ns, end_ns)`` and are
+    appended consecutively, so grouping consecutive items by span
+    recovers the epoch structure.  The newest span is held back until a
+    later span proves it complete (a poll can catch an epoch's records
+    mid-append) — unless ``final``, which flushes everything.
+    """
+    groups, current_span, current = [], None, []
+    for item in pending:
+        span = item[0]
+        if span != current_span:
+            if current:
+                groups.append(current)
+            current_span, current = span, [item]
+        else:
+            current.append(item)
+    if current:
+        groups.append(current)
+    if final or not groups:
+        return groups, []
+    return groups[:-1], groups[-1]
+
+
+def _watch_store(args: argparse.Namespace) -> int:
+    import time
+
+    from .analysis.online import DriftConfig, OnlineAnalyzer
+    from .store import HistogramStore
+
+    try:
+        config = DriftConfig(threshold=args.threshold,
+                             hysteresis_k=args.hysteresis,
+                             min_commands=args.min_commands)
+    except ValueError as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 2
+    analyzer = OnlineAnalyzer(config)
+    watermark = -1
+    pending: list = []
+    epoch_index = 0
+    deadline = (None if args.duration is None
+                else time.monotonic() + args.duration)
+    while True:
+        try:
+            store = HistogramStore.open(args.target, readonly=True)
+        except ValueError as exc:
+            print(f"watch: {exc}", file=sys.stderr)
+            return 1
+        try:
+            # Materialize collectors before closing: the records view
+            # borrows the store's segment mmaps.
+            for record in store.tail(watermark):
+                watermark = record.seq
+                if record.tier != 0:
+                    continue  # compacted granule, not a raw epoch
+                pending.append(((record.start_ns, record.end_ns),
+                                (record.vm, record.vdisk), record.load()))
+        finally:
+            store.close()
+        final = args.once or (deadline is not None
+                              and time.monotonic() >= deadline)
+        groups, pending = _drain_epoch_groups(pending, final)
+        for group in groups:
+            pairs = [(key, collector) for _span, key, collector in group]
+            for verdict in analyzer.observe_epoch(pairs, index=epoch_index):
+                _emit_verdict(verdict, args.json)
+            epoch_index += 1
+        if final:
+            break
+        time.sleep(args.interval)
+    print(f"watch: {analyzer.epochs_seen} epochs, "
+          f"{analyzer.verdicts_total} verdicts, "
+          f"{analyzer.drift_events_total} drift events", file=sys.stderr)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    if os.path.isdir(args.target):
+        return _watch_store(args)
+    host, _sep, port_text = args.target.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"watch: {args.target!r} is neither a store directory "
+              f"nor a HOST:PORT address", file=sys.stderr)
+        return 2
+    return _watch_daemon(args, host or "127.0.0.1", port)
 
 
 _NS_PER_SECOND = 1_000_000_000
@@ -751,8 +895,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     publish_parser.add_argument(
         "source",
-        help="a VSCSITR1 trace file, a sharded trace directory, or "
-        "'demo' to synthesize a short simulated workload",
+        help="a VSCSITR1 trace file, a sharded trace directory, 'demo' "
+        "to synthesize a short simulated workload, or "
+        "'pattern:<name>[@seed]' to drive a named LBA-pattern preset "
+        "(seq-read-64k, zipf-write-4k, ...)",
     )
     publish_parser.add_argument("--host", default="127.0.0.1")
     publish_parser.add_argument("--port", type=int, default=7077)
@@ -787,6 +933,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     publish_parser.add_argument(
         "--metrics", action="store_true",
         help="print the OpenMetrics exposition afterwards",
+    )
+
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help="tail rolling workload verdicts and drift events",
+    )
+    watch_parser.add_argument(
+        "target", metavar="HOST:PORT|STORE_DIR",
+        help="a running daemon's address, or a histogram store "
+        "directory to replay and tail",
+    )
+    watch_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll period",
+    )
+    watch_parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="watch this long, then print a summary and exit "
+        "(default: run until interrupted)",
+    )
+    watch_parser.add_argument(
+        "--once", action="store_true",
+        help="process everything currently visible, then exit",
+    )
+    watch_parser.add_argument(
+        "--json", action="store_true",
+        help="print verdicts as JSON lines instead of the rolling text",
+    )
+    watch_parser.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="daemon mode: socket timeout",
+    )
+    watch_parser.add_argument(
+        "--threshold", type=float, default=0.35,
+        help="store mode: TV-distance drift threshold",
+    )
+    watch_parser.add_argument(
+        "--hysteresis", type=int, default=3, metavar="K",
+        help="store mode: consecutive drifting epochs to fire an event",
+    )
+    watch_parser.add_argument(
+        "--min-commands", type=int, default=100, metavar="N",
+        help="store mode: epochs with fewer commands count as idle",
     )
 
     store_parser = subparsers.add_parser(
@@ -951,7 +1140,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "demo": _cmd_demo,
                 "serve": _cmd_serve, "publish": _cmd_publish,
-                "store": _cmd_store, "fleet": _cmd_fleet}
+                "watch": _cmd_watch, "store": _cmd_store,
+                "fleet": _cmd_fleet}
     return handlers[args.command](args)
 
 

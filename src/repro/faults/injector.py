@@ -102,6 +102,13 @@ SITES = {
     # stretching the ``gc_pause_us`` tail; ``error``/``crash``
     # propagate out of the write path like a drive-level fault.
     "ssd.gc": "Ftl._collect, at each GC trigger on a channel",
+    # Fires once per (disk, epoch) inside OnlineAnalyzer._observe_disk,
+    # with ``vm``, ``vdisk`` and ``epoch`` in the context for ``when``
+    # routing.  A ``partial`` forces that reading's drift score to the
+    # maximum 1.0 — a deterministic misclassification window aimed at
+    # the hysteresis logic; ``error``/``reset`` propagate out of the
+    # analysis stage (the live seal hook degrades instead of crashing).
+    "analysis.drift": "OnlineAnalyzer._observe_disk, per disk per epoch",
 }
 
 _KINDS = ("error", "reset", "delay", "partial", "crash")

@@ -62,13 +62,22 @@ _MAX_SESSIONS = 4096
 
 
 class _ChildSession:
-    __slots__ = ("seq", "response", "last_unix", "snapshots")
+    # ``last_unix`` is display-only; idle ages are computed from
+    # ``last_mono`` so a wall-clock step cannot age (or rejuvenate) a
+    # link.
+    __slots__ = ("seq", "response", "last_unix", "last_mono",
+                 "snapshots")
 
     def __init__(self, seq: int, response: bytes):
         self.seq = seq
         self.response = response
         self.last_unix = time.time()
+        self.last_mono = time.monotonic()
         self.snapshots = 0
+
+    def touch(self) -> None:
+        self.last_unix = time.time()
+        self.last_mono = time.monotonic()
 
 
 class FleetAggregator:
@@ -77,7 +86,12 @@ class FleetAggregator:
     ``parents`` (optional) makes this a regional node relaying upward;
     ``store`` (a path or an open
     :class:`~repro.store.HistogramStore`) makes it persist applied
-    epochs — typically only the root does.
+    epochs — typically only the root does.  ``online`` attaches an
+    :class:`~repro.analysis.online.OnlineAnalyzer` that observes every
+    *applied* host epoch (pass ``True``, a
+    :class:`~repro.analysis.online.DriftConfig`, or an analyzer);
+    typically only the root enables it, for the same reason only the
+    cluster coordinator does — regional nodes see partial views.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -87,6 +101,7 @@ class FleetAggregator:
                  time_slot_ns: int = DEFAULT_TIME_SLOT_NS,
                  store=None,
                  idle_timeout: Optional[float] = 60.0,
+                 online=False,
                  uplink_jitter_seed=None,
                  uplink_failover_attempts: Optional[int] = None,
                  uplink_max_replay: Optional[int] = None):
@@ -107,6 +122,17 @@ class FleetAggregator:
         self.store = store
         self.degraded = False
         self.persist_errors: List[Dict] = []
+
+        self.analyzer = None
+        self.analysis_errors_total = 0
+        if online:
+            from ..analysis.online import DriftConfig, OnlineAnalyzer
+            if hasattr(online, "observe_epoch"):
+                self.analyzer = online
+            elif isinstance(online, DriftConfig):
+                self.analyzer = OnlineAnalyzer(online)
+            else:
+                self.analyzer = OnlineAnalyzer()
 
         self.uplink: Optional[FleetUplink] = None
         if parents:
@@ -287,7 +313,7 @@ class FleetAggregator:
                     # Retry of the frame we just acked (or a seeded
                     # watermark): answer with the original bytes.
                     self.duplicate_frames_total += 1
-                    entry.last_unix = time.time()
+                    entry.touch()
                     return entry.response
                 if seq < entry.seq:
                     raise ProtocolError(
@@ -312,6 +338,8 @@ class FleetAggregator:
                 doc["staleness_seconds"] = staleness
             if applied and self.store is not None:
                 self._persist(header, payload_bytes)
+            if applied and self.analyzer is not None:
+                self._observe(header, payload_bytes)
             response = pack_ok(doc)
             if entry is None:
                 entry = _ChildSession(seq, response)
@@ -319,7 +347,7 @@ class FleetAggregator:
             else:
                 entry.seq = seq
                 entry.response = response
-                entry.last_unix = time.time()
+                entry.touch()
             entry.snapshots += 1
             if applied and self.uplink is not None:
                 relay = (header, payload_bytes)
@@ -345,6 +373,21 @@ class FleetAggregator:
             self.store.append_epoch(service, start_ns, end_ns, sync=True)
         except (OSError, ValueError) as exc:
             self._note_persist_failure(header, str(exc))
+
+    def _observe(self, header: Dict, payload: bytes) -> None:
+        """Feed one applied host epoch to the online analyzer.
+
+        The analyzer indexes epochs by the fleet-global apply sequence
+        (host epoch numbers collide across hosts); a failing analysis
+        stage is counted and never blocks the ack path.
+        """
+        try:
+            pairs = [(key, collector_from_bytes(record))
+                     for key, record in snapshot_extents(header, payload)]
+            self.analyzer.observe_epoch(
+                pairs, index=self.ledger.epochs_applied_total - 1)
+        except (OSError, ValueError):
+            self.analysis_errors_total += 1
 
     def _note_persist_failure(self, header: Optional[Dict],
                               message: str) -> None:
@@ -383,6 +426,8 @@ class FleetAggregator:
             return pack_ok(self.tenant_rollup())
         if name == "snapshot":
             return pack_ok(self.snapshot_dict())
+        if name == "verdicts":
+            return pack_ok(self.verdicts_dict())
         if name == "metrics":
             return pack_text(self.openmetrics())
         raise ProtocolError(f"unknown control op {name!r}")
@@ -477,13 +522,28 @@ class FleetAggregator:
                         for (vm, vdisk), collector in pairs}
         return meta
 
+    def verdicts_dict(self) -> Dict:
+        """Rolling per-disk drift verdicts (root ``verdicts`` query)."""
+        if self.analyzer is None:
+            return {"online": False, "node": self.node, "role": self.role}
+        with self._lock:
+            doc = self.analyzer.to_dict()
+        doc["online"] = True
+        doc["node"] = self.node
+        doc["role"] = self.role
+        doc["analysis_errors_total"] = self.analysis_errors_total
+        return doc
+
     def info(self) -> Dict:
+        now_mono = time.monotonic()
         with self._lock:
             staleness = self.ledger.staleness_summary()
             children = {
                 session: {"seq": entry.seq,
                           "snapshots": entry.snapshots,
-                          "last_unix": entry.last_unix}
+                          "last_unix": entry.last_unix,
+                          "idle_seconds":
+                              max(0.0, now_mono - entry.last_mono)}
                 for session, entry in self._sessions.items()
             }
             doc = {
@@ -506,6 +566,13 @@ class FleetAggregator:
                 "degraded": self.degraded,
                 "persist_errors": list(self.persist_errors),
             }
+            if self.analyzer is not None:
+                doc["online"] = {
+                    "epochs_seen": self.analyzer.epochs_seen,
+                    "verdicts_total": self.analyzer.verdicts_total,
+                    "drift_events_total": self.analyzer.drift_events_total,
+                    "analysis_errors_total": self.analysis_errors_total,
+                }
         if self.uplink is not None:
             doc["uplink"] = self.uplink.info()
         if self.store is not None:
@@ -540,12 +607,17 @@ class FleetAggregator:
             if staleness["p99"] is not None:
                 daemon["fleet_staleness_p50_seconds"] = staleness["p50"]
                 daemon["fleet_staleness_p99_seconds"] = staleness["p99"]
+            verdicts = None
+            if self.analyzer is not None:
+                daemon["analysis_epochs_total"] = self.analyzer.epochs_seen
+                daemon["analysis_errors_total"] = self.analysis_errors_total
+                verdicts = self.analyzer.verdicts()
         if self.uplink is not None:
             up = self.uplink.info()
             daemon["fleet_relayed_total"] = up["forwarded_total"]
             daemon["fleet_uplink_pending"] = up["pending"]
             daemon["fleet_uplink_reparents_total"] = up["reparents_total"]
-        return render_openmetrics(pairs, daemon)
+        return render_openmetrics(pairs, daemon, verdicts=verdicts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else (

@@ -114,6 +114,13 @@ class FleetLedger:
         #: Recent (bounded) staleness samples in seconds: wall-clock
         #: age of each snapshot at the moment it was applied here.
         self.staleness_samples = deque(maxlen=_STALENESS_SAMPLES)
+        # Staleness is a *duration*, so "now" must come from a clock
+        # that cannot step: anchor the unix epoch once and advance it
+        # with the monotonic clock.  An NTP step (or a VM migration
+        # freezing the wall clock) would otherwise inject huge phantom
+        # samples into the p99 reservoir.
+        self._unix_anchor = time.time()
+        self._mono_anchor = time.monotonic()
 
     # ------------------------------------------------------------------
     def seen(self, host: str, epoch: int) -> bool:
@@ -128,7 +135,10 @@ class FleetLedger:
 
         A ``(host, epoch)`` already recorded is a duplicate: counted,
         not merged, ``(False, None)``.  Staleness is measured against
-        the header's ``sealed_unix`` when present.
+        the header's ``sealed_unix`` when present; when ``now`` is not
+        supplied it is derived from the ledger's monotonic-anchored
+        timeline (immune to wall-clock steps), and negative deltas —
+        the publisher's clock running ahead of ours — clamp to zero.
         """
         host = header["host"]
         epoch = header["epoch"]
@@ -160,7 +170,7 @@ class FleetLedger:
         self.epochs_applied_total += 1
         self.records_total += records
         if now is None:
-            now = time.time()
+            now = self._unix_anchor + (time.monotonic() - self._mono_anchor)
         state.last_applied_unix = now
         staleness = None
         sealed = header.get("sealed_unix")

@@ -23,7 +23,9 @@ from .epochs import Epoch, EpochLedger
 from .exposition import render_openmetrics
 from .protocol import ProtocolError
 from .publish import (
+    capture_pattern,
     capture_workload,
+    publish_pattern,
     publish_shard_dir,
     publish_source,
     publish_trace_file,
@@ -47,7 +49,9 @@ __all__ = [
     "LiveStatsClient",
     "LiveStatsServer",
     "ProtocolError",
+    "capture_pattern",
     "capture_workload",
+    "publish_pattern",
     "publish_shard_dir",
     "publish_source",
     "publish_trace_file",

@@ -510,6 +510,17 @@ class LiveStatsClient:
     def info(self) -> Dict:
         return self._control("info")
 
+    def verdicts(self) -> Dict:
+        """The online analysis stage's rolling drift verdicts.
+
+        Returns ``{"online": false}`` when the daemon runs without the
+        analyzer; otherwise the analyzer's full document (per-disk
+        latest :class:`~repro.analysis.online.EpochVerdict` dicts plus
+        counters).  Cluster workers forward this to the coordinator,
+        which owns the merged-epoch analysis.
+        """
+        return self._control("verdicts")
+
     def route(self) -> Dict:
         """The cluster worker table (single-server: one entry)."""
         return self._control("route")

@@ -440,6 +440,7 @@ def _worker_main(index: int, config: Dict, fanin_wfd: int,
         direct_port=0 if reuse_port else None,
         on_seal=on_seal,
         cluster_member=True,
+        online=False,               # the coordinator analyzes merged epochs
     )
     router = WorkerRouter(index, replicas=int(config["replicas"]))
     server.router = router
@@ -554,7 +555,8 @@ class ClusterServer:
                  store=None,
                  force_fd_passing: bool = False,
                  ring_replicas: int = DEFAULT_RING_REPLICAS,
-                 on_seal=None):
+                 on_seal=None,
+                 online=True):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -595,12 +597,35 @@ class ClusterServer:
         #: drain-on-close) — the fleet tier's uplink attach point,
         #: mirroring :class:`LiveStatsServer`'s hook.
         self.on_seal = on_seal
+
+        #: Online fingerprint/drift stage over the *merged* cluster
+        #: epochs (workers run with the stage off — a per-worker view
+        #: would double-count and misread partial streams).  Same
+        #: ``online`` contract as :class:`LiveStatsServer`.
+        self.analyzer = None
+        self.analysis_errors_total = 0
+        if online:
+            from ..analysis.online import DriftConfig, OnlineAnalyzer
+            if hasattr(online, "observe_epoch"):
+                self.analyzer = online
+            elif isinstance(online, DriftConfig):
+                self.analyzer = OnlineAnalyzer(online)
+            else:
+                self.analyzer = OnlineAnalyzer()
+            if store is not None:
+                try:
+                    self.analyzer.seed_from_store(store)
+                except (OSError, ValueError):
+                    pass
+
         self.control_address: Optional[Tuple[str, int]] = None
         self.worker_deaths = 0
-        #: Per-worker wall-clock time of the last fan-in snapshot —
-        #: the freshness signal ``info()`` reports as
-        #: ``worker_snapshot_age``.
+        #: Per-worker wall-clock time of the last fan-in snapshot
+        #: (display only) and its monotonic mirror — ages are computed
+        #: from the monotonic clock so an NTP step cannot yield
+        #: negative or inflated ``worker_snapshot_age`` readings.
         self._last_snapshot_unix: Dict[int, float] = {}
+        self._last_snapshot_mono: Dict[int, float] = {}
         self._generation = 0
         self._procs: List = []
         self._worker_addrs: Dict[int, Tuple[str, int]] = {}
@@ -863,6 +888,7 @@ class ClusterServer:
                         self._inbox[index].append(
                             (header, bytes(payload)))
                         self._last_snapshot_unix[index] = time.time()
+                        self._last_snapshot_mono[index] = time.monotonic()
                         self._inbox_cond.notify_all()
                 elif ftype == FANIN_BYE:
                     with self._inbox_cond:
@@ -967,8 +993,13 @@ class ClusterServer:
             return epoch
 
     def _fire_on_seal(self, epoch: Epoch) -> None:
-        """Invoke the seal hook; a failing hook must not break
-        rotation (mirrors :class:`LiveStatsServer`)."""
+        """Invoke the seal side effects; neither may break rotation
+        (mirrors :class:`LiveStatsServer`)."""
+        if self.analyzer is not None:
+            try:
+                self.analyzer.observe_epoch(epoch)
+            except (OSError, ValueError):
+                self.analysis_errors_total += 1
         if self.on_seal is None:
             return
         try:
@@ -1085,7 +1116,23 @@ class ClusterServer:
             "cluster_worker_deaths_total": self.worker_deaths,
             "cluster_route_generation": self._generation,
         }
-        return render_openmetrics(service.collectors(), daemon)
+        verdicts = None
+        if self.analyzer is not None:
+            daemon["analysis_epochs_total"] = self.analyzer.epochs_seen
+            daemon["analysis_errors_total"] = self.analysis_errors_total
+            verdicts = self.analyzer.verdicts()
+        return render_openmetrics(service.collectors(), daemon,
+                                  verdicts=verdicts)
+
+    def verdicts_dict(self) -> Dict:
+        """Rolling online-analysis state (the ``verdicts`` control
+        op), over the merged cluster epochs."""
+        if self.analyzer is None:
+            return {"online": False}
+        document = self.analyzer.to_dict()
+        document["online"] = True
+        document["analysis_errors_total"] = self.analysis_errors_total
+        return document
 
     def route_info(self) -> Dict:
         with self._route_lock:
@@ -1100,9 +1147,9 @@ class ClusterServer:
     def info(self) -> Dict:
         ledger = self.snapshots.ledger
         workers = self._broadcast({"op": "worker-info"})
-        now = time.time()
+        now = time.monotonic()
         with self._inbox_cond:
-            last_snapshot = dict(self._last_snapshot_unix)
+            last_snapshot = dict(self._last_snapshot_mono)
         info = {
             "cluster": True,
             "address": list(self.address),
@@ -1119,7 +1166,7 @@ class ClusterServer:
             "worker_sessions": {str(i): doc.get("sessions", 0)
                                 for i, doc in workers.items()},
             "worker_snapshot_age": {
-                str(i): (now - last_snapshot[i]
+                str(i): (max(0.0, now - last_snapshot[i])
                          if i in last_snapshot else None)
                 for i in workers
             },
@@ -1127,6 +1174,15 @@ class ClusterServer:
             "epochs_sealed": len(ledger),
             "epoch_records": ledger.records,
             "degraded": ledger.degraded,
+            "online": (
+                None if self.analyzer is None else {
+                    "epochs_seen": self.analyzer.epochs_seen,
+                    "verdicts_total": self.analyzer.verdicts_total,
+                    "drift_events_total":
+                        self.analyzer.drift_events_total,
+                    "analysis_errors_total": self.analysis_errors_total,
+                }
+            ),
             "persist_errors": list(ledger.persist_errors),
             "worker_info": {str(i): doc for i, doc in workers.items()},
         }
@@ -1263,6 +1319,8 @@ class ClusterServer:
         if name == "disable":
             self.disable(op.get("vm"), op.get("vdisk"))
             return pack_ok({"enabled": False})
+        if name == "verdicts":
+            return pack_ok(self.verdicts_dict())
         raise ProtocolError(f"unknown control op {name!r}")
 
     # ------------------------------------------------------------------

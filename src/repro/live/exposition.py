@@ -67,6 +67,7 @@ def render_openmetrics(
     disks: Iterable[Tuple[DiskKey, VscsiStatsCollector]],
     daemon: Mapping[str, float],
     prefix: str = "vscsi",
+    verdicts=None,
 ) -> str:
     """Render collectors plus daemon counters as OpenMetrics text.
 
@@ -76,6 +77,12 @@ def render_openmetrics(
     ``daemon`` maps operational metric names (without the ``live_``
     prefix) to values; ``*_total`` names are typed ``counter``,
     everything else ``gauge``.
+
+    ``verdicts`` (optional) is the online analysis stage's rolling
+    per-disk :class:`~repro.analysis.online.EpochVerdict` list; it adds
+    the drift gauges — ``live_drift_score{vm,vdisk}``,
+    ``live_workload_class{vm,vdisk,class}`` (value 1 for the current
+    class, info-style) and ``live_drift_events_total{vm,vdisk}``.
     """
     pairs = sorted(disks)
     out: List[str] = []
@@ -113,6 +120,26 @@ def render_openmetrics(
         type_name = name[:-len("_total")] if kind == "counter" else name
         out.append(f"# TYPE {type_name} {kind}")
         out.append(f"{name} {daemon[key]}")
+
+    if verdicts:
+        def disk_labels(v):
+            return f'vm="{_escape(v.vm)}",vdisk="{_escape(v.vdisk)}"'
+
+        out.append("# TYPE live_drift_score gauge")
+        for v in verdicts:
+            out.append(f"live_drift_score{{{disk_labels(v)}}} "
+                       f"{v.drift_score}")
+        out.append("# TYPE live_workload_class gauge")
+        for v in verdicts:
+            label = _escape(v.workload_class.value)
+            out.append(
+                f'live_workload_class{{{disk_labels(v)},'
+                f'class="{label}"}} 1'
+            )
+        out.append("# TYPE live_drift_events counter")
+        for v in verdicts:
+            out.append(f"live_drift_events_total{{{disk_labels(v)}}} "
+                       f"{v.drift_events_total}")
 
     out.append("# EOF")
     return "\n".join(out) + "\n"

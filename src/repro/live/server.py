@@ -98,7 +98,8 @@ _DUPLICATE_WAIT_SECONDS = 30.0
 #: coordinator (``forward_control``), which owns the merged history,
 #: the durable store and the canonical exposition.
 _CLUSTER_FORWARDED_OPS = frozenset(
-    {"rotate", "snapshot", "metrics", "info", "enable", "disable"}
+    {"rotate", "snapshot", "metrics", "info", "enable", "disable",
+     "verdicts"}
 )
 
 
@@ -236,6 +237,17 @@ class LiveStatsServer:
         Enables the worker-internal control ops (``worker-*``) that a
         cluster coordinator drives; plain standalone servers reject
         them.
+    online:
+        The online fingerprint/drift stage
+        (:class:`repro.analysis.online.OnlineAnalyzer`).  ``True``
+        (default) analyzes every sealed epoch with the default
+        :class:`~repro.analysis.online.DriftConfig`; pass a
+        ``DriftConfig`` to tune it, an analyzer instance to share one,
+        or ``False`` to disable.  With an attached store the analyzer
+        seeds its baselines from the store's existing history, so a
+        restarted daemon compares against everything recorded, not
+        just its own uptime.  Cluster *workers* run with the stage off
+        — the coordinator analyzes the merged epochs instead.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -252,7 +264,8 @@ class LiveStatsServer:
                  reuse_port: bool = False,
                  direct_port: Optional[int] = None,
                  on_seal=None,
-                 cluster_member: bool = False):
+                 cluster_member: bool = False,
+                 online=True):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if queue_depth < 1:
@@ -303,6 +316,26 @@ class LiveStatsServer:
                                   time_slot_ns=time_slot_ns,
                                   max_epochs=max_epochs,
                                   store=store)
+
+        #: Streaming fingerprint/drift stage fed by every seal.
+        self.analyzer = None
+        self.analysis_errors_total = 0
+        if online:
+            from ..analysis.online import DriftConfig, OnlineAnalyzer
+            if hasattr(online, "observe_epoch"):
+                self.analyzer = online
+            elif isinstance(online, DriftConfig):
+                self.analyzer = OnlineAnalyzer(online)
+            else:
+                self.analyzer = OnlineAnalyzer()
+            if store is not None:
+                # Baselines start from the recorded history; a fresh
+                # store seeds nothing.  Failures leave the analyzer
+                # unseeded rather than blocking startup.
+                try:
+                    self.analyzer.seed_from_store(store)
+                except (OSError, ValueError):
+                    pass
         # The enable/disable registry is a HistogramService used purely
         # for its gating semantics (global flag + per-disk overrides),
         # so the daemon's surface matches the in-hypervisor tool's.
@@ -799,6 +832,8 @@ class LiveStatsServer:
             return pack_text(self.openmetrics())
         if name == "info":
             return pack_ok(self.info())
+        if name == "verdicts":
+            return pack_ok(self.verdicts_dict())
         raise ProtocolError(f"unknown control op {name!r}")
 
     def _handle_hello(self, op: Dict) -> Dict:
@@ -902,14 +937,21 @@ class LiveStatsServer:
             return epoch
 
     def _fire_on_seal(self, epoch: Epoch) -> None:
-        """Invoke the seal hook; a dead fan-in must not kill rotation.
+        """Invoke the seal side effects; neither may kill rotation.
 
-        The cluster hook writes to a pipe whose reader is the
-        coordinator — if that end is gone the worker is being torn
-        down anyway, so the failure is swallowed rather than raised
-        into ``rotate()``; the epoch stays sealed in the local ledger
-        either way.
+        The online analysis stage reads the epoch first (an injected
+        ``analysis.drift`` error degrades to a counter instead of
+        failing the rotate).  The cluster hook writes to a pipe whose
+        reader is the coordinator — if that end is gone the worker is
+        being torn down anyway, so the failure is swallowed rather
+        than raised into ``rotate()``; the epoch stays sealed in the
+        local ledger either way.
         """
+        if self.analyzer is not None:
+            try:
+                self.analyzer.observe_epoch(epoch)
+            except (OSError, ValueError):
+                self.analysis_errors_total += 1
         if self._on_seal is None:
             return
         try:
@@ -1004,6 +1046,15 @@ class LiveStatsServer:
             service.adopt(key, collector)
         return service
 
+    def verdicts_dict(self) -> Dict:
+        """Rolling online-analysis state (the ``verdicts`` control op)."""
+        if self.analyzer is None:
+            return {"online": False}
+        document = self.analyzer.to_dict()
+        document["online"] = True
+        document["analysis_errors_total"] = self.analysis_errors_total
+        return document
+
     def openmetrics(self) -> str:
         """OpenMetrics text over the lifetime merge + daemon counters."""
         service = self.merged_service()
@@ -1022,7 +1073,13 @@ class LiveStatsServer:
                 "connections_open": len(self._conns),
                 "connections_total": self.connections_total,
             }
-        return render_openmetrics(service.collectors(), daemon)
+        verdicts = None
+        if self.analyzer is not None:
+            daemon["analysis_epochs_total"] = self.analyzer.epochs_seen
+            daemon["analysis_errors_total"] = self.analysis_errors_total
+            verdicts = self.analyzer.verdicts()
+        return render_openmetrics(service.collectors(), daemon,
+                                  verdicts=verdicts)
 
     def info(self) -> Dict:
         """Operational counters and configuration."""
@@ -1049,6 +1106,13 @@ class LiveStatsServer:
                 "sessions": len(self._sessions),
                 "degraded": self.ledger.degraded,
                 "persist_errors": list(self.ledger.persist_errors),
+            }
+        if self.analyzer is not None:
+            info["online"] = {
+                "epochs_seen": self.analyzer.epochs_seen,
+                "verdicts_total": self.analyzer.verdicts_total,
+                "drift_events_total": self.analyzer.drift_events_total,
+                "analysis_errors_total": self.analysis_errors_total,
             }
         info["ledger"] = self.ledger.to_dict()
         # Full per-epoch snapshots aren't operational data; keep the

@@ -575,6 +575,22 @@ class HistogramStore:
                 payload=record,
             )
 
+    def tail(self, after_seq: int = -1) -> List[StoreRecord]:
+        """Records with ``seq > after_seq``, in sequence order.
+
+        The incremental read a watch loop performs between polls: keep
+        the highest seq seen, re-open the store (a readonly open
+        snapshots the segment set), and ``tail`` past the watermark.
+        Sequence numbers are assigned monotonically at append time, so
+        for a live tier-0 store this is exactly "the epochs sealed
+        since last time".  Compaction folds old records into *new*
+        (higher-seq, ``tier > 0``) granules — a tailer that must see
+        raw epochs only should skip ``record.tier != 0``.
+        """
+        self._check_open()
+        return sorted((h for h in self.records() if h.seq > after_seq),
+                      key=lambda h: h.seq)
+
     def __len__(self) -> int:
         """Live record count (post-compaction granules)."""
         return (sum(len(r.entries) for r in self._readers)

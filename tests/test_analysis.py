@@ -139,12 +139,16 @@ class TestComparison:
         with pytest.raises(ValueError):
             total_variation_distance(a, b)
 
-    def test_empty_rejected(self):
+    def test_empty_histograms_are_well_defined(self):
+        """Regression: the drift stage sees empty families on idle
+        vdisks — empty-vs-empty is identical (0.0), empty-vs-populated
+        is maximally far (1.0), neither is an error."""
         a = Histogram(SEEK_DISTANCE_BINS)
         b = Histogram(SEEK_DISTANCE_BINS)
+        assert total_variation_distance(a, b) == 0.0
         a.insert(1)
-        with pytest.raises(ValueError):
-            total_variation_distance(a, b)
+        assert total_variation_distance(a, b) == 1.0
+        assert total_variation_distance(b, a) == 1.0
 
     def test_compare_collectors_flags_changed_metric(self):
         comparisons = compare_collectors(sequential_collector(),
